@@ -1,0 +1,107 @@
+// Command analyze answers the paper's "what" and "how much" questions for
+// a workload: it classifies each section through a trained model tree,
+// ranks the micro-architectural events by their predicted contribution to
+// CPI, and reports the split-variable impacts.
+//
+// Typical pipeline:
+//
+//	collect -out data.csv                 # simulate the suite
+//	train -in data.csv -out tree.json     # fit the model tree
+//	analyze -tree tree.json -bench 429.mcf
+//	analyze -tree tree.json -in other.csv # analyze a pre-collected CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/counters"
+	"repro/internal/dataset"
+	"repro/internal/mtree"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analyze: ")
+	var (
+		treePath = flag.String("tree", "", "trained tree JSON (from train -out) (required)")
+		in       = flag.String("in", "", "section CSV to analyze")
+		bench    = flag.String("bench", "", "or: simulate and analyze one suite benchmark")
+		scale    = flag.Float64("scale", 0.25, "suite scale when using -bench")
+		seed     = flag.Int64("seed", 99, "simulation seed when using -bench")
+		impacts  = flag.Bool("impacts", false, "also print split-variable impact table")
+		section  = flag.Int("section", -1, "print a full Eq.4-style decomposition of this section index")
+	)
+	flag.Parse()
+	if *treePath == "" || (*in == "" && *bench == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*treePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := mtree.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var d *dataset.Dataset
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err = dataset.ReadCSV(f, tree.TargetName)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		b, ok := workload.BenchmarkByName(*bench)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *bench)
+		}
+		cfg := counters.DefaultCollectConfig()
+		cfg.Seed = *seed
+		col, err := counters.CollectBenchmark(b.Scale(*scale), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d = col.Data
+		fmt.Printf("simulated %s: %d sections\n\n", *bench, d.Len())
+	}
+
+	report := analysis.AnalyzeWorkload(tree, d)
+	fmt.Print(report.Render())
+
+	if *section >= 0 {
+		if *section >= d.Len() {
+			log.Fatalf("section %d out of range (%d sections)", *section, d.Len())
+		}
+		sr := analysis.AnalyzeSection(tree, d.Row(*section))
+		fmt.Printf("\nsection %d: class LM%d, predicted CPI %.3f (actual %.3f)\n",
+			*section, sr.LeafID, sr.PredictedCPI, d.Target(*section))
+		fmt.Println("decision path:")
+		for _, step := range sr.Path {
+			fmt.Printf("  %s\n", step)
+		}
+		fmt.Printf("baseline (intercept): %.4f\n", sr.Baseline)
+		fmt.Printf("%-10s %12s %12s %12s %10s\n", "event", "coef", "rate", "CPI share", "gain")
+		for _, c := range sr.Contributions {
+			fmt.Printf("%-10s %12.4g %12.6f %12.4f %9.1f%%\n", c.Name, c.Coef, c.Rate, c.Cycles, 100*c.Fraction)
+		}
+	}
+
+	if *impacts {
+		fmt.Println("\nsplit-variable impacts over this dataset:")
+		fmt.Print(analysis.RenderSplitImpacts(analysis.SplitImpacts(tree, d)))
+	}
+}

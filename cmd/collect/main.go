@@ -1,0 +1,87 @@
+// Command collect runs the simulated SPEC-like suite on the Core-2-Duo-like
+// core and writes the section dataset (Table I per-instruction ratios plus
+// CPI) as CSV, one row per section.
+//
+// Usage:
+//
+//	collect [-out data.csv] [-labels labels.csv] [-scale 1.0]
+//	        [-section 20000] [-seed 42] [-bench 429.mcf] [-summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/counters"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("collect: ")
+	var (
+		out     = flag.String("out", "", "output CSV path (default stdout)")
+		labels  = flag.String("labels", "", "optional per-row provenance CSV path")
+		scale   = flag.Float64("scale", 1.0, "suite size multiplier")
+		section = flag.Uint64("section", 20000, "retired instructions per section")
+		seed    = flag.Int64("seed", 42, "workload synthesis seed")
+		bench   = flag.String("bench", "", "collect a single named benchmark (default: whole suite)")
+		summary = flag.Bool("summary", false, "print a per-column summary instead of CSV")
+	)
+	flag.Parse()
+
+	cfg := counters.DefaultCollectConfig()
+	cfg.SectionLen = *section
+	cfg.Seed = *seed
+
+	var suite []workload.Benchmark
+	if *bench != "" {
+		b, ok := workload.BenchmarkByName(*bench)
+		if !ok {
+			var names []string
+			for _, s := range workload.Suite() {
+				names = append(names, s.Name)
+			}
+			log.Fatalf("unknown benchmark %q; available: %s", *bench, strings.Join(names, ", "))
+		}
+		suite = []workload.Benchmark{b.Scale(*scale)}
+	} else {
+		suite = workload.SuiteScaled(*scale)
+	}
+
+	col, err := counters.CollectSuite(suite, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *summary {
+		fmt.Print(col.Data.Summary())
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := col.Data.WriteCSV(w); err != nil {
+		log.Fatal(err)
+	}
+	if *labels != "" {
+		f, err := os.Create(*labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "benchmark,phase,section")
+		for _, l := range col.Labels {
+			fmt.Fprintf(f, "%s,%d,%d\n", l.Benchmark, l.Phase, l.Section)
+		}
+	}
+}

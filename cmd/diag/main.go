@@ -1,0 +1,64 @@
+// Command diag is a development scratchpad for calibrating the simulator
+// and learners. It trains an M5' tree on the full collected suite and
+// reports per-benchmark residuals, pointing at workload classes the tree
+// separates poorly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"repro/internal/counters"
+	"repro/internal/mtree"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := counters.DefaultCollectConfig()
+	col, err := counters.CollectSuite(workload.SuiteScaled(1.0), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcfg := mtree.DefaultConfig()
+	tcfg.MinLeaf = 430
+	tree, err := mtree.Build(col.Data, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tree.Summary())
+
+	type agg struct {
+		n      int
+		absErr float64
+		cpi    float64
+	}
+	per := map[string]*agg{}
+	for i := 0; i < col.Data.Len(); i++ {
+		row := col.Data.Row(i)
+		pred := tree.Predict(row)
+		act := col.Data.Target(i)
+		a := per[col.Labels[i].Benchmark]
+		if a == nil {
+			a = &agg{}
+			per[col.Labels[i].Benchmark] = a
+		}
+		a.n++
+		a.absErr += math.Abs(pred - act)
+		a.cpi += act
+	}
+	names := make([]string, 0, len(per))
+	for n := range per {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return per[names[i]].absErr/float64(per[names[i]].n) > per[names[j]].absErr/float64(per[names[j]].n)
+	})
+	fmt.Printf("%-16s %6s %8s %8s\n", "benchmark", "n", "meanCPI", "MAE")
+	for _, n := range names {
+		a := per[n]
+		fmt.Printf("%-16s %6d %8.3f %8.3f\n", n, a.n, a.cpi/float64(a.n), a.absErr/float64(a.n))
+	}
+}

@@ -1,0 +1,84 @@
+// Command experiments reproduces the paper's tables and figures (and the
+// repository's ablations) on the simulated substrate and prints a
+// paper-vs-measured comparison for each.
+//
+// Usage:
+//
+//	experiments                 # run everything at paper scale
+//	experiments -run accuracy   # one experiment
+//	experiments -list           # list experiment names
+//	experiments -scale 0.2      # faster, reduced-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run     = flag.String("run", "", "comma-separated experiment names (default: all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.Float64("scale", 1.0, "suite size multiplier")
+		minLeaf = flag.Int("minleaf", 430, "M5' minimum leaf population at scale 1.0")
+		folds   = flag.Int("cv", 10, "cross-validation folds")
+		seed    = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.MinLeaf = *minLeaf
+	cfg.Folds = *folds
+	cfg.Seed = *seed
+	ctx := experiments.NewContext(cfg)
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = experiments.All()
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			e, ok := experiments.ByName(name)
+			if !ok {
+				log.Fatalf("unknown experiment %q (use -list)", name)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failures := 0
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(ctx)
+		if err != nil {
+			log.Fatalf("%s: %v", e.Name, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s completed in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		for _, c := range res.Claims {
+			if !c.Holds {
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d claim(s) diverge from the paper; see EXPERIMENTS.md for discussion.\n", failures)
+		os.Exit(0) // divergences are reported, not fatal
+	}
+}

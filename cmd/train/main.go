@@ -1,0 +1,113 @@
+// Command train fits an M5' model tree to a section dataset (CSV with a
+// CPI column, as produced by cmd/collect), prints the tree with its leaf
+// models, optionally cross-validates, and optionally saves the tree as JSON
+// for cmd/analyze.
+//
+// Usage:
+//
+//	train -in data.csv [-minleaf 430] [-cv 10] [-out tree.json]
+//	      [-target CPI] [-nosmooth] [-noprune]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/mtree"
+	"repro/internal/naive"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("train: ")
+	var (
+		in      = flag.String("in", "", "input CSV path (required)")
+		target  = flag.String("target", "CPI", "target column name")
+		minLeaf = flag.Int("minleaf", 430, "minimum instances per leaf (paper: 430)")
+		cv      = flag.Int("cv", 0, "k for k-fold cross validation (0 = skip)")
+		seed    = flag.Int64("seed", 7, "cross-validation shuffle seed")
+		out     = flag.String("out", "", "write the trained tree as JSON to this path")
+		smooth  = flag.Bool("smooth", true, "enable M5 smoothing")
+		prune   = flag.Bool("prune", true, "enable post-pruning")
+		global  = flag.Bool("global", false, "also fit/evaluate a single global linear model")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := dataset.ReadCSV(f, *target)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d sections x %d attributes from %s\n\n", d.Len(), d.NumAttrs(), *in)
+
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = *minLeaf
+	cfg.Smooth = *smooth
+	cfg.Prune = *prune
+
+	tree, err := mtree.Build(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tree.Summary())
+	fmt.Println()
+	fmt.Print(tree.String())
+
+	train, err := eval.Evaluate(tree, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraining fit:      %s\n", train)
+
+	if *cv >= 2 {
+		learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+			return mtree.Build(d, cfg)
+		}}
+		res, err := eval.CrossValidate(learner, d, *cv, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d-fold CV pooled: %s\n", *cv, res.Pooled)
+		fmt.Printf("%d-fold CV mean:   %s\n", *cv, res.MeanFoldMetrics())
+		if corr, mae, rae, err := eval.BootstrapCI(res.Predicted, res.Actual, 1000, 0.95, *seed); err == nil {
+			fmt.Printf("95%% bootstrap CI:  C %s  MAE %s  RAE %s\n", corr, mae, rae)
+		}
+	}
+
+	if *global {
+		g, err := naive.TrainGlobalLinear(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gm, err := eval.Evaluate(g, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("global linear fit: %s\n", gm)
+		fmt.Printf("global linear model: CPI = %s\n", g.Model)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := tree.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tree written to %s\n", *out)
+	}
+}

@@ -1,0 +1,35 @@
+// Package repro reproduces "Using Model Trees for Computer Architecture
+// Performance Analysis of Software Applications" (Ould-Ahmed-Vall, Woodlee,
+// Yount, Doshi, Abraham — ISPASS 2007) as a self-contained Go library.
+//
+// The paper trains an M5' model tree to predict CPI from 20 hardware
+// event-counter ratios collected over equal-instruction-count sections of
+// SPEC CPU2006 workloads on a Core 2 Duo, and uses the tree's structure and
+// leaf equations to identify performance limiters ("what") and quantify the
+// gain from fixing them ("how much").
+//
+// Since the original hardware, workloads, and Weka toolchain are not
+// available here, the repository builds the whole stack from scratch:
+//
+//   - internal/sim/...: a trace-driven Core-2-Duo-like core (caches, TLBs,
+//     branch prediction, stream prefetchers, interval-analysis timing with
+//     interaction-dependent penalties) exposing the paper's Table I
+//     performance counters;
+//   - internal/workload: a synthetic SPEC-CPU2006-like benchmark suite with
+//     per-benchmark behavioural signatures and execution phases;
+//   - internal/counters: Table I metric definitions and the section-based
+//     data collector;
+//   - internal/mtree: the M5' model-tree learner (the paper's method),
+//     with internal/linreg supplying the leaf regressions;
+//   - internal/regtree, internal/ann, internal/svm, internal/naive: the
+//     comparison models (CART, multilayer perceptron, epsilon-SVR, and the
+//     traditional fixed-penalty model);
+//   - internal/eval: metrics and k-fold cross validation;
+//   - internal/analysis: the what/how-much performance analysis layer;
+//   - internal/experiments: one function per paper table/figure plus
+//     ablations, shared by cmd/experiments and the benchmarks in
+//     bench_test.go.
+//
+// See README.md for usage, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,89 @@
+// Phases demonstrates execution-phase detection on the section stream —
+// the behaviour the paper's sectioning is designed to expose ("the
+// functional mapping between the inputs and the output is different for
+// each class... any given workload may embody multiple phases"). It runs
+// 403.gcc, whose three phases (parse / LCP-heavy optimize / store-heavy
+// codegen) have distinct counter signatures, detects the phase boundaries
+// from the counters alone, and then analyzes each detected phase through
+// the trained model tree.
+//
+// Run with: go run ./examples/phases
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/counters"
+	"repro/internal/mtree"
+	"repro/internal/phases"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Train the reference tree on the suite.
+	fmt.Println("training the reference model...")
+	ccfg := counters.DefaultCollectConfig()
+	col, err := counters.CollectSuite(workload.SuiteScaled(0.1), ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcfg := mtree.DefaultConfig()
+	tcfg.MinLeaf = 43
+	tree, err := mtree.Build(col.Data, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run gcc and keep its sections in execution order.
+	gcc, ok := workload.BenchmarkByName("403.gcc")
+	if !ok {
+		log.Fatal("403.gcc not in suite")
+	}
+	fmt.Println("running 403.gcc and collecting sections in order...")
+	prof, err := counters.CollectBenchmark(gcc.Scale(0.3), ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Detect phases from the counters alone. The per-section parameter
+	// jitter plus cache-warmth drift create genuine sub-phases, so a
+	// stiffer threshold than the default recovers the coarse program
+	// phases.
+	pcfg := phases.DefaultConfig()
+	pcfg.Threshold = 8
+	pcfg.MinRun = 4
+	pcfg.MinPhaseLen = 8
+	det := phases.NewDetector(prof.Data, pcfg)
+	segs := det.Segment(prof.Data)
+	fmt.Println()
+	fmt.Print(phases.Render(segs, prof.Data))
+
+	// Ground truth from the workload labels, for comparison.
+	fmt.Println("\nground truth phase boundaries (from the workload generator):")
+	prev := -1
+	for i, l := range prof.Labels {
+		if l.Phase != prev {
+			fmt.Printf("  phase %d starts at section %d\n", l.Phase+1, i)
+			prev = l.Phase
+		}
+	}
+
+	// Per-phase what/how-much analysis.
+	for i, s := range segs {
+		sub := prof.Data.EmptyLike()
+		for j := s.Start; j < s.End; j++ {
+			sub.MustAppend(prof.Data.Row(j).Clone())
+		}
+		rep := analysis.AnalyzeWorkload(tree, sub)
+		top := "none"
+		if len(rep.Issues) > 0 {
+			top = fmt.Sprintf("%s (%.0f%% of CPI)", rep.Issues[0].Name, 100*rep.Issues[0].MeanFraction)
+		}
+		fmt.Printf("\ndetected phase %d (sections %d..%d): mean CPI %.2f, dominant issue %s\n",
+			i+1, s.Start, s.End-1, rep.MeanCPI, top)
+	}
+}

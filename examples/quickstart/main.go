@@ -1,0 +1,60 @@
+// Quickstart: the minimal end-to-end pipeline.
+//
+//  1. Simulate a small SPEC-like workload on the Core-2-Duo-like core and
+//     collect per-section event-counter ratios (the paper's Table I).
+//  2. Train an M5' model tree predicting CPI from the counters.
+//  3. Print the tree and predict a few held-out sections.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/counters"
+	"repro/internal/eval"
+	"repro/internal/mtree"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Collect a reduced-scale dataset (a few hundred sections).
+	fmt.Println("simulating the workload suite (reduced scale)...")
+	cfg := counters.DefaultCollectConfig()
+	col, err := counters.CollectSuite(workload.SuiteScaled(0.05), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d sections x %d Table I metrics\n\n", col.Data.Len(), col.Data.NumAttrs())
+
+	// 2. Hold out a test split and train the model tree.
+	train, test, err := col.Data.TrainTestSplit(0.8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcfg := mtree.DefaultConfig()
+	tcfg.MinLeaf = 40 // scaled-down version of the paper's 430
+	tree, err := mtree.Build(train, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tree.Summary())
+	fmt.Println()
+	fmt.Print(tree.String())
+
+	// 3. Evaluate on the held-out sections.
+	m, err := eval.Evaluate(tree, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nheld-out accuracy: %s\n", m)
+
+	// And predict a few sections individually.
+	fmt.Println("\nsample predictions (actual vs predicted CPI):")
+	for i := 0; i < 5 && i < test.Len(); i++ {
+		fmt.Printf("  section %d: %.3f vs %.3f\n", i, test.Target(i), tree.Predict(test.Row(i)))
+	}
+}

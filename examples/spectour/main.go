@@ -1,0 +1,68 @@
+// Spectour walks the full synthetic SPEC-CPU2006-like suite: it trains the
+// performance-analysis tree on every benchmark's sections and then shows,
+// per benchmark, which workload classes (tree leaves) its execution phases
+// fall into — the machinery behind the paper's §V.A narratives
+// ("more than 95% of cactusADM's sections …", "more than 70% of mcf's
+// sections are classified in LM17", …).
+//
+// Run with: go run ./examples/spectour [-scale 0.15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/counters"
+	"repro/internal/mtree"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.15, "suite size multiplier")
+	flag.Parse()
+
+	fmt.Printf("simulating the suite at scale %.2f...\n", *scale)
+	cfg := counters.DefaultCollectConfig()
+	col, err := counters.CollectSuite(workload.SuiteScaled(*scale), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d sections collected\n\n", col.Data.Len())
+
+	tcfg := mtree.DefaultConfig()
+	tcfg.MinLeaf = int(430 * *scale)
+	if tcfg.MinLeaf < 20 {
+		tcfg.MinLeaf = 20
+	}
+	tree, err := mtree.Build(col.Data, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tree.Summary())
+	fmt.Println()
+	fmt.Print(tree.String())
+
+	fmt.Println("\nper-benchmark class census:")
+	census := analysis.Census(tree, col)
+	fmt.Print(census.Render())
+
+	// The three headline narratives, checked live.
+	fmt.Println("\npaper-style narratives:")
+	for _, b := range []string{"436.cactusADM", "429.mcf"} {
+		leaf, share := census.DominantLeaf(b)
+		node := tree.Leaf(leaf)
+		var highs []string
+		seen := map[string]bool{}
+		for _, s := range tree.LeafPath(leaf) {
+			if s.Above && !seen[s.Name] {
+				highs = append(highs, s.Name)
+				seen[s.Name] = true
+			}
+		}
+		fmt.Printf("  %s: %.0f%% of sections in class LM%d (mean CPI %.2f; high-side events %v)\n",
+			b, 100*share, leaf, node.Mean, highs)
+	}
+}

@@ -1,0 +1,97 @@
+// Tuning demonstrates the paper's optimization workflow — the "what" and
+// "how much" questions — on a single workload:
+//
+//  1. Train the performance model tree on the whole suite (the reference
+//     corpus).
+//  2. Run the target workload and classify its sections.
+//  3. Rank its performance issues: for each micro-architectural event, the
+//     predicted CPI share and therefore the potential gain from fixing it
+//     (the paper's Eq. 4 arithmetic: contribution = coef*rate/CPI).
+//  4. Simulate the suggested fix by re-running the workload with the
+//     dominant problem removed, and compare the measured speedup with the
+//     model's prediction.
+//
+// Run with: go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/counters"
+	"repro/internal/mtree"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training the reference model on the suite...")
+	ccfg := counters.DefaultCollectConfig()
+	col, err := counters.CollectSuite(workload.SuiteScaled(0.12), ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcfg := mtree.DefaultConfig()
+	tcfg.MinLeaf = 50
+	tree, err := mtree.Build(col.Data, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tree.Summary())
+
+	// The workload to tune: a gcc-like phase suffering LCP stalls plus
+	// cache misses (the paper's 403.gcc story).
+	target := workload.Params{
+		LoadFrac: 0.30, StoreFrac: 0.14, BranchFrac: 0.16,
+		DataFootprint: 1 << 20, Pattern: workload.Random, ColdFrac: 0.03,
+		DepNearFrac: 0.20, ALUDepFrac: 0.30,
+		BranchTakenProb: 0.55, BranchEntropy: 0.05, LoopFrac: 0.30,
+		FreshPageFrac: 0.003,
+		CodeFootprint: 64 << 10, JumpProb: 0.15,
+		LCPFrac: 0.08,
+	}
+	bench := workload.Benchmark{Name: "target", Phases: []workload.Phase{{Params: target, Sections: 60}}}
+
+	fmt.Println("\nprofiling the target workload...")
+	prof, err := counters.CollectBenchmark(bench, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := analysis.AnalyzeWorkload(tree, prof.Data)
+	fmt.Print(rep.Render())
+
+	if len(rep.Issues) == 0 {
+		log.Fatal("no issues found")
+	}
+	// Find the first *actionable* issue (an event a software change can
+	// remove — here we pick LCP, the paper's compiler-flag example, if it
+	// ranks; otherwise the top issue).
+	issue := rep.Issues[0]
+	for _, is := range rep.Issues {
+		if is.Name == "LCP" {
+			issue = is
+			break
+		}
+	}
+	fmt.Printf("\nchosen optimization target: %s (predicted gain %.1f%% of CPI)\n",
+		issue.Name, 100*issue.MeanFraction)
+
+	// Apply the fix in the workload (e.g. recompile without LCP-encoded
+	// instructions) and measure.
+	fixed := target
+	if issue.Name == "LCP" {
+		fixed.LCPFrac = 0
+	}
+	fixedBench := workload.Benchmark{Name: "fixed", Phases: []workload.Phase{{Params: fixed, Sections: 60}}}
+	after, err := counters.CollectBenchmark(fixedBench, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := prof.Data.TargetMean()
+	now := after.Data.TargetMean()
+	fmt.Printf("\nmeasured CPI before: %.3f, after the fix: %.3f (speedup %.1f%%)\n",
+		before, now, 100*(before-now)/before)
+	fmt.Printf("model predicted a gain of about %.1f%%\n", 100*issue.MeanFraction)
+}

@@ -1,0 +1,120 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/counters"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/mtree"
+	"repro/internal/naive"
+	"repro/internal/workload"
+)
+
+// TestEndToEndPipeline drives the entire study at reduced scale:
+// simulate -> CSV round trip -> train -> persist -> cross-validate ->
+// analyze. It asserts the qualitative results the paper rests on.
+func TestEndToEndPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	// 1. Simulate ~700 sections.
+	ccfg := counters.DefaultCollectConfig()
+	col, err := counters.CollectSuite(workload.SuiteScaled(0.1), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Data.Len() < 400 {
+		t.Fatalf("only %d sections collected", col.Data.Len())
+	}
+
+	// 2. The dataset must survive a CSV round trip bit-exactly.
+	var buf bytes.Buffer
+	if err := col.Data.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.ReadCSV(&buf, "CPI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != col.Data.Len() {
+		t.Fatalf("CSV round trip lost rows: %d vs %d", d.Len(), col.Data.Len())
+	}
+
+	// 3. Train the tree at a scale-adjusted leaf minimum.
+	tcfg := mtree.DefaultConfig()
+	tcfg.MinLeaf = 43
+	tree, err := mtree.Build(d, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() < 3 {
+		t.Errorf("tree has only %d leaves", tree.NumLeaves())
+	}
+
+	// 4. Persist and reload; predictions must be identical.
+	var tbuf bytes.Buffer
+	if err := tree.WriteJSON(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mtree.ReadJSON(&tbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if tree.Predict(d.Row(i)) != back.Predict(d.Row(i)) {
+			t.Fatal("persisted tree predicts differently")
+		}
+	}
+
+	// 5. Cross-validate: even at 10% scale the tree should correlate
+	// strongly out of fold and beat the fixed-penalty model decisively.
+	learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+		return mtree.Build(d, tcfg)
+	}}
+	res, err := eval.CrossValidate(learner, d, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pooled.Correlation < 0.9 {
+		t.Errorf("CV correlation %.3f < 0.9", res.Pooled.Correlation)
+	}
+	fixed := naive.NewCore2FixedPenalties(d)
+	fm, err := eval.Evaluate(fixed, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.RAE < 2*res.Pooled.RAE {
+		t.Errorf("fixed-penalty RAE %.2f not far above tree RAE %.2f", fm.RAE, res.Pooled.RAE)
+	}
+
+	// 6. The analysis layer: census must concentrate cactusADM, and the
+	// what/how-much report for mcf must rank a memory event first.
+	// At this reduced scale the tree is finer-grained than the paper's
+	// (~40-instance leaves), so cactusADM may straddle two adjacent
+	// classes; the full-scale >=80% check lives in the leafcensus
+	// experiment.
+	census := analysis.Census(tree, col)
+	if _, share := census.DominantLeaf("436.cactusADM"); share < 0.25 {
+		t.Errorf("cactusADM dominant class share %.2f < 0.25", share)
+	}
+	mcf := d.EmptyLike()
+	for i, l := range col.Labels {
+		if l.Benchmark == "429.mcf" {
+			mcf.MustAppend(col.Data.Row(i).Clone())
+		}
+	}
+	rep := analysis.AnalyzeWorkload(tree, mcf)
+	if len(rep.Issues) == 0 {
+		t.Fatal("no issues for mcf")
+	}
+	memory := map[string]bool{
+		"L2M": true, "L1DM": true, "DtlbLdReM": true, "DtlbLdM": true,
+		"Dtlb": true, "DtlbL0LdM": true,
+	}
+	if !memory[rep.Issues[0].Name] {
+		t.Errorf("mcf top issue %q, want a memory event", rep.Issues[0].Name)
+	}
+}

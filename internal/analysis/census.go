@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/counters"
+	"repro/internal/mtree"
+)
+
+// LeafCensus cross-tabulates workload provenance against tree classes: for
+// each benchmark, the fraction of its sections landing in each leaf. This
+// is the machinery behind the paper's narratives — "more than 95% of
+// [436.cactusADM's] sections experience high L2 cache misses combined with
+// a high rate of L1 instruction misses [LM18]", "more than 70% of
+// [429.mcf's] sections are classified in LM17", "about 20% of [403.gcc's]
+// sections experience performance degradation due to LCP stalls".
+type LeafCensus struct {
+	// Benchmarks maps benchmark name -> leaf ID -> fraction of that
+	// benchmark's sections.
+	Benchmarks map[string]map[int]float64
+	// Totals maps benchmark name -> section count.
+	Totals map[string]int
+}
+
+// Census classifies every labeled section of a collection through the
+// tree.
+func Census(t *mtree.Tree, col *counters.Collection) LeafCensus {
+	c := LeafCensus{
+		Benchmarks: map[string]map[int]float64{},
+		Totals:     map[string]int{},
+	}
+	for i := 0; i < col.Data.Len(); i++ {
+		name := col.Labels[i].Benchmark
+		leaf, _ := t.Classify(col.Data.Row(i))
+		m := c.Benchmarks[name]
+		if m == nil {
+			m = map[int]float64{}
+			c.Benchmarks[name] = m
+		}
+		m[leaf.LeafID]++
+		c.Totals[name]++
+	}
+	for name, m := range c.Benchmarks {
+		total := float64(c.Totals[name])
+		for id := range m {
+			m[id] /= total
+		}
+	}
+	return c
+}
+
+// DominantLeaf returns the leaf holding the largest share of the
+// benchmark's sections and that share (0 if the benchmark is unknown).
+func (c LeafCensus) DominantLeaf(benchmark string) (leafID int, share float64) {
+	for id, f := range c.Benchmarks[benchmark] {
+		if f > share {
+			leafID, share = id, f
+		}
+	}
+	return leafID, share
+}
+
+// Share returns the fraction of the benchmark's sections in the given
+// leaf.
+func (c LeafCensus) Share(benchmark string, leafID int) float64 {
+	return c.Benchmarks[benchmark][leafID]
+}
+
+// Render formats the census: one row per benchmark, dominant leaves first.
+func (c LeafCensus) Render() string {
+	names := make([]string, 0, len(c.Benchmarks))
+	for n := range c.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s  %s\n", "benchmark", "sections", "leaf shares (descending)")
+	for _, n := range names {
+		type ls struct {
+			id int
+			f  float64
+		}
+		shares := make([]ls, 0, len(c.Benchmarks[n]))
+		for id, f := range c.Benchmarks[n] {
+			shares = append(shares, ls{id, f})
+		}
+		sort.Slice(shares, func(i, j int) bool { return shares[i].f > shares[j].f })
+		fmt.Fprintf(&b, "%-16s %8d ", n, c.Totals[n])
+		for i, s := range shares {
+			if i >= 4 {
+				b.WriteString(" …")
+				break
+			}
+			fmt.Fprintf(&b, " LM%d:%.0f%%", s.id, 100*s.f)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

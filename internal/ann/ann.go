@@ -1,0 +1,186 @@
+// Package ann implements a feed-forward artificial neural network
+// (multilayer perceptron) trained by stochastic gradient descent with
+// momentum. It reproduces the paper's black-box comparator: on the
+// performance dataset the ANN reaches a correlation around 0.99 —
+// marginally above the model tree — but its weights cannot be read as
+// per-event cycle costs, which is exactly the trade-off the paper argues
+// against for performance analysis.
+//
+// Architecture: one hidden layer of tanh units and a linear output unit.
+// Inputs and the target are standardized internally, so callers train on
+// raw event-rate data directly.
+package ann
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Config holds the network and training hyper-parameters.
+type Config struct {
+	// Hidden is the hidden layer width.
+	Hidden int
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Momentum is the classical momentum coefficient.
+	Momentum float64
+	// WeightDecay is an L2 penalty applied each update (0 disables).
+	WeightDecay float64
+	// Seed drives weight initialization and example shuffling.
+	Seed int64
+}
+
+// DefaultConfig returns settings comparable to Weka's MultilayerPerceptron
+// defaults scaled for this dataset size.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:       16,
+		Epochs:       200,
+		LearningRate: 0.01,
+		Momentum:     0.9,
+		WeightDecay:  1e-5,
+		Seed:         1,
+	}
+}
+
+// Network is a trained MLP.
+type Network struct {
+	cfg      Config
+	features []int
+	// Standardization parameters.
+	xMean, xStd []float64
+	yMean, yStd float64
+	// Weights: hidden layer (Hidden x (F+1), bias last) and output layer
+	// (Hidden+1, bias last).
+	w1 [][]float64
+	w2 []float64
+}
+
+// Train fits an MLP on the dataset.
+func Train(d *dataset.Dataset, cfg Config) (*Network, error) {
+	if d.Len() == 0 {
+		return nil, errors.New("ann: cannot train on empty dataset")
+	}
+	if cfg.Hidden < 1 {
+		return nil, fmt.Errorf("ann: hidden width %d must be positive", cfg.Hidden)
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("ann: epoch count %d must be positive", cfg.Epochs)
+	}
+	features := d.FeatureIndices()
+	f := len(features)
+	n := d.Len()
+
+	net := &Network{cfg: cfg, features: features}
+	net.xMean = make([]float64, f)
+	net.xStd = make([]float64, f)
+	for j, a := range features {
+		net.xMean[j] = d.ColumnMean(a)
+		net.xStd[j] = math.Sqrt(d.ColumnVariance(a))
+		if net.xStd[j] == 0 {
+			net.xStd[j] = 1
+		}
+	}
+	net.yMean = d.TargetMean()
+	net.yStd = d.TargetStdDev()
+	if net.yStd == 0 {
+		net.yStd = 1
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Xavier-style initialization.
+	scale1 := 1 / math.Sqrt(float64(f)+1)
+	net.w1 = make([][]float64, cfg.Hidden)
+	for h := range net.w1 {
+		net.w1[h] = make([]float64, f+1)
+		for j := range net.w1[h] {
+			net.w1[h][j] = rng.NormFloat64() * scale1
+		}
+	}
+	scale2 := 1 / math.Sqrt(float64(cfg.Hidden)+1)
+	net.w2 = make([]float64, cfg.Hidden+1)
+	for j := range net.w2 {
+		net.w2[j] = rng.NormFloat64() * scale2
+	}
+
+	// Momentum buffers.
+	v1 := make([][]float64, cfg.Hidden)
+	for h := range v1 {
+		v1[h] = make([]float64, f+1)
+	}
+	v2 := make([]float64, cfg.Hidden+1)
+
+	x := make([]float64, f)
+	hOut := make([]float64, cfg.Hidden)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		// Mild learning-rate decay stabilizes late training.
+		lr := cfg.LearningRate / (1 + 0.01*float64(epoch))
+		for _, idx := range order {
+			row := d.Row(idx)
+			for j, a := range features {
+				x[j] = (row[a] - net.xMean[j]) / net.xStd[j]
+			}
+			yt := (d.Target(idx) - net.yMean) / net.yStd
+
+			// Forward.
+			for h := 0; h < cfg.Hidden; h++ {
+				s := net.w1[h][f] // bias
+				for j := 0; j < f; j++ {
+					s += net.w1[h][j] * x[j]
+				}
+				hOut[h] = math.Tanh(s)
+			}
+			yp := net.w2[cfg.Hidden] // bias
+			for h := 0; h < cfg.Hidden; h++ {
+				yp += net.w2[h] * hOut[h]
+			}
+
+			// Backward (squared error, linear output).
+			dOut := yp - yt
+			for h := 0; h < cfg.Hidden; h++ {
+				grad := dOut*hOut[h] + cfg.WeightDecay*net.w2[h]
+				v2[h] = cfg.Momentum*v2[h] - lr*grad
+				net.w2[h] += v2[h]
+			}
+			v2[cfg.Hidden] = cfg.Momentum*v2[cfg.Hidden] - lr*dOut
+			net.w2[cfg.Hidden] += v2[cfg.Hidden]
+
+			for h := 0; h < cfg.Hidden; h++ {
+				dh := dOut * net.w2[h] * (1 - hOut[h]*hOut[h])
+				for j := 0; j < f; j++ {
+					grad := dh*x[j] + cfg.WeightDecay*net.w1[h][j]
+					v1[h][j] = cfg.Momentum*v1[h][j] - lr*grad
+					net.w1[h][j] += v1[h][j]
+				}
+				v1[h][f] = cfg.Momentum*v1[h][f] - lr*dh
+				net.w1[h][f] += v1[h][f]
+			}
+		}
+	}
+	return net, nil
+}
+
+// Predict evaluates the network on a full-width instance.
+func (n *Network) Predict(row dataset.Instance) float64 {
+	f := len(n.features)
+	yp := n.w2[len(n.w2)-1]
+	for h := range n.w1 {
+		s := n.w1[h][f]
+		for j, a := range n.features {
+			s += n.w1[h][j] * (row[a] - n.xMean[j]) / n.xStd[j]
+		}
+		yp += n.w2[h] * math.Tanh(s)
+	}
+	return yp*n.yStd + n.yMean
+}

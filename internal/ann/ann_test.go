@@ -1,0 +1,134 @@
+package ann
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func linearData(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "a"}, {Name: "b"}}, 0)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		d.MustAppend(dataset.Instance{3*a - 2*b + 1, a, b})
+	}
+	return d
+}
+
+func TestTrainValidation(t *testing.T) {
+	d := linearData(10, 1)
+	cfg := DefaultConfig()
+	cfg.Hidden = 0
+	if _, err := Train(d, cfg); err == nil {
+		t.Error("zero hidden width accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Epochs = 0
+	if _, err := Train(d, cfg); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	empty := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	if _, err := Train(empty, DefaultConfig()); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	d := linearData(2000, 2)
+	cfg := DefaultConfig()
+	cfg.Epochs = 60
+	net, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := eval.Evaluate(net, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Correlation < 0.99 {
+		t.Errorf("training correlation %v < 0.99", m.Correlation)
+	}
+	if m.RAE > 0.1 {
+		t.Errorf("training RAE %v > 10%%", m.RAE)
+	}
+}
+
+func TestLearnsNonlinearFunction(t *testing.T) {
+	// The interaction x1*x2 is invisible to any linear model; the MLP
+	// must capture it.
+	rng := rand.New(rand.NewSource(3))
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "a"}, {Name: "b"}}, 0)
+	for i := 0; i < 3000; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		d.MustAppend(dataset.Instance{a * b, a, b})
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 150
+	net, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := eval.Evaluate(net, d)
+	if m.Correlation < 0.9 {
+		t.Errorf("nonlinear fit correlation %v < 0.9", m.Correlation)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	d := linearData(300, 4)
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	n1, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := dataset.Instance{0, 0.3, -0.7}
+	if n1.Predict(in) != n2.Predict(in) {
+		t.Error("same seed produced different networks")
+	}
+	cfg.Seed = 99
+	n3, _ := Train(d, cfg)
+	if n1.Predict(in) == n3.Predict(in) {
+		t.Error("different seeds produced identical networks (suspicious)")
+	}
+}
+
+func TestPredictFinite(t *testing.T) {
+	d := linearData(200, 5)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	net, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []dataset.Instance{{0, 0, 0}, {0, 100, -100}, {0, 1e-9, 1e9}} {
+		if p := net.Predict(in); math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Errorf("Predict(%v) = %v", in, p)
+		}
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		d.MustAppend(dataset.Instance{4, rng.NormFloat64()})
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 20
+	net, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := net.Predict(dataset.Instance{0, 0.1}); math.Abs(p-4) > 0.5 {
+		t.Errorf("constant-target prediction %v, want ~4", p)
+	}
+}

@@ -1,0 +1,127 @@
+package counters
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/sim/branch"
+	"repro/internal/sim/cpu"
+	"repro/internal/sim/mem"
+	"repro/internal/sim/trace"
+	"repro/internal/workload"
+)
+
+// CollectConfig controls dataset collection.
+type CollectConfig struct {
+	// SectionLen is the number of retired instructions per section (the
+	// paper groups data into "sections of equal counts of executed
+	// instructions").
+	SectionLen uint64
+	// WarmupSections are run and discarded at the start of each benchmark
+	// so cold-start transients do not pollute the training set.
+	WarmupSections int
+	// CPU, Geometry and Branch configure the simulated machine.
+	CPU      cpu.Config
+	Geometry mem.Core2Geometry
+	Branch   branch.Config
+	// DisablePrefetch turns off the hardware stream prefetchers, for
+	// substrate ablations.
+	DisablePrefetch bool
+	// Seed drives workload synthesis.
+	Seed int64
+}
+
+// DefaultCollectConfig returns the configuration used by the experiments:
+// 20k-instruction sections on the Core-2-Duo-like machine.
+func DefaultCollectConfig() CollectConfig {
+	return CollectConfig{
+		SectionLen:     20000,
+		WarmupSections: 2,
+		CPU:            cpu.DefaultConfig(),
+		Geometry:       mem.DefaultCore2Geometry(),
+		Branch:         branch.DefaultConfig(),
+		Seed:           42,
+	}
+}
+
+// SectionLabel identifies the provenance of one dataset row.
+type SectionLabel struct {
+	Benchmark string
+	Phase     int
+	Section   int // section index within the benchmark (post-warmup)
+}
+
+// Collection is a dataset plus the per-row provenance labels (used by the
+// paper's per-benchmark leaf census) and the simulator's ground-truth
+// cycle breakdowns (used to validate the model's "how much" answers —
+// something real hardware cannot provide).
+type Collection struct {
+	Data       *dataset.Dataset
+	Labels     []SectionLabel
+	Breakdowns []cpu.Breakdown
+}
+
+// CollectBenchmark runs one benchmark on a fresh simulated machine and
+// returns one dataset row per section.
+func CollectBenchmark(b workload.Benchmark, cfg CollectConfig) (*Collection, error) {
+	if cfg.SectionLen == 0 {
+		return nil, fmt.Errorf("counters: section length must be positive")
+	}
+	cpuCfg := cfg.CPU
+	cpuCfg.Seed = cfg.Seed ^ int64(len(b.Name))
+	core := cpu.New(cpuCfg, cfg.Geometry, cfg.Branch)
+	if cfg.DisablePrefetch {
+		core.Mem.DataPF, core.Mem.InstPF = nil, nil
+	}
+
+	col := &Collection{Data: NewDataset()}
+	src := workload.NewSectionSource(b, cfg.Seed)
+	section := 0
+	for {
+		gen, phase := src.Next()
+		if gen == nil {
+			break
+		}
+		core.ResetSection()
+		var in trace.Inst
+		for i := uint64(0); i < cfg.SectionLen; i++ {
+			gen.Next(&in)
+			core.Step(&in)
+		}
+		section++
+		if section <= cfg.WarmupSections {
+			continue
+		}
+		if err := col.Data.Append(Row(core.Counters())); err != nil {
+			return nil, fmt.Errorf("counters: %s section %d: %w", b.Name, section, err)
+		}
+		col.Labels = append(col.Labels, SectionLabel{Benchmark: b.Name, Phase: phase, Section: section})
+		col.Breakdowns = append(col.Breakdowns, core.CycleBreakdown())
+	}
+	return col, nil
+}
+
+// CollectSuiteNoPrefetch is CollectSuite with the hardware prefetchers
+// disabled, used by the prefetcher substrate ablation.
+func CollectSuiteNoPrefetch(suite []workload.Benchmark, cfg CollectConfig) (*Collection, error) {
+	cfg.DisablePrefetch = true
+	return CollectSuite(suite, cfg)
+}
+
+// CollectSuite runs every benchmark and merges the sections into one
+// labeled collection — the training corpus for the model tree.
+func CollectSuite(suite []workload.Benchmark, cfg CollectConfig) (*Collection, error) {
+	all := &Collection{Data: NewDataset()}
+	for _, b := range suite {
+		col, err := CollectBenchmark(b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := all.Data.Merge(col.Data); err != nil {
+			return nil, fmt.Errorf("counters: merging %s: %w", b.Name, err)
+		}
+		all.Labels = append(all.Labels, col.Labels...)
+		all.Breakdowns = append(all.Breakdowns, col.Breakdowns...)
+	}
+	return all, nil
+}

@@ -1,0 +1,218 @@
+package counters
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim/cpu"
+	"repro/internal/workload"
+)
+
+func TestTableISchema(t *testing.T) {
+	tab := TableI()
+	if len(tab) != 21 {
+		t.Fatalf("Table I has %d entries, want 21 (CPI + 20 predictors)", len(tab))
+	}
+	if tab[0].Name != "CPI" {
+		t.Errorf("first metric %q, want CPI", tab[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, m := range tab {
+		if m.Name == "" || m.Event == "" || m.Description == "" {
+			t.Errorf("incomplete metric %+v", m)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate metric %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	// The paper's exact metric names.
+	for _, want := range []string{
+		"InstLd", "InstSt", "BrMisPr", "BrPred", "InstOther", "L1DM", "L1IM",
+		"L2M", "DtlbL0LdM", "DtlbLdM", "DtlbLdReM", "Dtlb", "ItlbM",
+		"LdBlSta", "LdBlStd", "LdBlOvSt", "MisalRef", "L1DSpLd", "L1DSpSt", "LCP",
+	} {
+		if !seen[want] {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestNewDataset(t *testing.T) {
+	d := NewDataset()
+	if d.NumAttrs() != 21 || d.TargetName() != "CPI" || d.TargetIndex() != 0 {
+		t.Errorf("schema %d attrs, target %q", d.NumAttrs(), d.TargetName())
+	}
+}
+
+func TestRowDerivedMetrics(t *testing.T) {
+	c := cpu.Counters{
+		Cycles: 2000, Insts: 1000,
+		Loads: 300, Stores: 100, Branches: 150, BrMispred: 20,
+		L1DMiss: 30, L1IMiss: 5, L2Miss: 10,
+		Dtlb0LdMiss: 12, DtlbLdMiss: 8, DtlbLdRetMiss: 6, DtlbAnyMiss: 9,
+		ItlbMiss: 1, LdBlockSTA: 2, LdBlockSTD: 3, LdBlockOvSt: 4,
+		Misaligned: 5, SplitLoads: 6, SplitStores: 7, LCPStalls: 8,
+	}
+	row := Row(c)
+	d := NewDataset()
+	get := func(name string) float64 { return row[d.AttrIndex(name)] }
+	if got := get("CPI"); got != 2.0 {
+		t.Errorf("CPI = %v", got)
+	}
+	if got := get("BrPred"); got != 0.13 { // (150-20)/1000
+		t.Errorf("BrPred = %v, want 0.13", got)
+	}
+	if got := get("InstOther"); math.Abs(got-0.45) > 1e-12 { // (1000-300-100-150)/1000
+		t.Errorf("InstOther = %v, want 0.45", got)
+	}
+	if got := get("InstLd"); got != 0.3 {
+		t.Errorf("InstLd = %v", got)
+	}
+	if got := get("DtlbLdReM"); got != 0.006 {
+		t.Errorf("DtlbLdReM = %v", got)
+	}
+	if got := get("LCP"); got != 0.008 {
+		t.Errorf("LCP = %v", got)
+	}
+	if err := d.Append(row); err != nil {
+		t.Errorf("Row not appendable: %v", err)
+	}
+}
+
+func TestRowIdleCounters(t *testing.T) {
+	row := Row(cpu.Counters{})
+	if len(row) != 21 {
+		t.Fatalf("idle row has %d columns", len(row))
+	}
+	for i, v := range row {
+		if v != 0 {
+			t.Errorf("idle row column %d = %v", i, v)
+		}
+	}
+}
+
+func smallConfig() CollectConfig {
+	cfg := DefaultCollectConfig()
+	cfg.SectionLen = 2000
+	cfg.WarmupSections = 1
+	return cfg
+}
+
+func TestCollectBenchmark(t *testing.T) {
+	b := workload.Benchmark{Name: "unit", Phases: []workload.Phase{
+		{Params: unitParams(), Sections: 6},
+	}}
+	col, err := CollectBenchmark(b, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 sections minus 1 warmup.
+	if col.Data.Len() != 5 {
+		t.Fatalf("collected %d rows, want 5", col.Data.Len())
+	}
+	if len(col.Labels) != col.Data.Len() {
+		t.Fatalf("labels %d != rows %d", len(col.Labels), col.Data.Len())
+	}
+	for i, l := range col.Labels {
+		if l.Benchmark != "unit" {
+			t.Errorf("label %d benchmark %q", i, l.Benchmark)
+		}
+	}
+	// Sanity on the content: positive CPI, per-inst ratios in [0, ~1.5].
+	for i := 0; i < col.Data.Len(); i++ {
+		cpi := col.Data.Target(i)
+		if cpi <= 0 || cpi > 50 {
+			t.Errorf("row %d CPI %v implausible", i, cpi)
+		}
+		for a := 1; a < col.Data.NumAttrs(); a++ {
+			v := col.Data.Value(i, a)
+			if v < 0 || v > 2 {
+				t.Errorf("row %d %s = %v out of range", i, col.Data.Attrs()[a].Name, v)
+			}
+		}
+	}
+}
+
+func unitParams() workload.Params {
+	return workload.Params{
+		LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.15,
+		DataFootprint: 256 << 10, Pattern: workload.Random, ColdFrac: 0.1,
+		DepNearFrac: 0.2, ALUDepFrac: 0.3,
+		BranchTakenProb: 0.5, BranchEntropy: 0.05, LoopFrac: 0.3,
+		CodeFootprint: 16 << 10, JumpProb: 0.05,
+	}
+}
+
+func TestCollectSuiteMergesLabels(t *testing.T) {
+	suite := []workload.Benchmark{
+		{Name: "a", Phases: []workload.Phase{{Params: unitParams(), Sections: 3}}},
+		{Name: "b", Phases: []workload.Phase{{Params: unitParams(), Sections: 4}}},
+	}
+	col, err := CollectSuite(suite, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Data.Len() != 2+3 { // (3-1) + (4-1)
+		t.Fatalf("rows %d, want 5", col.Data.Len())
+	}
+	counts := map[string]int{}
+	for _, l := range col.Labels {
+		counts[l.Benchmark]++
+	}
+	if counts["a"] != 2 || counts["b"] != 3 {
+		t.Errorf("label counts %v", counts)
+	}
+}
+
+func TestCollectRejectsZeroSectionLen(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SectionLen = 0
+	b := workload.Benchmark{Name: "x", Phases: []workload.Phase{{Params: unitParams(), Sections: 1}}}
+	if _, err := CollectBenchmark(b, cfg); err == nil {
+		t.Error("zero section length accepted")
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	b := workload.Benchmark{Name: "det", Phases: []workload.Phase{{Params: unitParams(), Sections: 4}}}
+	c1, err := CollectBenchmark(b, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CollectBenchmark(b, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c1.Data.Len(); i++ {
+		for j := 0; j < c1.Data.NumAttrs(); j++ {
+			if c1.Data.Value(i, j) != c2.Data.Value(i, j) {
+				t.Fatalf("row %d col %d differs between identical runs", i, j)
+			}
+		}
+	}
+}
+
+func TestNoPrefetchRaisesMisses(t *testing.T) {
+	p := unitParams()
+	p.Pattern = workload.Stream
+	p.StrideB = 8
+	p.ColdFrac = 0.9
+	p.DataFootprint = 8 << 20
+	b := workload.Benchmark{Name: "stream", Phases: []workload.Phase{{Params: p, Sections: 5}}}
+	cfg := smallConfig()
+	with, err := CollectBenchmark(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisablePrefetch = true
+	without, err := CollectBenchmark(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := with.Data.AttrIndex("L2M")
+	if without.Data.ColumnMean(l2) <= with.Data.ColumnMean(l2) {
+		t.Errorf("prefetch-off L2M %v not above prefetch-on %v",
+			without.Data.ColumnMean(l2), with.Data.ColumnMean(l2))
+	}
+}

@@ -1,0 +1,101 @@
+// Package counters defines the paper's Table I metric set and the
+// section-based data collector: it drives the simulated core over a
+// workload, cuts execution into sections of equal retired-instruction
+// counts, and emits one dataset row of per-instruction event ratios (plus
+// CPI) per section — the exact training representation the paper uses.
+package counters
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/sim/cpu"
+)
+
+// Metric describes one Table I entry: the short name used as a dataset
+// attribute, the hardware event formula the paper programmed, and the
+// plain-language description.
+type Metric struct {
+	Name        string
+	Event       string
+	Description string
+}
+
+// TableI returns the paper's Table I: CPI (the target) followed by the 20
+// predictor metrics, in the paper's order.
+func TableI() []Metric {
+	return []Metric{
+		{"CPI", "CPU_CLK_UNHALTED.CORE / INST_RETIRED.ANY", "CPU clock cycles per instruction"},
+		{"InstLd", "INST_RETIRED.LOADS", "Loads per instruction"},
+		{"InstSt", "INST_RETIRED.STORES", "Stores per instruction"},
+		{"BrMisPr", "BR_INST_RETIRED.MISPRED", "Mispredicted branches per instruction"},
+		{"BrPred", "BR_INST_RETIRED.ANY - BR_INST_RETIRED.MISPRED", "Correctly predicted branches per instruction"},
+		{"InstOther", "INST_RETIRED.ANY - (LOADS + STORES + BR_ANY)", "Non-branch and non-memory instructions per instruction"},
+		{"L1DM", "MEM_LOAD_RETIRED.L1D_LINE_MISS", "L1 data misses per instruction"},
+		{"L1IM", "L1I_MISSES", "L1 instruction misses per instruction"},
+		{"L2M", "MEM_LOAD_RETIRED.L2_LINE_MISS", "L2 misses per instruction"},
+		{"DtlbL0LdM", "DTLB_MISSES.L0_MISS_LD", "Lowest level DTLB load misses per instruction"},
+		{"DtlbLdM", "DTLB_MISSES.MISS_LD", "Last level DTLB load misses per instruction"},
+		{"DtlbLdReM", "MEM_LOAD_RETIRED.DTLB_MISS", "Last level DTLB retired load misses per instruction"},
+		{"Dtlb", "DTLB_MISSES.ANY", "Last level DTLB misses (including loads) per instruction"},
+		{"ItlbM", "ITLB.MISS_RETIRED", "ITLB misses per instruction"},
+		{"LdBlSta", "LOAD_BLOCK.STA", "Load block store address events per instruction"},
+		{"LdBlStd", "LOAD_BLOCK.STD", "Load block store data events per instruction"},
+		{"LdBlOvSt", "LOAD_BLOCK.OVERLAP_STORE", "Load block overlap store per instruction"},
+		{"MisalRef", "MISALIGN_MEM_REF", "Misaligned memory references per instruction"},
+		{"L1DSpLd", "L1D_SPLIT.LOADS", "L1 data split loads per instruction"},
+		{"L1DSpSt", "L1D_SPLIT.STORES", "L1 data split stores per instruction"},
+		{"LCP", "ILD_STALL", "Length changing prefix stalls per instruction"},
+	}
+}
+
+// Attributes converts Table I to a dataset schema (CPI is column 0, the
+// target).
+func Attributes() []dataset.Attribute {
+	tab := TableI()
+	attrs := make([]dataset.Attribute, len(tab))
+	for i, m := range tab {
+		attrs[i] = dataset.Attribute{Name: m.Name, Description: m.Description}
+	}
+	return attrs
+}
+
+// NewDataset returns an empty dataset with the Table I schema and CPI as
+// the target.
+func NewDataset() *dataset.Dataset {
+	return dataset.MustNew(Attributes(), 0)
+}
+
+// Row converts a section's counter snapshot to a dataset row in Table I
+// column order. The derived metrics follow the paper's formulas: BrPred is
+// total branches minus mispredicts; InstOther is everything that is not a
+// load, store or branch.
+func Row(c cpu.Counters) dataset.Instance {
+	inst := float64(c.Insts)
+	if inst == 0 {
+		return make(dataset.Instance, 21)
+	}
+	brPred := c.Branches - c.BrMispred
+	other := c.Insts - c.Loads - c.Stores - c.Branches
+	return dataset.Instance{
+		c.CPI(),
+		c.PerInst(c.Loads),
+		c.PerInst(c.Stores),
+		c.PerInst(c.BrMispred),
+		c.PerInst(brPred),
+		c.PerInst(other),
+		c.PerInst(c.L1DMiss),
+		c.PerInst(c.L1IMiss),
+		c.PerInst(c.L2Miss),
+		c.PerInst(c.Dtlb0LdMiss),
+		c.PerInst(c.DtlbLdMiss),
+		c.PerInst(c.DtlbLdRetMiss),
+		c.PerInst(c.DtlbAnyMiss),
+		c.PerInst(c.ItlbMiss),
+		c.PerInst(c.LdBlockSTA),
+		c.PerInst(c.LdBlockSTD),
+		c.PerInst(c.LdBlockOvSt),
+		c.PerInst(c.Misaligned),
+		c.PerInst(c.SplitLoads),
+		c.PerInst(c.SplitStores),
+		c.PerInst(c.LCPStalls),
+	}
+}

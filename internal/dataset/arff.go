@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteARFF writes the dataset in Weka's ARFF format (all attributes
+// numeric), the on-disk format the original study's toolchain consumed.
+// The relation carries the target column name as metadata in a comment,
+// since ARFF itself has no target designation (Weka conventionally uses
+// the last attribute; WriteARFF reorders nothing and records the target
+// explicitly).
+func (d *Dataset) WriteARFF(w io.Writer, relation string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%% target: %s\n", d.TargetName())
+	fmt.Fprintf(bw, "@relation %s\n\n", quoteARFF(relation))
+	for _, a := range d.attrs {
+		fmt.Fprintf(bw, "@attribute %s numeric\n", quoteARFF(a.Name))
+	}
+	fmt.Fprintf(bw, "\n@data\n")
+	for _, row := range d.rows {
+		for i, v := range row {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: writing ARFF: %w", err)
+	}
+	return nil
+}
+
+// quoteARFF quotes names that contain ARFF-significant characters.
+func quoteARFF(s string) string {
+	if strings.ContainsAny(s, " ,{}%'\"\t") || s == "" {
+		return "'" + strings.ReplaceAll(s, "'", "\\'") + "'"
+	}
+	return s
+}
+
+// ReadARFF parses a numeric-only ARFF stream produced by WriteARFF or by
+// Weka. The column named target becomes the target attribute; if target is
+// empty, a "% target: NAME" comment is honored, falling back to the last
+// attribute (Weka's convention).
+func ReadARFF(r io.Reader, target string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var attrs []Attribute
+	commentTarget := ""
+	inData := false
+	var d *Dataset
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "%") {
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "%"))
+			if strings.HasPrefix(rest, "target:") {
+				commentTarget = strings.TrimSpace(strings.TrimPrefix(rest, "target:"))
+			}
+			continue
+		}
+		lower := strings.ToLower(text)
+		switch {
+		case strings.HasPrefix(lower, "@relation"):
+			// Name is not needed.
+		case strings.HasPrefix(lower, "@attribute"):
+			if inData {
+				return nil, fmt.Errorf("dataset: ARFF line %d: @attribute after @data", line)
+			}
+			name, typ, err := parseARFFAttribute(text)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: ARFF line %d: %w", line, err)
+			}
+			if typ != "numeric" && typ != "real" && typ != "integer" {
+				return nil, fmt.Errorf("dataset: ARFF line %d: unsupported attribute type %q", line, typ)
+			}
+			attrs = append(attrs, Attribute{Name: name})
+		case strings.HasPrefix(lower, "@data"):
+			if len(attrs) == 0 {
+				return nil, fmt.Errorf("dataset: ARFF has no attributes before @data")
+			}
+			want := target
+			if want == "" {
+				want = commentTarget
+			}
+			idx := len(attrs) - 1 // Weka convention: last attribute
+			if want != "" {
+				idx = -1
+				for i, a := range attrs {
+					if a.Name == want {
+						idx = i
+					}
+				}
+				if idx < 0 {
+					return nil, fmt.Errorf("dataset: ARFF target %q not found", want)
+				}
+			}
+			var err error
+			d, err = New(attrs, idx)
+			if err != nil {
+				return nil, err
+			}
+			inData = true
+		default:
+			if !inData {
+				return nil, fmt.Errorf("dataset: ARFF line %d: unexpected %q before @data", line, text)
+			}
+			fields := strings.Split(text, ",")
+			if len(fields) != len(attrs) {
+				return nil, fmt.Errorf("dataset: ARFF line %d: %d values, want %d", line, len(fields), len(attrs))
+			}
+			row := make(Instance, len(fields))
+			for i, f := range fields {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: ARFF line %d column %d: %w", line, i+1, err)
+				}
+				row[i] = v
+			}
+			if err := d.Append(row); err != nil {
+				return nil, fmt.Errorf("dataset: ARFF line %d: %w", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading ARFF: %w", err)
+	}
+	if d == nil {
+		return nil, fmt.Errorf("dataset: ARFF stream has no @data section")
+	}
+	return d, nil
+}
+
+// parseARFFAttribute extracts the name and type from an @attribute line,
+// handling quoted names.
+func parseARFFAttribute(line string) (name, typ string, err error) {
+	rest := strings.TrimSpace(line[len("@attribute"):])
+	if rest == "" {
+		return "", "", fmt.Errorf("empty @attribute")
+	}
+	if rest[0] == '\'' {
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\'' && rest[i-1] != '\\' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated quoted attribute name")
+		}
+		name = strings.ReplaceAll(rest[1:end], "\\'", "'")
+		typ = strings.ToLower(strings.TrimSpace(rest[end+1:]))
+		return name, typ, nil
+	}
+	parts := strings.Fields(rest)
+	if len(parts) < 2 {
+		return "", "", fmt.Errorf("malformed @attribute %q", line)
+	}
+	return parts[0], strings.ToLower(parts[1]), nil
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func arffSample() *Dataset {
+	d := MustNew([]Attribute{{Name: "CPI"}, {Name: "L2M"}, {Name: "odd name"}}, 0)
+	d.MustAppend(Instance{1.5, 0.004, 1})
+	d.MustAppend(Instance{2.25, 0.02, -3.5})
+	return d
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	d := arffSample()
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, "sections"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "@relation sections") {
+		t.Errorf("missing relation:\n%s", out)
+	}
+	if !strings.Contains(out, "'odd name'") {
+		t.Errorf("name with space not quoted:\n%s", out)
+	}
+	back, err := ReadARFF(strings.NewReader(out), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The target comment routes CPI back to target even though it is the
+	// first column.
+	if back.TargetName() != "CPI" {
+		t.Errorf("target %q after round trip", back.TargetName())
+	}
+	if back.Len() != d.Len() || back.NumAttrs() != d.NumAttrs() {
+		t.Fatalf("shape %dx%d", back.Len(), back.NumAttrs())
+	}
+	for i := 0; i < d.Len(); i++ {
+		for j := 0; j < d.NumAttrs(); j++ {
+			if back.Value(i, j) != d.Value(i, j) {
+				t.Errorf("cell (%d,%d) = %v, want %v", i, j, back.Value(i, j), d.Value(i, j))
+			}
+		}
+	}
+}
+
+func TestReadARFFWekaConventions(t *testing.T) {
+	// Without a target comment or explicit name, the last attribute is
+	// the target (Weka convention).
+	in := `@relation r
+@attribute a numeric
+@attribute b real
+@data
+1,2
+3,4
+`
+	d, err := ReadARFF(strings.NewReader(in), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TargetName() != "b" {
+		t.Errorf("default target %q, want b (last attribute)", d.TargetName())
+	}
+	// An explicit target overrides.
+	d, err = ReadARFF(strings.NewReader(in), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TargetName() != "a" {
+		t.Errorf("explicit target %q", d.TargetName())
+	}
+}
+
+func TestReadARFFErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no data section", "@relation r\n@attribute a numeric\n"},
+		{"nominal attribute", "@relation r\n@attribute a {x,y}\n@data\nx\n"},
+		{"field count", "@relation r\n@attribute a numeric\n@data\n1,2\n"},
+		{"bad number", "@relation r\n@attribute a numeric\n@data\nfoo\n"},
+		{"missing target", "@relation r\n@attribute a numeric\n@data\n1\n"},
+		{"data before attrs", "@relation r\n@data\n1\n"},
+		{"stray line", "@relation r\nbogus\n@data\n"},
+	}
+	for _, c := range cases {
+		target := ""
+		if c.name == "missing target" {
+			target = "zzz"
+		}
+		if _, err := ReadARFF(strings.NewReader(c.in), target); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestReadARFFQuotedAttribute(t *testing.T) {
+	in := "@relation r\n@attribute 'two words' numeric\n@attribute y numeric\n@data\n5,6\n"
+	d, err := ReadARFF(strings.NewReader(in), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AttrIndex("two words") != 0 {
+		t.Error("quoted attribute name not parsed")
+	}
+}
+
+func TestReadARFFCommentsAndBlanks(t *testing.T) {
+	in := `% a comment
+@relation r
+
+@attribute a numeric
+% another
+@attribute b numeric
+
+@data
+% data comment
+1,2
+`
+	d, err := ReadARFF(strings.NewReader(in), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("rows %d, want 1", d.Len())
+	}
+}

@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset as CSV: a header row of attribute names
+// followed by one row per instance.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(d.attrs))
+	for i, a := range d.attrs {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(d.attrs))
+	for _, row := range d.rows {
+		for i, v := range row {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV produced by WriteCSV (or any numeric CSV with a
+// header row). The column named target becomes the target attribute.
+func ReadCSV(r io.Reader, target string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	attrs := make([]Attribute, len(header))
+	targetIdx := -1
+	for i, name := range header {
+		attrs[i] = Attribute{Name: name}
+		if name == target {
+			targetIdx = i
+		}
+	}
+	if targetIdx < 0 {
+		return nil, fmt.Errorf("dataset: target column %q not found in CSV header", target)
+	}
+	d, err := New(attrs, targetIdx)
+	if err != nil {
+		return nil, err
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		row := make(Instance, len(rec))
+		for i, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d column %q: %w", line, header[i], err)
+			}
+			row[i] = v
+		}
+		if err := d.Append(row); err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := MustNew([]Attribute{{Name: "CPI"}, {Name: "L2M"}, {Name: "BrMisPr"}}, 0)
+	d.MustAppend(Instance{1.25, 0.004, 0.01})
+	d.MustAppend(Instance{2.5, 0.02, 0})
+	d.MustAppend(Instance{0.3333333333333333, 1e-9, 12345.678})
+
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "CPI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.NumAttrs() != d.NumAttrs() {
+		t.Fatalf("round trip shape %dx%d, want %dx%d", back.Len(), back.NumAttrs(), d.Len(), d.NumAttrs())
+	}
+	if back.TargetIndex() != 0 || back.TargetName() != "CPI" {
+		t.Error("target column lost in round trip")
+	}
+	for i := 0; i < d.Len(); i++ {
+		for j := 0; j < d.NumAttrs(); j++ {
+			if back.Value(i, j) != d.Value(i, j) {
+				t.Errorf("cell (%d,%d) = %v, want %v", i, j, back.Value(i, j), d.Value(i, j))
+			}
+		}
+	}
+}
+
+func TestReadCSVMissingTarget(t *testing.T) {
+	in := "a,b\n1,2\n"
+	if _, err := ReadCSV(strings.NewReader(in), "CPI"); err == nil {
+		t.Error("missing target column accepted")
+	}
+}
+
+func TestReadCSVBadNumber(t *testing.T) {
+	in := "a,b\n1,notanumber\n"
+	if _, err := ReadCSV(strings.NewReader(in), "a"); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+}
+
+func TestReadCSVNonTargetColumnOrder(t *testing.T) {
+	in := "x,CPI\n3,1.5\n4,2.5\n"
+	d, err := ReadCSV(strings.NewReader(in), "CPI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TargetIndex() != 1 {
+		t.Errorf("TargetIndex = %d, want 1", d.TargetIndex())
+	}
+	if d.Target(0) != 1.5 || d.Value(0, 0) != 3 {
+		t.Error("column mapping wrong")
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("CPI,x\n"), "CPI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len = %d, want 0", d.Len())
+	}
+}

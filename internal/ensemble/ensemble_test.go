@@ -1,0 +1,135 @@
+package ensemble
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/mtree"
+)
+
+// noisyPiecewise builds a two-regime dataset with enough noise that a
+// single tree's leaf models wobble, giving bagging something to average.
+func noisyPiecewise(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x1"}, {Name: "x2"}}, 0)
+	for i := 0; i < n; i++ {
+		x1 := rng.Float64()*2 - 1
+		x2 := rng.Float64()*2 - 1
+		y := 1 + 2*x2
+		if x1 > 0 {
+			y = 8 - 3*x2
+		}
+		d.MustAppend(dataset.Instance{y + 0.5*rng.NormFloat64(), x1, x2})
+	}
+	return d
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Trees = 8
+	cfg.Tree.MinLeaf = 60
+	return cfg
+}
+
+func TestTrainValidation(t *testing.T) {
+	empty := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	if _, err := Train(empty, DefaultConfig()); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	d := noisyPiecewise(50, 1)
+	cfg := DefaultConfig()
+	cfg.Trees = 0
+	if _, err := Train(d, cfg); err == nil {
+		t.Error("zero trees accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SampleFraction = 0
+	if _, err := Train(d, cfg); err == nil {
+		t.Error("zero sample fraction accepted")
+	}
+}
+
+func TestBaggingLearns(t *testing.T) {
+	d := noisyPiecewise(1500, 2)
+	b, err := Train(d, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Trees) != 8 {
+		t.Fatalf("trained %d trees", len(b.Trees))
+	}
+	m, err := eval.Evaluate(b, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Correlation < 0.95 {
+		t.Errorf("ensemble training correlation %v", m.Correlation)
+	}
+}
+
+func TestOOBEstimates(t *testing.T) {
+	d := noisyPiecewise(1500, 3)
+	b, err := Train(d, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 8 bootstrap samples, nearly every instance is OOB somewhere:
+	// P(in all bags) = (1-1/e)^8 << 1.
+	if b.OOBCoverage < 0.95 {
+		t.Errorf("OOB coverage %v too low", b.OOBCoverage)
+	}
+	// The noise floor is sigma*sqrt(2/pi) ~ 0.4; OOB MAE should be in a
+	// sane band around it, not near zero (which would mean leakage).
+	if b.OOBError < 0.3 || b.OOBError > 0.8 {
+		t.Errorf("OOB error %v outside plausible band for sigma=0.5 noise", b.OOBError)
+	}
+}
+
+func TestBaggingReducesVarianceOutOfFold(t *testing.T) {
+	d := noisyPiecewise(1200, 4)
+	treeCfg := mtree.DefaultConfig()
+	treeCfg.MinLeaf = 60
+	single := eval.LearnerFunc{N: "single", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+		return mtree.Build(d, treeCfg)
+	}}
+	bagged := eval.LearnerFunc{N: "bagged", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+		return Train(d, smallConfig())
+	}}
+	rs, err := eval.CrossValidate(single, d, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := eval.CrossValidate(bagged, d, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bagging must not be (meaningfully) worse; usually it is better.
+	if rb.Pooled.MAE > rs.Pooled.MAE*1.05 {
+		t.Errorf("bagged MAE %v worse than single-tree MAE %v", rb.Pooled.MAE, rs.Pooled.MAE)
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	d := noisyPiecewise(500, 5)
+	b1, err := Train(d, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Train(d, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := dataset.Instance{0, 0.3, -0.2}
+	if b1.Predict(in) != b2.Predict(in) {
+		t.Error("same seed produced different ensembles")
+	}
+	if math.IsNaN(b1.Predict(in)) {
+		t.Error("NaN prediction")
+	}
+	if b1.MeanLeaves() < 1 {
+		t.Errorf("MeanLeaves = %v", b1.MeanLeaves())
+	}
+}

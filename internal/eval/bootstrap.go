@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Interval is a two-sided percentile confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%.4f, %.4f]", iv.Lo, iv.Hi) }
+
+// BootstrapCI estimates percentile confidence intervals for the evaluation
+// metrics by resampling (prediction, actual) pairs with replacement —
+// the accuracy-estimation companion to cross validation that the paper's
+// methodology (Kohavi 1995) discusses. level is the two-sided confidence
+// level, e.g. 0.95; b is the number of resamples.
+func BootstrapCI(predicted, actual []float64, b int, level float64, seed int64) (corr, mae, rae Interval, err error) {
+	if len(predicted) != len(actual) || len(actual) == 0 {
+		return corr, mae, rae, fmt.Errorf("eval: bad bootstrap input (%d vs %d)", len(predicted), len(actual))
+	}
+	if b < 10 {
+		return corr, mae, rae, fmt.Errorf("eval: %d bootstrap resamples is too few", b)
+	}
+	if level <= 0 || level >= 1 {
+		return corr, mae, rae, fmt.Errorf("eval: confidence level %v not in (0,1)", level)
+	}
+	n := len(actual)
+	rng := rand.New(rand.NewSource(seed))
+	corrs := make([]float64, 0, b)
+	maes := make([]float64, 0, b)
+	raes := make([]float64, 0, b)
+	rp := make([]float64, n)
+	ra := make([]float64, n)
+	for i := 0; i < b; i++ {
+		for j := 0; j < n; j++ {
+			k := rng.Intn(n)
+			rp[j], ra[j] = predicted[k], actual[k]
+		}
+		m, err := Compute(rp, ra)
+		if err != nil {
+			continue
+		}
+		corrs = append(corrs, m.Correlation)
+		maes = append(maes, m.MAE)
+		raes = append(raes, m.RAE)
+	}
+	if len(corrs) == 0 {
+		return corr, mae, rae, fmt.Errorf("eval: all bootstrap resamples degenerate")
+	}
+	alpha := (1 - level) / 2
+	return percentileInterval(corrs, alpha), percentileInterval(maes, alpha), percentileInterval(raes, alpha), nil
+}
+
+// percentileInterval returns the (alpha, 1-alpha) percentile interval;
+// v is reordered.
+func percentileInterval(v []float64, alpha float64) Interval {
+	sort.Float64s(v)
+	lo := int(alpha * float64(len(v)))
+	hi := int((1 - alpha) * float64(len(v)))
+	if hi >= len(v) {
+		hi = len(v) - 1
+	}
+	return Interval{Lo: v[lo], Hi: v[hi]}
+}

@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCIBrackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	pred := make([]float64, n)
+	act := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.NormFloat64()
+		act[i] = a
+		pred[i] = a + 0.2*rng.NormFloat64()
+	}
+	point, err := Compute(pred, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, mae, rae, err := BootstrapCI(pred, act, 500, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point estimates must fall inside their intervals.
+	if point.Correlation < corr.Lo || point.Correlation > corr.Hi {
+		t.Errorf("correlation %v outside CI %v", point.Correlation, corr)
+	}
+	if point.MAE < mae.Lo || point.MAE > mae.Hi {
+		t.Errorf("MAE %v outside CI %v", point.MAE, mae)
+	}
+	if point.RAE < rae.Lo || point.RAE > rae.Hi {
+		t.Errorf("RAE %v outside CI %v", point.RAE, rae)
+	}
+	// Intervals are proper.
+	for _, iv := range []Interval{corr, mae, rae} {
+		if iv.Lo > iv.Hi {
+			t.Errorf("inverted interval %v", iv)
+		}
+	}
+	// A good fit should have a tight, high correlation CI.
+	if corr.Lo < 0.9 {
+		t.Errorf("correlation CI %v unexpectedly low for a tight fit", corr)
+	}
+}
+
+func TestBootstrapCINarrowsWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func(n int) ([]float64, []float64) {
+		p := make([]float64, n)
+		a := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64()
+			a[i] = x
+			p[i] = x + 0.5*rng.NormFloat64()
+		}
+		return p, a
+	}
+	ps, as := mk(50)
+	pl, al := mk(2000)
+	cs, _, _, err := BootstrapCI(ps, as, 300, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _, _, err := BootstrapCI(pl, al, 300, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (cl.Hi - cl.Lo) >= (cs.Hi - cs.Lo) {
+		t.Errorf("CI did not narrow with n: %v (n=2000) vs %v (n=50)", cl, cs)
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	if _, _, _, err := BootstrapCI([]float64{1}, []float64{1, 2}, 100, 0.95, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, _, err := BootstrapCI([]float64{1, 2}, []float64{1, 2}, 5, 0.95, 1); err == nil {
+		t.Error("too few resamples accepted")
+	}
+	if _, _, _, err := BootstrapCI([]float64{1, 2}, []float64{1, 2}, 100, 1.5, 1); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, _, _, err := BootstrapCI(nil, nil, 100, 0.95, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	pred := []float64{1, 2, 3, 4, 5, 6}
+	act := []float64{1.1, 2.2, 2.9, 4.3, 4.8, 6.1}
+	a1, _, _, err := BootstrapCI(pred, act, 200, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, _, err := BootstrapCI(pred, act, 200, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("same seed produced different intervals")
+	}
+}

@@ -1,0 +1,192 @@
+// Package eval provides the model-agnostic evaluation harness used
+// throughout the reproduction: prediction-quality metrics and k-fold cross
+// validation over any learner that implements Learner.
+//
+// The three metrics reported by the paper are the correlation coefficient
+// (C), the mean absolute error (MAE) and the relative absolute error (RAE);
+// RMSE and RRSE are included for completeness since Weka reports them
+// alongside.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Regressor predicts the target value of one instance.
+type Regressor interface {
+	Predict(row dataset.Instance) float64
+}
+
+// Learner trains a Regressor from a dataset. Implementations live in
+// internal/mtree, internal/regtree, internal/ann, internal/svm,
+// internal/naive and internal/linreg (via adapters).
+type Learner interface {
+	// Name identifies the learner in reports, e.g. "M5' model tree".
+	Name() string
+	// Train fits a model on the training set.
+	Train(d *dataset.Dataset) (Regressor, error)
+}
+
+// LearnerFunc adapts a named training function to the Learner interface,
+// letting callers wrap any package's Build/Train entry point:
+//
+//	eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+//		return mtree.Build(d, cfg)
+//	}}
+type LearnerFunc struct {
+	N string
+	F func(d *dataset.Dataset) (Regressor, error)
+}
+
+// Name implements Learner.
+func (l LearnerFunc) Name() string { return l.N }
+
+// Train implements Learner.
+func (l LearnerFunc) Train(d *dataset.Dataset) (Regressor, error) { return l.F(d) }
+
+// Metrics aggregates prediction-quality statistics over a test set.
+type Metrics struct {
+	N           int     // number of test instances
+	Correlation float64 // Pearson correlation between predicted and actual
+	MAE         float64 // mean absolute error
+	RAE         float64 // relative absolute error, fraction (0.0783 = 7.83%)
+	RMSE        float64 // root mean squared error
+	RRSE        float64 // root relative squared error, fraction
+}
+
+// String renders the metrics in the style of the paper's evaluation section.
+func (m Metrics) String() string {
+	return fmt.Sprintf("n=%d C=%.4f MAE=%.4f RAE=%.2f%% RMSE=%.4f RRSE=%.2f%%",
+		m.N, m.Correlation, m.MAE, m.RAE*100, m.RMSE, m.RRSE*100)
+}
+
+// Compute evaluates predicted vs actual vectors. The relative errors are
+// normalized by the errors of predicting the actuals' mean, as in Weka.
+func Compute(predicted, actual []float64) (Metrics, error) {
+	if len(predicted) != len(actual) {
+		return Metrics{}, fmt.Errorf("eval: %d predictions vs %d actuals", len(predicted), len(actual))
+	}
+	n := len(actual)
+	if n == 0 {
+		return Metrics{}, fmt.Errorf("eval: empty evaluation set")
+	}
+	var sumP, sumA float64
+	for i := 0; i < n; i++ {
+		sumP += predicted[i]
+		sumA += actual[i]
+	}
+	meanP, meanA := sumP/float64(n), sumA/float64(n)
+
+	var cov, varP, varA, absErr, sqErr, absBase, sqBase float64
+	for i := 0; i < n; i++ {
+		dp, da := predicted[i]-meanP, actual[i]-meanA
+		cov += dp * da
+		varP += dp * dp
+		varA += da * da
+		e := predicted[i] - actual[i]
+		absErr += math.Abs(e)
+		sqErr += e * e
+		absBase += math.Abs(da)
+		sqBase += da * da
+	}
+	m := Metrics{N: n}
+	if varP > 0 && varA > 0 {
+		m.Correlation = cov / math.Sqrt(varP*varA)
+	}
+	m.MAE = absErr / float64(n)
+	m.RMSE = math.Sqrt(sqErr / float64(n))
+	if absBase > 0 {
+		m.RAE = absErr / absBase
+	}
+	if sqBase > 0 {
+		m.RRSE = math.Sqrt(sqErr / sqBase)
+	}
+	return m, nil
+}
+
+// Evaluate trains nothing; it runs an already-fitted regressor over a test
+// set and computes metrics.
+func Evaluate(r Regressor, test *dataset.Dataset) (Metrics, error) {
+	pred := make([]float64, test.Len())
+	act := make([]float64, test.Len())
+	for i := 0; i < test.Len(); i++ {
+		pred[i] = r.Predict(test.Row(i))
+		act[i] = test.Target(i)
+	}
+	return Compute(pred, act)
+}
+
+// CVResult is the outcome of a cross validation: pooled out-of-fold
+// predictions plus per-fold and pooled metrics.
+type CVResult struct {
+	LearnerName string
+	Folds       []Metrics
+	Pooled      Metrics   // metrics over all out-of-fold predictions at once
+	Predicted   []float64 // out-of-fold predictions, aligned with Actual
+	Actual      []float64
+}
+
+// MeanFoldMetrics averages the per-fold metrics, which is how Weka reports
+// k-fold results.
+func (r CVResult) MeanFoldMetrics() Metrics {
+	var m Metrics
+	if len(r.Folds) == 0 {
+		return m
+	}
+	for _, f := range r.Folds {
+		m.N += f.N
+		m.Correlation += f.Correlation
+		m.MAE += f.MAE
+		m.RAE += f.RAE
+		m.RMSE += f.RMSE
+		m.RRSE += f.RRSE
+	}
+	k := float64(len(r.Folds))
+	m.Correlation /= k
+	m.MAE /= k
+	m.RAE /= k
+	m.RMSE /= k
+	m.RRSE /= k
+	return m
+}
+
+// CrossValidate runs seeded k-fold cross validation of the learner over d.
+// Each instance is predicted exactly once, by the model trained on the
+// folds that exclude it — matching the paper's protocol ("the prediction on
+// each data point is performed using a model that was built on training
+// data that does not include the data point").
+func CrossValidate(l Learner, d *dataset.Dataset, k int, seed int64) (CVResult, error) {
+	folds, err := d.KFold(k, seed)
+	if err != nil {
+		return CVResult{}, err
+	}
+	res := CVResult{LearnerName: l.Name()}
+	for fi, f := range folds {
+		model, err := l.Train(f.Train)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("eval: training fold %d: %w", fi, err)
+		}
+		pred := make([]float64, f.Test.Len())
+		act := make([]float64, f.Test.Len())
+		for i := 0; i < f.Test.Len(); i++ {
+			pred[i] = model.Predict(f.Test.Row(i))
+			act[i] = f.Test.Target(i)
+		}
+		fm, err := Compute(pred, act)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("eval: scoring fold %d: %w", fi, err)
+		}
+		res.Folds = append(res.Folds, fm)
+		res.Predicted = append(res.Predicted, pred...)
+		res.Actual = append(res.Actual, act...)
+	}
+	pooled, err := Compute(res.Predicted, res.Actual)
+	if err != nil {
+		return CVResult{}, err
+	}
+	res.Pooled = pooled
+	return res, nil
+}

@@ -1,0 +1,209 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func TestComputePerfectPrediction(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	m, err := Compute(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Correlation != 1 {
+		t.Errorf("C = %v, want 1", m.Correlation)
+	}
+	if m.MAE != 0 || m.RAE != 0 || m.RMSE != 0 || m.RRSE != 0 {
+		t.Errorf("errors nonzero for perfect prediction: %+v", m)
+	}
+}
+
+func TestComputeMeanPrediction(t *testing.T) {
+	actual := []float64{1, 2, 3, 4, 5}
+	pred := []float64{3, 3, 3, 3, 3} // predicting the mean
+	m, err := Compute(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RAE and RRSE are normalized by the mean predictor, so both are 100%.
+	if math.Abs(m.RAE-1) > 1e-12 {
+		t.Errorf("RAE = %v, want 1", m.RAE)
+	}
+	if math.Abs(m.RRSE-1) > 1e-12 {
+		t.Errorf("RRSE = %v, want 1", m.RRSE)
+	}
+	if m.Correlation != 0 {
+		t.Errorf("C = %v, want 0 for constant prediction", m.Correlation)
+	}
+}
+
+func TestComputeHandValues(t *testing.T) {
+	pred := []float64{1, 2}
+	act := []float64{2, 4}
+	m, err := Compute(pred, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MAE-1.5) > 1e-12 {
+		t.Errorf("MAE = %v, want 1.5", m.MAE)
+	}
+	wantRMSE := math.Sqrt((1 + 4) / 2.0)
+	if math.Abs(m.RMSE-wantRMSE) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", m.RMSE, wantRMSE)
+	}
+	// Baseline abs deviation: |2-3| + |4-3| = 2; abs err = 3; RAE = 1.5.
+	if math.Abs(m.RAE-1.5) > 1e-12 {
+		t.Errorf("RAE = %v, want 1.5", m.RAE)
+	}
+	if math.Abs(m.Correlation-1) > 1e-12 {
+		t.Errorf("C = %v, want 1 (linear relationship)", m.Correlation)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Compute(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestComputeAnticorrelation(t *testing.T) {
+	act := []float64{1, 2, 3}
+	pred := []float64{3, 2, 1}
+	m, _ := Compute(pred, act)
+	if math.Abs(m.Correlation+1) > 1e-12 {
+		t.Errorf("C = %v, want -1", m.Correlation)
+	}
+}
+
+// meanLearner predicts the training mean; used to validate the CV
+// protocol.
+type meanLearner struct{ trainCalls *int }
+
+type meanModel struct{ mean float64 }
+
+func (m meanModel) Predict(dataset.Instance) float64 { return m.mean }
+
+func (l meanLearner) Name() string { return "mean" }
+func (l meanLearner) Train(d *dataset.Dataset) (Regressor, error) {
+	*l.trainCalls++
+	return meanModel{d.TargetMean()}, nil
+}
+
+func newDataset(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		d.MustAppend(dataset.Instance{2*x + 1, x})
+	}
+	return d
+}
+
+func TestCrossValidateProtocol(t *testing.T) {
+	d := newDataset(50, 1)
+	calls := 0
+	res, err := CrossValidate(meanLearner{&calls}, d, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Errorf("trained %d times, want 5", calls)
+	}
+	if len(res.Predicted) != d.Len() || len(res.Actual) != d.Len() {
+		t.Errorf("out-of-fold predictions %d, want %d", len(res.Predicted), d.Len())
+	}
+	if len(res.Folds) != 5 {
+		t.Errorf("fold metrics %d, want 5", len(res.Folds))
+	}
+	// A mean predictor has RAE ~1 pooled.
+	if res.Pooled.RAE < 0.8 || res.Pooled.RAE > 1.3 {
+		t.Errorf("mean learner pooled RAE = %v, want ~1", res.Pooled.RAE)
+	}
+}
+
+func TestCrossValidateErrorPropagation(t *testing.T) {
+	d := newDataset(10, 2)
+	fail := LearnerFunc{N: "fail", F: func(*dataset.Dataset) (Regressor, error) {
+		return nil, errors.New("boom")
+	}}
+	if _, err := CrossValidate(fail, d, 2, 1); err == nil {
+		t.Error("training error not propagated")
+	}
+	if _, err := CrossValidate(meanLearner{new(int)}, d, 100, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	d := newDataset(30, 4)
+	// A perfect regressor for y = 2x+1.
+	perfect := LearnerFunc{N: "perfect", F: func(*dataset.Dataset) (Regressor, error) {
+		return regressorFunc(func(row dataset.Instance) float64 { return 2*row[1] + 1 }), nil
+	}}
+	model, _ := perfect.Train(d)
+	m, err := Evaluate(model, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MAE > 1e-12 || m.Correlation < 0.999999 {
+		t.Errorf("perfect regressor metrics %+v", m)
+	}
+}
+
+type regressorFunc func(dataset.Instance) float64
+
+func (f regressorFunc) Predict(row dataset.Instance) float64 { return f(row) }
+
+func TestMeanFoldMetrics(t *testing.T) {
+	r := CVResult{Folds: []Metrics{
+		{N: 10, Correlation: 0.9, MAE: 0.1, RAE: 0.2, RMSE: 0.3, RRSE: 0.4},
+		{N: 10, Correlation: 0.7, MAE: 0.3, RAE: 0.4, RMSE: 0.5, RRSE: 0.6},
+	}}
+	m := r.MeanFoldMetrics()
+	if m.N != 20 {
+		t.Errorf("N = %d, want 20", m.N)
+	}
+	if math.Abs(m.Correlation-0.8) > 1e-12 || math.Abs(m.MAE-0.2) > 1e-12 {
+		t.Errorf("mean metrics %+v", m)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{N: 5, Correlation: 0.98, MAE: 0.05, RAE: 0.0783}
+	s := m.String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: correlation is bounded in [-1, 1] and errors are non-negative.
+func TestMetricsBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(n uint8) bool {
+		k := int(n)%100 + 2
+		pred := make([]float64, k)
+		act := make([]float64, k)
+		for i := range pred {
+			pred[i] = rng.NormFloat64() * 10
+			act[i] = rng.NormFloat64() * 10
+		}
+		m, err := Compute(pred, act)
+		if err != nil {
+			return false
+		}
+		return m.Correlation >= -1.0000001 && m.Correlation <= 1.0000001 &&
+			m.MAE >= 0 && m.RAE >= 0 && m.RMSE >= 0 && m.RRSE >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

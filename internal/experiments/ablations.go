@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/counters"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/mtree"
+	"repro/internal/workload"
+)
+
+// cvWith cross-validates an M5' configuration on the shared dataset.
+func cvWith(ctx *Context, cfg mtree.Config) (eval.Metrics, int, error) {
+	col, err := ctx.Collection()
+	if err != nil {
+		return eval.Metrics{}, 0, err
+	}
+	learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+		return mtree.Build(d, cfg)
+	}}
+	res, err := eval.CrossValidate(learner, col.Data, ctx.Cfg.Folds, ctx.Cfg.Seed)
+	if err != nil {
+		return eval.Metrics{}, 0, err
+	}
+	full, err := mtree.Build(col.Data, cfg)
+	if err != nil {
+		return eval.Metrics{}, 0, err
+	}
+	return res.Pooled, full.NumLeaves(), nil
+}
+
+// AblationSmoothing measures M5 smoothing on vs off.
+func AblationSmoothing(ctx *Context) (Result, error) {
+	base := mtree.DefaultConfig()
+	base.MinLeaf = ctx.Cfg.ScaledMinLeaf()
+	on := base
+	on.Smooth = true
+	off := base
+	off.Smooth = false
+	mOn, _, err := cvWith(ctx, on)
+	if err != nil {
+		return Result{}, err
+	}
+	mOff, _, err := cvWith(ctx, off)
+	if err != nil {
+		return Result{}, err
+	}
+	report := fmt.Sprintf("smoothing on:  %s\nsmoothing off: %s\n", mOn, mOff)
+	return Result{
+		Name:   "Ablation — M5 smoothing",
+		Report: report,
+		Claims: []Claim{{
+			Paper:    "smoothing compensates for discontinuities between adjacent leaf models",
+			Measured: fmt.Sprintf("RAE %.2f%% (on) vs %.2f%% (off)", mOn.RAE*100, mOff.RAE*100),
+			Holds:    mOn.RAE <= mOff.RAE*1.05,
+		}},
+	}, nil
+}
+
+// AblationPruning measures post-pruning on vs off.
+func AblationPruning(ctx *Context) (Result, error) {
+	base := mtree.DefaultConfig()
+	base.MinLeaf = ctx.Cfg.ScaledMinLeaf()
+	on := base
+	off := base
+	off.Prune = false
+	mOn, leavesOn, err := cvWith(ctx, on)
+	if err != nil {
+		return Result{}, err
+	}
+	mOff, leavesOff, err := cvWith(ctx, off)
+	if err != nil {
+		return Result{}, err
+	}
+	report := fmt.Sprintf("pruning on:  %s  (%d leaves)\npruning off: %s  (%d leaves)\n",
+		mOn, leavesOn, mOff, leavesOff)
+	return Result{
+		Name:   "Ablation — post-pruning",
+		Report: report,
+		Claims: []Claim{{
+			Paper:    "pruning balances compactness and discriminative ability",
+			Measured: fmt.Sprintf("%d leaves pruned vs %d unpruned at RAE %.2f%% vs %.2f%%", leavesOn, leavesOff, mOn.RAE*100, mOff.RAE*100),
+			Holds:    leavesOn <= leavesOff && mOn.RAE <= mOff.RAE*1.10,
+		}},
+	}, nil
+}
+
+// AblationMinLeaf sweeps the minimum leaf population around the paper's
+// chosen 430.
+func AblationMinLeaf(ctx *Context) (Result, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s %9s %8s\n", "minleaf", "C", "MAE", "RAE", "leaves")
+	type point struct {
+		minLeaf int
+		rae     float64
+	}
+	var pts []point
+	for _, frac := range []float64{0.25, 0.5, 1, 2, 4} {
+		cfg := mtree.DefaultConfig()
+		cfg.MinLeaf = int(float64(ctx.Cfg.ScaledMinLeaf()) * frac)
+		if cfg.MinLeaf < 4 {
+			cfg.MinLeaf = 4
+		}
+		m, leaves, err := cvWith(ctx, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		fmt.Fprintf(&b, "%-10d %8.4f %8.4f %8.2f%% %8d\n", cfg.MinLeaf, m.Correlation, m.MAE, m.RAE*100, leaves)
+		pts = append(pts, point{cfg.MinLeaf, m.RAE})
+	}
+	// The paper's point: the chosen population balances bias vs variance.
+	// The check is that the paper's setting is in the right ballpark of
+	// the sweep's best (within ~1/3), not that it is optimal — on this
+	// synthetic suite somewhat finer leaves help a little, which
+	// EXPERIMENTS.md discusses.
+	best := pts[0].rae
+	for _, p := range pts {
+		if p.rae < best {
+			best = p.rae
+		}
+	}
+	mid := pts[2]
+	return Result{
+		Name:   "Ablation — minimum leaf population",
+		Report: b.String(),
+		Claims: []Claim{{
+			Paper:    "minimum of 430 instances balances accuracy on training and new data",
+			Measured: fmt.Sprintf("RAE at paper setting %.2f%% vs best in sweep %.2f%%", mid.rae*100, best*100),
+			Holds:    mid.rae <= best*1.35,
+		}},
+	}, nil
+}
+
+// AblationAttrDrop measures greedy attribute elimination on vs off.
+func AblationAttrDrop(ctx *Context) (Result, error) {
+	base := mtree.DefaultConfig()
+	base.MinLeaf = ctx.Cfg.ScaledMinLeaf()
+	on := base
+	off := base
+	off.DropAttributes = false
+	mOn, _, err := cvWith(ctx, on)
+	if err != nil {
+		return Result{}, err
+	}
+	mOff, _, err := cvWith(ctx, off)
+	if err != nil {
+		return Result{}, err
+	}
+	// Count mean terms per leaf for both settings.
+	col, err := ctx.Collection()
+	if err != nil {
+		return Result{}, err
+	}
+	termsOn, err := meanLeafTerms(col.Data, on)
+	if err != nil {
+		return Result{}, err
+	}
+	termsOff, err := meanLeafTerms(col.Data, off)
+	if err != nil {
+		return Result{}, err
+	}
+	report := fmt.Sprintf("dropping on:  %s  (mean %.1f terms/leaf)\ndropping off: %s  (mean %.1f terms/leaf)\n",
+		mOn, termsOn, mOff, termsOff)
+	return Result{
+		Name:   "Ablation — leaf-model attribute dropping",
+		Report: report,
+		Claims: []Claim{{
+			Paper:    "leaf models stay compact and interpretable without losing accuracy",
+			Measured: fmt.Sprintf("%.1f vs %.1f terms/leaf at RAE %.2f%% vs %.2f%%", termsOn, termsOff, mOn.RAE*100, mOff.RAE*100),
+			Holds:    termsOn < termsOff && mOn.RAE <= mOff.RAE*1.10,
+		}},
+	}, nil
+}
+
+func meanLeafTerms(d *dataset.Dataset, cfg mtree.Config) (float64, error) {
+	t, err := mtree.Build(d, cfg)
+	if err != nil {
+		return 0, err
+	}
+	total, leaves := 0, 0
+	t.WalkLeaves(func(n *mtree.Node, _ []mtree.PathStep) {
+		leaves++
+		for _, c := range n.Model.Coefs {
+			if c != 0 {
+				total++
+			}
+		}
+	})
+	if leaves == 0 {
+		return 0, nil
+	}
+	return float64(total) / float64(leaves), nil
+}
+
+// AblationPrefetch recollects the suite with the hardware prefetchers
+// disabled and shows how the workload signatures shift: without
+// prefetching, the streaming benchmarks' L2 miss counts explode and CPI
+// rises, dissolving the "high L2M is expensive" structure the tree relies
+// on. This is a substrate ablation rather than a learner ablation — it
+// justifies the simulator's prefetcher as a load-bearing design choice.
+func AblationPrefetch(ctx *Context) (Result, error) {
+	// A reduced scale keeps this (second) full-suite simulation fast.
+	scale := ctx.Cfg.Scale * 0.25
+	ccfg := counters.DefaultCollectConfig()
+	ccfg.Seed = ctx.Cfg.Seed
+	ccfg.SectionLen = ctx.Cfg.SectionLen
+
+	withPF, err := counters.CollectSuite(workload.SuiteScaled(scale), ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	noPF, err := counters.CollectSuiteNoPrefetch(workload.SuiteScaled(scale), ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	l2idx := withPF.Data.AttrIndex("L2M")
+	// The prefetcher matters where access is sequential: restrict the
+	// claim metric to the streaming benchmarks. Pointer chasers defeat
+	// the detector by construction, so the suite-wide mean dilutes the
+	// effect.
+	streamers := map[string]bool{"462.libquantum": true, "470.lbm": true}
+	streamMean := func(col *counters.Collection) float64 {
+		sum, n := 0.0, 0
+		for i, l := range col.Labels {
+			if streamers[l.Benchmark] {
+				sum += col.Data.Value(i, l2idx)
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	onStream, offStream := streamMean(withPF), streamMean(noPF)
+	report := fmt.Sprintf(
+		"with prefetch:    mean CPI %.3f, suite L2M %.5f, streaming L2M %.5f\n"+
+			"without prefetch: mean CPI %.3f, suite L2M %.5f, streaming L2M %.5f\n",
+		withPF.Data.TargetMean(), withPF.Data.ColumnMean(l2idx), onStream,
+		noPF.Data.TargetMean(), noPF.Data.ColumnMean(l2idx), offStream)
+	return Result{
+		Name:   "Ablation — hardware prefetcher",
+		Report: report,
+		Claims: []Claim{{
+			Paper:    "(substrate) Core 2 prefetchers hide streaming misses from the retired-miss counters",
+			Measured: fmt.Sprintf("streaming-benchmark L2M %.5f (pf on) vs %.5f (pf off)", onStream, offStream),
+			Holds:    offStream > 5*onStream,
+		}},
+	}, nil
+}

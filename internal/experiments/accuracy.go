@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ann"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/mtree"
+	"repro/internal/naive"
+	"repro/internal/regtree"
+	"repro/internal/svm"
+)
+
+// m5Learner returns the standard M5' learner for the context's config.
+func m5Learner(ctx *Context) eval.Learner {
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = ctx.Cfg.ScaledMinLeaf()
+	return eval.LearnerFunc{N: "M5' model tree", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+		return mtree.Build(d, cfg)
+	}}
+}
+
+// Accuracy reproduces the headline evaluation (E5): 10-fold CV of the M5'
+// tree against the paper's C=0.98 / 0.9845, MAE=0.05, RAE=7.83%.
+func Accuracy(ctx *Context) (Result, error) {
+	col, err := ctx.Collection()
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := eval.CrossValidate(m5Learner(ctx), col.Data, ctx.Cfg.Folds, ctx.Cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	m := res.Pooled
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset: %d sections x %d attributes (mean CPI %.3f, sd %.3f)\n",
+		col.Data.Len(), col.Data.NumAttrs(), col.Data.TargetMean(), col.Data.TargetStdDev())
+	fmt.Fprintf(&b, "%d-fold CV pooled:   %s\n", ctx.Cfg.Folds, m)
+	fmt.Fprintf(&b, "%d-fold CV per-fold mean: %s\n", ctx.Cfg.Folds, res.MeanFoldMetrics())
+	return Result{
+		Name:   "Headline accuracy (10-fold cross validation)",
+		Report: b.String(),
+		Claims: []Claim{
+			{
+				Paper:    "correlation 0.98 (0.9845) between predicted and measured CPI",
+				Measured: fmt.Sprintf("C = %.4f", m.Correlation),
+				Holds:    m.Correlation >= 0.97,
+			},
+			{
+				Paper:    "mean absolute error 0.05",
+				Measured: fmt.Sprintf("MAE = %.4f", m.MAE),
+				Holds:    m.MAE <= 0.12,
+			},
+			{
+				Paper:    "relative absolute error below 8%",
+				Measured: fmt.Sprintf("RAE = %.2f%%", m.RAE*100),
+				Holds:    m.RAE <= 0.16,
+			},
+		},
+	}, nil
+}
+
+// Comparators reproduces the model-comparison discussion (E6): the paper
+// reports ANN C=0.99 and SVM C=0.98 on the same data, with the model tree
+// competitive while staying interpretable; classical regression trees
+// (constant leaves) do worse.
+func Comparators(ctx *Context) (Result, error) {
+	col, err := ctx.Collection()
+	if err != nil {
+		return Result{}, err
+	}
+	d := col.Data
+
+	learners := []eval.Learner{
+		m5Learner(ctx),
+		eval.LearnerFunc{N: "Regression tree (CART)", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+			cfg := regtree.DefaultConfig()
+			cfg.MinLeaf = ctx.Cfg.ScaledMinLeaf() / 8
+			if cfg.MinLeaf < 2 {
+				cfg.MinLeaf = 2
+			}
+			return regtree.Build(d, cfg)
+		}},
+		eval.LearnerFunc{N: "ANN (MLP 16 hidden)", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+			cfg := ann.DefaultConfig()
+			cfg.Epochs = 60
+			return ann.Train(d, cfg)
+		}},
+		eval.LearnerFunc{N: "SVM (eps-SVR, RBF)", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+			return svm.Train(d, svm.DefaultConfig())
+		}},
+		eval.LearnerFunc{N: "Global linear model", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+			return naive.TrainGlobalLinear(d)
+		}},
+	}
+
+	// The black-box comparators are expensive; 3 folds give stable rank
+	// ordering at a fraction of the cost, while M5' uses the full fold
+	// count for its headline.
+	folds := map[string]int{
+		"M5' model tree":         ctx.Cfg.Folds,
+		"Regression tree (CART)": ctx.Cfg.Folds,
+		"ANN (MLP 16 hidden)":    3,
+		"SVM (eps-SVR, RBF)":     3,
+		"Global linear model":    ctx.Cfg.Folds,
+	}
+
+	results := map[string]eval.Metrics{}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %8s %9s %8s\n", "model", "C", "MAE", "RAE", "folds")
+	for _, l := range learners {
+		k := folds[l.Name()]
+		res, err := eval.CrossValidate(l, d, k, ctx.Cfg.Seed)
+		if err != nil {
+			return Result{}, fmt.Errorf("experiments: cross-validating %s: %w", l.Name(), err)
+		}
+		results[l.Name()] = res.Pooled
+		fmt.Fprintf(&b, "%-24s %8.4f %8.4f %8.2f%% %8d\n",
+			l.Name(), res.Pooled.Correlation, res.Pooled.MAE, res.Pooled.RAE*100, k)
+	}
+
+	m5 := results["M5' model tree"]
+	annM := results["ANN (MLP 16 hidden)"]
+	svmM := results["SVM (eps-SVR, RBF)"]
+	cart := results["Regression tree (CART)"]
+	lin := results["Global linear model"]
+	return Result{
+		Name:   "Comparator models",
+		Report: b.String(),
+		Claims: []Claim{
+			{
+				Paper:    "ANN and SVM give C of 0.99 and 0.98 on the same data",
+				Measured: fmt.Sprintf("ANN C=%.3f, SVM C=%.3f", annM.Correlation, svmM.Correlation),
+				Holds:    annM.Correlation >= 0.93 && svmM.Correlation >= 0.93,
+			},
+			{
+				Paper:    "model tree accuracy competitive with black boxes",
+				Measured: fmt.Sprintf("M5' C=%.3f vs max(black box)=%.3f", m5.Correlation, maxf(annM.Correlation, svmM.Correlation)),
+				Holds:    m5.Correlation >= maxf(annM.Correlation, svmM.Correlation)-0.02,
+			},
+			{
+				Paper:    "model trees more accurate than classical regression trees",
+				Measured: fmt.Sprintf("M5' RAE=%.1f%% vs CART RAE=%.1f%%", m5.RAE*100, cart.RAE*100),
+				Holds:    m5.RAE < cart.RAE,
+			},
+			{
+				Paper:    "single linear model cannot capture per-class behaviour",
+				Measured: fmt.Sprintf("global linear RAE=%.1f%% vs M5' RAE=%.1f%%", lin.RAE*100, m5.RAE*100),
+				Holds:    lin.RAE > m5.RAE*1.5,
+			},
+		},
+	}, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NaiveExp reproduces the motivation (E9): the traditional uniform
+// fixed-penalty model mis-estimates CPI because it cannot express
+// context-dependent penalties.
+func NaiveExp(ctx *Context) (Result, error) {
+	col, err := ctx.Collection()
+	if err != nil {
+		return Result{}, err
+	}
+	d := col.Data
+	fixed := naive.NewCore2FixedPenalties(d)
+	fm, err := eval.Evaluate(fixed, d)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := eval.CrossValidate(m5Learner(ctx), d, ctx.Cfg.Folds, ctx.Cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fixed-penalty model: %s\n", fixed)
+	fmt.Fprintf(&b, "fixed-penalty fit:   %s\n", fm)
+	fmt.Fprintf(&b, "M5' (10-fold CV):    %s\n", res.Pooled)
+	return Result{
+		Name:   "Fixed-penalty first-order model (motivating baseline)",
+		Report: b.String(),
+		Claims: []Claim{{
+			Paper:    "uniform penalties do not accurately identify/quantify limiters",
+			Measured: fmt.Sprintf("fixed-penalty RAE=%.0f%% vs M5' RAE=%.1f%%", fm.RAE*100, res.Pooled.RAE*100),
+			Holds:    fm.RAE > 2*res.Pooled.RAE,
+		}},
+	}, nil
+}

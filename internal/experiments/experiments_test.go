@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallCtx runs at 3% suite scale: fast enough for unit tests while still
+// exercising every code path end to end.
+func smallCtx() *Context {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.03
+	cfg.Folds = 5
+	return NewContext(cfg)
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) < 9 {
+		t.Fatalf("registry has %d experiments", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.Name == "" || e.Desc == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e.Name)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+		if got, ok := ByName(e.Name); !ok || got.Name != e.Name {
+			t.Errorf("ByName(%q) failed", e.Name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown experiment found")
+	}
+	for _, want := range []string{"tableI", "figure1", "figure2", "figure3",
+		"accuracy", "comparators", "leafcensus", "splitimpact", "naive"} {
+		if !seen[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+}
+
+func TestTableIExperiment(t *testing.T) {
+	res, err := TableI(smallCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Report, "ILD_STALL") {
+		t.Error("Table I report missing LCP event")
+	}
+	for _, c := range res.Claims {
+		if !c.Holds {
+			t.Errorf("claim failed: %+v", c)
+		}
+	}
+}
+
+func TestFigure1Experiment(t *testing.T) {
+	res, err := Figure1(smallCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Report, "X1") {
+		t.Errorf("Figure 1 tree missing X1 split:\n%s", res.Report)
+	}
+	for _, c := range res.Claims {
+		if !c.Holds {
+			t.Errorf("claim failed: paper=%q measured=%q", c.Paper, c.Measured)
+		}
+	}
+}
+
+func TestFigure2And3SmallScale(t *testing.T) {
+	ctx := smallCtx()
+	res2, err := Figure2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res2.Report, "LM1") {
+		t.Errorf("Figure 2 report has no leaf models:\n%s", res2.Report)
+	}
+	res3, err := Figure3(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res3.Report, "unity line") {
+		t.Error("Figure 3 missing scatter plot")
+	}
+}
+
+func TestAccuracySmallScale(t *testing.T) {
+	res, err := Accuracy(smallCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 3% scale the tree is crude; just require the experiment to
+	// produce well-formed claims and a clearly positive correlation.
+	if len(res.Claims) != 3 {
+		t.Fatalf("claims %d, want 3", len(res.Claims))
+	}
+	if !strings.Contains(res.Report, "CV pooled") {
+		t.Error("report missing CV metrics")
+	}
+}
+
+func TestNaiveSmallScale(t *testing.T) {
+	res, err := NaiveExp(smallCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Report, "fixed-penalty") {
+		t.Errorf("report:\n%s", res.Report)
+	}
+	// The fixed-penalty model must lose to the tree even at small scale.
+	if len(res.Claims) != 1 || !res.Claims[0].Holds {
+		t.Errorf("fixed-penalty claim: %+v", res.Claims)
+	}
+}
+
+func TestSplitImpactSmallScale(t *testing.T) {
+	res, err := SplitImpactExp(smallCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Report, "worked example") {
+		t.Error("split impact missing worked example")
+	}
+}
+
+func TestLeafCensusSmallScale(t *testing.T) {
+	res, err := LeafCensusExp(smallCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Report, "436.cactusADM") || !strings.Contains(res.Report, "429.mcf") {
+		t.Error("census missing benchmark narratives")
+	}
+	if !strings.Contains(res.Report, "Eq. 4") {
+		t.Error("census missing Eq. 4 walk-through")
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := Result{
+		Name:   "x",
+		Report: "body\n",
+		Claims: []Claim{
+			{Paper: "p", Measured: "m", Holds: true},
+			{Paper: "q", Measured: "n", Holds: false},
+		},
+	}
+	s := r.Render()
+	if !strings.Contains(s, "[OK ]") || !strings.Contains(s, "[DIV]") {
+		t.Errorf("render:\n%s", s)
+	}
+}
+
+func TestContextCachesCollection(t *testing.T) {
+	ctx := smallCtx()
+	a, err := ctx.Collection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Collection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Collection not cached")
+	}
+	if a.Data.Len() == 0 {
+		t.Error("empty collection")
+	}
+}
+
+func TestSyntheticFigure1Deterministic(t *testing.T) {
+	a := syntheticFigure1Data(100, 1)
+	b := syntheticFigure1Data(100, 1)
+	for i := 0; i < a.Len(); i++ {
+		if a.Target(i) != b.Target(i) {
+			t.Fatal("synthetic data not deterministic")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/mtree"
+	"repro/internal/sim/cpu"
+)
+
+// eventCategory maps each Table I predictor to the simulator's
+// ground-truth cycle category, so model-attributed CPI shares can be
+// summed per category and compared with the true breakdown.
+var eventCategory = map[string]cpu.CycleCategory{
+	"L2M":       cpu.CatL2Miss,
+	"L1DM":      cpu.CatL1DMiss,
+	"L1IM":      cpu.CatFrontEnd,
+	"ItlbM":     cpu.CatFrontEnd,
+	"BrMisPr":   cpu.CatBranch,
+	"DtlbL0LdM": cpu.CatDTLB,
+	"DtlbLdM":   cpu.CatDTLB,
+	"DtlbLdReM": cpu.CatDTLB,
+	"Dtlb":      cpu.CatDTLB,
+	"LCP":       cpu.CatLCP,
+	"LdBlSta":   cpu.CatBlocks,
+	"LdBlStd":   cpu.CatBlocks,
+	"LdBlOvSt":  cpu.CatBlocks,
+	"MisalRef":  cpu.CatAlign,
+	"L1DSpLd":   cpu.CatAlign,
+	"L1DSpSt":   cpu.CatAlign,
+}
+
+// GroundTruthExp validates the model's "how much" answers against the
+// simulator's exact cycle attribution — an experiment the paper could not
+// run, because real hardware never reveals where its cycles went. For each
+// major cycle category we compare
+//
+//   - truth: the simulator's attributed cycles per instruction, vs
+//   - model: the trained tree's summed leaf-model contributions of the
+//     counters mapped to that category,
+//
+// aggregated over the whole suite. If the model tree's interpretability
+// story holds, the two columns should agree on which categories dominate
+// and roughly by how much.
+func GroundTruthExp(ctx *Context) (Result, error) {
+	col, err := ctx.Collection()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = ctx.Cfg.ScaledMinLeaf()
+	tree, err := mtree.Build(col.Data, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Ground truth: mean cycles per instruction per category.
+	var truth [16]float64 // indexed by CycleCategory; oversized is fine
+	n := col.Data.Len()
+	if len(col.Breakdowns) != n {
+		return Result{}, fmt.Errorf("experiments: %d breakdowns for %d rows", len(col.Breakdowns), n)
+	}
+	totalInsts := float64(n) * float64(ctx.Cfg.SectionLen)
+	for _, bd := range col.Breakdowns {
+		for c := cpu.CycleCategory(0); c < cpu.CycleCategory(len(truth)); c++ {
+			if int(c) < len(bd) {
+				truth[c] += bd[c]
+			}
+		}
+	}
+	for i := range truth {
+		truth[i] /= totalInsts
+	}
+
+	// Model attribution: sum each section's leaf-model contributions into
+	// the mapped categories (cycles per instruction, averaged).
+	var model [16]float64
+	for i := 0; i < n; i++ {
+		rep := analysis.AnalyzeSection(tree, col.Data.Row(i))
+		for _, c := range rep.Contributions {
+			if c.Cycles <= 0 {
+				continue
+			}
+			if cat, ok := eventCategory[c.Name]; ok {
+				model[cat] += c.Cycles
+			}
+		}
+	}
+	for i := range model {
+		model[i] /= float64(n)
+	}
+
+	cats := []cpu.CycleCategory{
+		cpu.CatL2Miss, cpu.CatDTLB, cpu.CatFrontEnd, cpu.CatBranch,
+		cpu.CatL1DMiss, cpu.CatLCP, cpu.CatBlocks, cpu.CatAlign,
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %14s %14s\n", "category", "truth CPI", "model CPI")
+	for _, c := range cats {
+		fmt.Fprintf(&b, "%-10s %14.4f %14.4f\n", c, truth[c], model[c])
+	}
+
+	// Identifiability caveat: within the memory subsystem the counters are
+	// strongly collinear (a pointer-chase section has high L2M *and* high
+	// DTLB counts, and either column can carry the class's cycles in a
+	// regression), so the model's split of cycles *between* l2miss and
+	// dtlb is not causally meaningful — only their sum is identifiable
+	// from counters. The comparison therefore merges them.
+	type group struct {
+		name         string
+		truth, model float64
+	}
+	groups := []group{
+		{"memory (l2+dtlb)", truth[cpu.CatL2Miss] + truth[cpu.CatDTLB], model[cpu.CatL2Miss] + model[cpu.CatDTLB]},
+		{"branch", truth[cpu.CatBranch], model[cpu.CatBranch]},
+		{"l1dmiss", truth[cpu.CatL1DMiss], model[cpu.CatL1DMiss]},
+		{"frontend", truth[cpu.CatFrontEnd], model[cpu.CatFrontEnd]},
+		{"lcp", truth[cpu.CatLCP], model[cpu.CatLCP]},
+	}
+	fmt.Fprintf(&b, "\n%-18s %14s %14s %8s\n", "identifiable group", "truth CPI", "model CPI", "ratio")
+	for _, g := range groups {
+		ratio := 0.0
+		if g.truth > 0 {
+			ratio = g.model / g.truth
+		}
+		fmt.Fprintf(&b, "%-18s %14.4f %14.4f %8.2f\n", g.name, g.truth, g.model, ratio)
+	}
+	fmt.Fprintf(&b, "\nnote: the model over-credits DTLB counters (%.2f vs true %.2f) because they\n"+
+		"proxy the collinear serialized L2 misses — leaf coefficients are\n"+
+		"correlational, not causal, within the memory group.\n",
+		model[cpu.CatDTLB], truth[cpu.CatDTLB])
+
+	// Claim 1: identifiable-group ranking matches the truth.
+	tRank := append([]group(nil), groups...)
+	sort.SliceStable(tRank, func(i, j int) bool { return tRank[i].truth > tRank[j].truth })
+	mRank := append([]group(nil), groups...)
+	sort.SliceStable(mRank, func(i, j int) bool { return mRank[i].model > mRank[j].model })
+	rankMatch := tRank[0].name == mRank[0].name && tRank[1].name == mRank[1].name
+	// Claim 2: magnitudes agree within 2x for the top groups.
+	within := true
+	for _, g := range tRank[:3] {
+		if g.truth <= 0 {
+			continue
+		}
+		if r := g.model / g.truth; r < 0.5 || r > 2 {
+			within = false
+		}
+	}
+	return Result{
+		Name:   "Ground truth: model-attributed vs simulator-attributed cycles",
+		Report: b.String(),
+		Claims: []Claim{
+			{
+				Paper:    `(extension) the tree's "what" ranking matches the true cycle stack`,
+				Measured: fmt.Sprintf("top-2 identifiable groups in order: %v (truth: %s > %s)", rankMatch, tRank[0].name, tRank[1].name),
+				Holds:    rankMatch,
+			},
+			{
+				Paper:    `(extension) the tree's "how much" is quantitatively right`,
+				Measured: "top-3 group CPI within 2x of truth: " + fmt.Sprint(within),
+				Holds:    within,
+			},
+		},
+	}, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/mtree"
+)
+
+// SplitImpactExp reproduces the split-variable impact analysis (E8,
+// paper §V.A.2): for every split on the trained tree, the high-side vs
+// low-side mean CPI difference and the single-variable regression R²
+// — the two estimators the paper describes with its LdBlSta example
+// (difference ≈ 0.30 CPI, about 35% of the high side's CPI).
+func SplitImpactExp(ctx *Context) (Result, error) {
+	col, err := ctx.Collection()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = ctx.Cfg.ScaledMinLeaf()
+	tree, err := mtree.Build(col.Data, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	impacts := analysis.SplitImpacts(tree, col.Data)
+	var b strings.Builder
+	b.WriteString(analysis.RenderSplitImpacts(impacts))
+
+	if len(impacts) == 0 {
+		return Result{}, fmt.Errorf("experiments: tree has no splits to analyze")
+	}
+	top := impacts[0]
+	fmt.Fprintf(&b, "\nworked example (paper's LdBlSta recipe applied to the top split):\n")
+	fmt.Fprintf(&b, "  net impact of %s > %.4g is %.2f - %.2f = %.2f CPI, i.e. %.0f%% of the high side\n",
+		top.Name, top.Threshold, top.HighMeanCPI, top.LowMeanCPI, top.MeanDifference, 100*top.FractionOfHigh)
+
+	anyPositive := false
+	for _, si := range impacts {
+		if si.MeanDifference > 0 && si.FractionOfHigh > 0.1 {
+			anyPositive = true
+			break
+		}
+	}
+	return Result{
+		Name:   "Split-variable impact",
+		Report: b.String(),
+		Claims: []Claim{
+			{
+				Paper:    "split-variable impact measurable as subtree mean difference (LdBlSta: ~0.30 CPI, ~35%)",
+				Measured: fmt.Sprintf("top split %s: diff %.2f CPI, %.0f%% of high side", top.Name, top.MeanDifference, 100*top.FractionOfHigh),
+				Holds:    anyPositive,
+			},
+			{
+				Paper:    "regression R² of the split variable indicates its contribution",
+				Measured: fmt.Sprintf("top split R² = %.3f", top.RSquared),
+				Holds:    top.RSquared > 0.05,
+			},
+		},
+	}, nil
+}

@@ -1,0 +1,108 @@
+package mtree
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestSubtreeAttributesOnlyRestrictsModels(t *testing.T) {
+	d := piecewise(2000, 0.05, 31)
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 100
+	cfg.SubtreeAttributesOnly = true
+	tree, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With Quinlan's restriction, every leaf-model attribute must come
+	// from the leaf's pre-pruning subtree splits (ModelAttrs) or from the
+	// splits on its root path.
+	tree.WalkLeaves(func(n *Node, path []PathStep) {
+		allowed := map[int]bool{}
+		for _, a := range n.ModelAttrs {
+			allowed[a] = true
+		}
+		for _, s := range path {
+			allowed[s.Attr] = true
+		}
+		for i, a := range n.Model.Attrs {
+			if n.Model.Coefs[i] != 0 && !allowed[a] {
+				t.Errorf("leaf LM%d uses attribute %d outside subtree+path candidates", n.LeafID, a)
+			}
+		}
+	})
+}
+
+func TestDropAttributesOffKeepsAll(t *testing.T) {
+	d := piecewise(1500, 0.1, 32)
+	on := DefaultConfig()
+	on.MinLeaf = 200
+	off := on
+	off.DropAttributes = false
+	tOn, err := Build(d, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOff, err := Build(d, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(tr *Tree) (total int) {
+		tr.WalkLeaves(func(n *Node, _ []PathStep) {
+			for _, c := range n.Model.Coefs {
+				if c != 0 {
+					total++
+				}
+			}
+		})
+		return total
+	}
+	if count(tOn) > count(tOff) {
+		t.Errorf("dropping kept more terms (%d) than not dropping (%d)", count(tOn), count(tOff))
+	}
+}
+
+func TestSmoothingKInfluence(t *testing.T) {
+	d := piecewise(2000, 0.05, 33)
+	light := DefaultConfig()
+	light.MinLeaf = 100
+	light.SmoothingK = 1
+	heavy := light
+	heavy.SmoothingK = 1000
+	tl, err := Build(d, light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := Build(d, heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy smoothing pulls predictions strongly toward ancestor models,
+	// which hurts accuracy on cleanly-separated piecewise data.
+	ml, err := eval.Evaluate(tl, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := eval.Evaluate(th, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.MAE <= ml.MAE {
+		t.Errorf("k=1000 MAE %v not above k=1 MAE %v", mh.MAE, ml.MAE)
+	}
+}
+
+func TestSDThresholdStopsSplitting(t *testing.T) {
+	d := piecewise(2000, 0.05, 34)
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 50
+	cfg.SDThresholdFraction = 10 // absurdly high: nothing is heterogeneous enough
+	tree, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.IsLeaf() {
+		t.Error("SD threshold did not stop splitting")
+	}
+}

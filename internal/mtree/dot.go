@@ -1,0 +1,47 @@
+package mtree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT emits the tree in Graphviz DOT format, in the visual style of
+// the paper's Figures 1 and 2: interior nodes labeled with their split
+// test, leaves labeled "LMk (share%)" with the model equation in the
+// tooltip. Render with `dot -Tsvg tree.dot -o tree.svg`.
+func (t *Tree) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph mtree {\n")
+	b.WriteString("  graph [rankdir=TB];\n")
+	b.WriteString("  node [fontname=\"Helvetica\", fontsize=10];\n")
+
+	id := 0
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		me := id
+		id++
+		if n.IsLeaf() {
+			share := ""
+			if t.TrainN > 0 {
+				share = fmt.Sprintf(" (%.1f%%)", 100*float64(n.N)/float64(t.TrainN))
+			}
+			fmt.Fprintf(&b, "  n%d [shape=box, style=rounded, label=\"LM%d%s\", tooltip=%q];\n",
+				me, n.LeafID, share, t.TargetName+" = "+n.Model.String())
+			return me
+		}
+		fmt.Fprintf(&b, "  n%d [shape=ellipse, label=%q];\n", me, t.attrName(n.SplitAttr))
+		l := walk(n.Left)
+		r := walk(n.Right)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"<= %.6g\"];\n", me, l, n.Threshold)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"> %.6g\"];\n", me, r, n.Threshold)
+		return me
+	}
+	walk(t.Root)
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("mtree: writing DOT: %w", err)
+	}
+	return nil
+}

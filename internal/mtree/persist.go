@@ -1,0 +1,131 @@
+package mtree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/linreg"
+)
+
+// The JSON persistence layer lets cmd/train save a tree that cmd/analyze
+// loads later, mirroring the paper's train-once / analyze-many workflow.
+
+type treeJSON struct {
+	Config     Config    `json:"config"`
+	TargetName string    `json:"target"`
+	AttrNames  []string  `json:"attrs"`
+	TrainN     int       `json:"train_n"`
+	GlobalSD   float64   `json:"global_sd"`
+	Root       *nodeJSON `json:"root"`
+}
+
+type nodeJSON struct {
+	SplitAttr int        `json:"split_attr"`
+	Threshold float64    `json:"threshold,omitempty"`
+	Left      *nodeJSON  `json:"left,omitempty"`
+	Right     *nodeJSON  `json:"right,omitempty"`
+	Model     *modelJSON `json:"model"`
+	N         int        `json:"n"`
+	SD        float64    `json:"sd"`
+	Mean      float64    `json:"mean"`
+	LeafID    int        `json:"leaf_id,omitempty"`
+}
+
+type modelJSON struct {
+	Intercept float64   `json:"intercept"`
+	Attrs     []int     `json:"attrs,omitempty"`
+	Coefs     []float64 `json:"coefs,omitempty"`
+	Names     []string  `json:"names,omitempty"`
+}
+
+// WriteJSON serializes the tree.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(toTreeJSON(t)); err != nil {
+		return fmt.Errorf("mtree: encoding tree: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a tree written by WriteJSON.
+func ReadJSON(r io.Reader) (*Tree, error) {
+	var tj treeJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("mtree: decoding tree: %w", err)
+	}
+	if tj.Root == nil {
+		return nil, fmt.Errorf("mtree: decoded tree has no root")
+	}
+	t := &Tree{
+		Config:     tj.Config,
+		TargetName: tj.TargetName,
+		AttrNames:  tj.AttrNames,
+		TrainN:     tj.TrainN,
+		GlobalSD:   tj.GlobalSD,
+		Root:       fromNodeJSON(tj.Root),
+	}
+	return t, nil
+}
+
+func toTreeJSON(t *Tree) *treeJSON {
+	return &treeJSON{
+		Config:     t.Config,
+		TargetName: t.TargetName,
+		AttrNames:  t.AttrNames,
+		TrainN:     t.TrainN,
+		GlobalSD:   t.GlobalSD,
+		Root:       toNodeJSON(t.Root),
+	}
+}
+
+func toNodeJSON(n *Node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	nj := &nodeJSON{
+		SplitAttr: n.SplitAttr,
+		Threshold: n.Threshold,
+		N:         n.N,
+		SD:        n.SD,
+		Mean:      n.Mean,
+		LeafID:    n.LeafID,
+		Left:      toNodeJSON(n.Left),
+		Right:     toNodeJSON(n.Right),
+	}
+	if n.Model != nil {
+		nj.Model = &modelJSON{
+			Intercept: n.Model.Intercept,
+			Attrs:     n.Model.Attrs,
+			Coefs:     n.Model.Coefs,
+			Names:     n.Model.Names,
+		}
+	}
+	return nj
+}
+
+func fromNodeJSON(nj *nodeJSON) *Node {
+	if nj == nil {
+		return nil
+	}
+	n := &Node{
+		SplitAttr: nj.SplitAttr,
+		Threshold: nj.Threshold,
+		N:         nj.N,
+		SD:        nj.SD,
+		Mean:      nj.Mean,
+		LeafID:    nj.LeafID,
+		Left:      fromNodeJSON(nj.Left),
+		Right:     fromNodeJSON(nj.Right),
+	}
+	if nj.Model != nil {
+		n.Model = &linreg.Model{
+			Intercept: nj.Model.Intercept,
+			Attrs:     nj.Model.Attrs,
+			Coefs:     nj.Model.Coefs,
+			Names:     nj.Model.Names,
+		}
+	}
+	return n
+}

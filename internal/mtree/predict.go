@@ -1,0 +1,89 @@
+package mtree
+
+import (
+	"repro/internal/dataset"
+)
+
+// Predict returns the tree's estimate of the target for one instance. With
+// smoothing enabled the raw leaf prediction is blended with the prediction
+// of every ancestor model on the way back to the root:
+//
+//	p' = (n*p_below + k*p_node) / (n + k)
+//
+// where n is the number of training instances at the lower node and k is
+// the smoothing constant (15 in M5). Smoothing compensates for the sharp
+// discontinuities between adjacent leaf models.
+func (t *Tree) Predict(row dataset.Instance) float64 {
+	path := t.pathTo(row)
+	leaf := path[len(path)-1]
+	p := leaf.Model.Predict(row)
+	if !t.Config.Smooth {
+		return p
+	}
+	k := t.Config.SmoothingK
+	for i := len(path) - 2; i >= 0; i-- {
+		node := path[i]
+		below := path[i+1]
+		p = (float64(below.N)*p + k*node.Model.Predict(row)) / (float64(below.N) + k)
+	}
+	return p
+}
+
+// pathTo returns the nodes visited from root to leaf for an instance.
+func (t *Tree) pathTo(row dataset.Instance) []*Node {
+	path := make([]*Node, 0, 8)
+	n := t.Root
+	for {
+		path = append(path, n)
+		if n.IsLeaf() {
+			return path
+		}
+		if row[n.SplitAttr] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+}
+
+// Classify routes an instance to its leaf and returns the leaf together
+// with the decision path, the inputs to the paper's performance analysis:
+// the leaf's linear model answers "how much", and the path's high-side
+// split variables flag implicit performance limiters.
+func (t *Tree) Classify(row dataset.Instance) (leaf *Node, path []PathStep) {
+	nodes := t.pathTo(row)
+	leaf = nodes[len(nodes)-1]
+	path = make([]PathStep, 0, len(nodes)-1)
+	for i := 0; i < len(nodes)-1; i++ {
+		n := nodes[i]
+		path = append(path, PathStep{
+			Attr:      n.SplitAttr,
+			Name:      t.attrName(n.SplitAttr),
+			Threshold: n.Threshold,
+			Above:     row[n.SplitAttr] > n.Threshold,
+		})
+	}
+	return leaf, path
+}
+
+// Leaf returns the leaf with the given 1-based LeafID, or nil.
+func (t *Tree) Leaf(id int) *Node {
+	var found *Node
+	t.WalkLeaves(func(n *Node, _ []PathStep) {
+		if n.LeafID == id {
+			found = n
+		}
+	})
+	return found
+}
+
+// LeafPath returns the root path of the leaf with the given ID, or nil.
+func (t *Tree) LeafPath(id int) []PathStep {
+	var found []PathStep
+	t.WalkLeaves(func(n *Node, path []PathStep) {
+		if n.LeafID == id {
+			found = append([]PathStep(nil), path...)
+		}
+	})
+	return found
+}

@@ -1,0 +1,47 @@
+package mtree
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/linreg"
+)
+
+// pruneNode performs M5's depth-first, bottom-up post-pruning. At each
+// interior node the complexity-corrected error of a linear model fitted at
+// the node is compared with the corrected error of the subtree below it
+// (each child evaluated on the training instances routed to it, combined by
+// instance-weighted average). When the node model is at least as accurate
+// as the subtree, the subtree is replaced by a leaf — this is how LM18 in
+// the paper, a bare constant, survives as a class of its own.
+//
+// pruneNode returns the corrected error of the (possibly pruned) node on d.
+// path carries the root-path split attributes for model fitting.
+func pruneNode(n *Node, d *dataset.Dataset, cfg Config, path []int) float64 {
+	nodeModel := fitNodeModel(n, d, cfg, path)
+	nodeErr := linreg.CorrectedError(nodeModel, d)
+	if n.IsLeaf() {
+		return nodeErr
+	}
+	left, right := d.Split(n.SplitAttr, n.Threshold)
+	if left.Len() == 0 || right.Len() == 0 {
+		// The split no longer separates this data (can happen only with a
+		// degenerate threshold); collapse to a leaf.
+		makeLeaf(n)
+		return nodeErr
+	}
+	childPath := append(path, n.SplitAttr)
+	leftErr := pruneNode(n.Left, left, cfg, childPath)
+	rightErr := pruneNode(n.Right, right, cfg, childPath)
+	subtreeErr := (float64(left.Len())*leftErr + float64(right.Len())*rightErr) / float64(d.Len())
+	if nodeErr <= subtreeErr {
+		makeLeaf(n)
+		return nodeErr
+	}
+	return subtreeErr
+}
+
+func makeLeaf(n *Node) {
+	n.Left, n.Right = nil, nil
+	n.SplitAttr = -1
+	n.SplitName = ""
+	n.Threshold = 0
+}

@@ -1,0 +1,105 @@
+package mtree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Rule is one leaf of the tree expressed as an ordered IF-THEN rule: the
+// conjunction of the split conditions on the root path, and the leaf's
+// linear model as the consequent. Rule lists are the M5-Rules style view
+// of a model tree — handy when a flat, greppable form of the classifier is
+// easier to consume than the tree drawing.
+type Rule struct {
+	// LeafID ties the rule back to its LM number.
+	LeafID int
+	// Conditions are the path tests, in root-to-leaf order.
+	Conditions []PathStep
+	// Model is the consequent linear model.
+	Model fmt.Stringer
+	// N and Mean describe the training population of the leaf.
+	N    int
+	Mean float64
+
+	model interface {
+		Predict(dataset.Instance) float64
+	}
+}
+
+// Matches reports whether an instance satisfies every condition.
+func (r Rule) Matches(row dataset.Instance) bool {
+	for _, c := range r.Conditions {
+		v := row[c.Attr]
+		if c.Above {
+			if v <= c.Threshold {
+				return false
+			}
+		} else if v > c.Threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict evaluates the rule's model (unsmoothed).
+func (r Rule) Predict(row dataset.Instance) float64 { return r.model.Predict(row) }
+
+// String renders the rule as "IF a > x AND b <= y THEN CPI = ...".
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString("IF ")
+	if len(r.Conditions) == 0 {
+		b.WriteString("true")
+	}
+	for i, c := range r.Conditions {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(c.String())
+	}
+	fmt.Fprintf(&b, " THEN %s  [LM%d, n=%d]", r.Model, r.LeafID, r.N)
+	return b.String()
+}
+
+// Rules flattens the tree into its ordered rule list (left-to-right leaf
+// order). Exactly one rule matches any instance, because the conditions
+// partition the input space.
+func (t *Tree) Rules() []Rule {
+	var rules []Rule
+	t.WalkLeaves(func(n *Node, path []PathStep) {
+		rules = append(rules, Rule{
+			LeafID:     n.LeafID,
+			Conditions: append([]PathStep(nil), path...),
+			Model:      n.Model,
+			N:          n.N,
+			Mean:       n.Mean,
+			model:      n.Model,
+		})
+	})
+	return rules
+}
+
+// RuleFor returns the unique rule matching the instance.
+func (t *Tree) RuleFor(row dataset.Instance) Rule {
+	leaf, path := t.Classify(row)
+	return Rule{
+		LeafID:     leaf.LeafID,
+		Conditions: path,
+		Model:      leaf.Model,
+		N:          leaf.N,
+		Mean:       leaf.Mean,
+		model:      leaf.Model,
+	}
+}
+
+// RenderRules formats the whole rule list.
+func (t *Tree) RenderRules() string {
+	var b strings.Builder
+	for _, r := range t.Rules() {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package mtree
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func builtTree(t *testing.T, seed int64) (*Tree, *dataset.Dataset) {
+	t.Helper()
+	d := piecewise(2000, 0.05, seed)
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 100
+	tree, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, d
+}
+
+func TestRulesPartitionInputSpace(t *testing.T) {
+	tree, d := builtTree(t, 21)
+	rules := tree.Rules()
+	if len(rules) != tree.NumLeaves() {
+		t.Fatalf("%d rules for %d leaves", len(rules), tree.NumLeaves())
+	}
+	// Exactly one rule matches every training instance, and it is the one
+	// the tree routes to.
+	for i := 0; i < d.Len(); i++ {
+		row := d.Row(i)
+		matched := 0
+		var matchedRule Rule
+		for _, r := range rules {
+			if r.Matches(row) {
+				matched++
+				matchedRule = r
+			}
+		}
+		if matched != 1 {
+			t.Fatalf("row %d matched %d rules", i, matched)
+		}
+		leaf, _ := tree.Classify(row)
+		if matchedRule.LeafID != leaf.LeafID {
+			t.Fatalf("rule LM%d disagrees with tree leaf LM%d", matchedRule.LeafID, leaf.LeafID)
+		}
+	}
+}
+
+func TestRulePredictMatchesUnsmoothedTree(t *testing.T) {
+	tree, d := builtTree(t, 22)
+	tree.Config.Smooth = false
+	for i := 0; i < 100; i++ {
+		row := d.Row(i)
+		r := tree.RuleFor(row)
+		if math.Abs(r.Predict(row)-tree.Predict(row)) > 1e-12 {
+			t.Fatalf("rule prediction diverges from unsmoothed tree at row %d", i)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	tree, _ := builtTree(t, 23)
+	s := tree.RenderRules()
+	if !strings.Contains(s, "IF ") || !strings.Contains(s, " THEN ") {
+		t.Errorf("rules rendering:\n%s", s)
+	}
+	if !strings.Contains(s, "x1") {
+		t.Errorf("rules missing split variable:\n%s", s)
+	}
+	// Single-leaf tree: the rule condition degenerates to "true".
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	for i := 0; i < 20; i++ {
+		d.MustAppend(dataset.Instance{1, float64(i)})
+	}
+	one, err := Build(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := one.Rules()[0].String(); !strings.Contains(got, "IF true") {
+		t.Errorf("degenerate rule: %q", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tree, _ := builtTree(t, 24)
+	var buf bytes.Buffer
+	if err := tree.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"digraph mtree", "->", "LM1", "x1", "}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, s)
+		}
+	}
+	// Edge count: a binary tree with L leaves has 2(L-1) edges.
+	edges := strings.Count(s, "->")
+	want := 2 * (tree.NumLeaves() - 1)
+	if edges != want {
+		t.Errorf("DOT has %d edges, want %d", edges, want)
+	}
+}

@@ -1,0 +1,359 @@
+package mtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/linreg"
+)
+
+// Node is one node of a model tree. Interior nodes route instances by
+// comparing one attribute against a threshold (<= goes left); every node
+// carries a linear model so that pruning can turn any interior node into a
+// leaf.
+type Node struct {
+	// SplitAttr is the dataset column tested at this node (-1 for leaves).
+	SplitAttr int
+	// SplitName is the attribute name of SplitAttr, for rendering.
+	SplitName string
+	// Threshold is the split point; instances with value <= Threshold
+	// descend left.
+	Threshold float64
+	// Left and Right are the children (nil for leaves).
+	Left, Right *Node
+	// Model is the linear model fitted at this node.
+	Model *linreg.Model
+	// N is the number of training instances that reached this node.
+	N int
+	// SD is the standard deviation of the target over those instances.
+	SD float64
+	// Mean is the mean target over those instances.
+	Mean float64
+	// LeafID numbers leaves in left-to-right order (1-based, matching the
+	// paper's LM1..LM18 labels); 0 for interior nodes.
+	LeafID int
+	// ModelAttrs are the candidate attributes for this node's linear
+	// model: the attributes tested in splits below this node in the
+	// *unpruned* tree (M5's recipe). A node pruned to a leaf keeps the
+	// candidates of its former subtree, which is how leaf equations like
+	// the paper's LM8 retain multiple events.
+	ModelAttrs []int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is a trained M5' model tree.
+type Tree struct {
+	Root   *Node
+	Config Config
+	// TargetName is the dataset target column name (e.g. "CPI").
+	TargetName string
+	// AttrNames are the dataset attribute names by column index.
+	AttrNames []string
+	// TrainN is the size of the training set.
+	TrainN int
+	// GlobalSD is the target standard deviation of the training set.
+	GlobalSD float64
+}
+
+// Build grows and (optionally) prunes an M5' tree on the dataset.
+func Build(d *dataset.Dataset, cfg Config) (*Tree, error) {
+	cfg = cfg.validated()
+	if d.Len() == 0 {
+		return nil, errors.New("mtree: cannot build tree on empty dataset")
+	}
+	attrs := d.Attrs()
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = a.Name
+	}
+	t := &Tree{
+		Config:     cfg,
+		TargetName: d.TargetName(),
+		AttrNames:  names,
+		TrainN:     d.Len(),
+		GlobalSD:   d.TargetStdDev(),
+	}
+	b := &builder{cfg: cfg, globalSD: t.GlobalSD, features: d.FeatureIndices()}
+	t.Root = b.grow(d)
+	if cfg.Prune {
+		pruneNode(t.Root, d, cfg, nil)
+	}
+	fitModels(t.Root, d, cfg, nil)
+	numberLeaves(t.Root)
+	return t, nil
+}
+
+type builder struct {
+	cfg      Config
+	globalSD float64
+	features []int
+}
+
+// grow recursively builds the unpruned tree. Models are fitted later (after
+// pruning decides the final shape) except for the per-node statistics
+// needed by pruning.
+func (b *builder) grow(d *dataset.Dataset) *Node {
+	n := &Node{
+		SplitAttr: -1,
+		N:         d.Len(),
+		SD:        d.TargetStdDev(),
+		Mean:      d.TargetMean(),
+	}
+	// Termination: too small to split, or already homogeneous.
+	if d.Len() < 2*b.cfg.MinLeaf || n.SD < b.cfg.SDThresholdFraction*b.globalSD {
+		return n
+	}
+	attr, threshold, ok := b.bestSplit(d)
+	if !ok {
+		return n
+	}
+	left, right := d.Split(attr, threshold)
+	if left.Len() < b.cfg.MinLeaf || right.Len() < b.cfg.MinLeaf {
+		// Defensive: bestSplit enforces this, but floating-point threshold
+		// selection could in principle produce a degenerate partition.
+		return n
+	}
+	n.SplitAttr = attr
+	n.Threshold = threshold
+	n.Left = b.grow(left)
+	n.Right = b.grow(right)
+	// Record the model candidates while the unpruned subtree is intact.
+	set := map[int]bool{}
+	subtreeSplitAttrs(n, set)
+	n.ModelAttrs = make([]int, 0, len(set))
+	for a := range set {
+		n.ModelAttrs = append(n.ModelAttrs, a)
+	}
+	sort.Ints(n.ModelAttrs)
+	return n
+}
+
+// bestSplit searches all attributes and thresholds for the split that
+// maximizes the standard deviation reduction
+//
+//	SDR = sd(T) - |L|/|T|*sd(L) - |R|/|T|*sd(R)
+//
+// subject to both children having at least MinLeaf instances. The search
+// per attribute is O(n log n): sort by the attribute once and sweep with
+// running sums.
+func (b *builder) bestSplit(d *dataset.Dataset) (attr int, threshold float64, ok bool) {
+	n := d.Len()
+	sdT := d.TargetStdDev()
+	bestSDR := 0.0
+
+	type pair struct{ x, y float64 }
+	pairs := make([]pair, n)
+	for _, a := range b.features {
+		for i := 0; i < n; i++ {
+			pairs[i] = pair{d.Value(i, a), d.Target(i)}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
+
+		// Suffix sums for the right side; prefix accumulates the left.
+		var totalSum, totalSq float64
+		for _, p := range pairs {
+			totalSum += p.y
+			totalSq += p.y * p.y
+		}
+		var leftSum, leftSq float64
+		for i := 0; i < n-1; i++ {
+			leftSum += pairs[i].y
+			leftSq += pairs[i].y * pairs[i].y
+			// A split between i and i+1 requires distinct attribute values.
+			if pairs[i].x == pairs[i+1].x {
+				continue
+			}
+			nl, nr := i+1, n-i-1
+			if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+				continue
+			}
+			sdl := sdFromSums(leftSum, leftSq, nl)
+			sdr := sdFromSums(totalSum-leftSum, totalSq-leftSq, nr)
+			red := sdT - (float64(nl)*sdl+float64(nr)*sdr)/float64(n)
+			if red > bestSDR {
+				bestSDR = red
+				attr = a
+				threshold = (pairs[i].x + pairs[i+1].x) / 2
+				ok = true
+			}
+		}
+	}
+	// Require a meaningful reduction; an SDR of zero means no split helps.
+	if bestSDR <= 1e-12 {
+		return 0, 0, false
+	}
+	return attr, threshold, ok
+}
+
+func sdFromSums(sum, sq float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	mean := sum / float64(n)
+	v := sq/float64(n) - mean*mean
+	if v < 0 {
+		v = 0 // guard against rounding
+	}
+	return math.Sqrt(v)
+}
+
+// subtreeSplitAttrs collects the attributes tested anywhere in the subtree
+// rooted at n. M5 fits each node's linear model over exactly this set,
+// which keeps leaf equations focused on the events that define the class.
+func subtreeSplitAttrs(n *Node, into map[int]bool) {
+	if n == nil || n.IsLeaf() {
+		return
+	}
+	into[n.SplitAttr] = true
+	subtreeSplitAttrs(n.Left, into)
+	subtreeSplitAttrs(n.Right, into)
+}
+
+// fitModels fits linear models at every node of the (already pruned) tree,
+// routing the dataset down the splits. path carries the split attributes on
+// the way from the root, which join the model candidates.
+func fitModels(n *Node, d *dataset.Dataset, cfg Config, path []int) {
+	if n == nil {
+		return
+	}
+	n.Model = fitNodeModel(n, d, cfg, path)
+	if n.IsLeaf() {
+		return
+	}
+	left, right := d.Split(n.SplitAttr, n.Threshold)
+	childPath := append(path, n.SplitAttr)
+	fitModels(n.Left, left, cfg, childPath)
+	fitModels(n.Right, right, cfg, childPath)
+}
+
+// fitNodeModel fits the node's linear model. Candidate attributes are the
+// splits in the node's (pre-pruning) subtree plus the splits on the path
+// from the root — the events that *define* the node's class. The greedy
+// elimination step then trims the set, producing the paper's compact leaf
+// equations.
+func fitNodeModel(n *Node, d *dataset.Dataset, cfg Config, path []int) *linreg.Model {
+	var feats []int
+	if cfg.SubtreeAttributesOnly {
+		set := make(map[int]bool, len(n.ModelAttrs)+len(path))
+		for _, a := range n.ModelAttrs {
+			set[a] = true
+		}
+		for _, a := range path {
+			set[a] = true
+		}
+		feats = make([]int, 0, len(set))
+		for a := range set {
+			feats = append(feats, a)
+		}
+		sort.Ints(feats)
+	} else {
+		feats = d.FeatureIndices()
+	}
+	if len(feats) == 0 {
+		return linreg.FitConstant(d)
+	}
+	var m *linreg.Model
+	var err error
+	if cfg.DropAttributes {
+		m, err = linreg.FitGreedy(d, feats)
+	} else {
+		m, err = linreg.Fit(d, feats)
+	}
+	if err != nil {
+		return linreg.FitConstant(d)
+	}
+	return m
+}
+
+// numberLeaves assigns LeafID 1..k in left-to-right order.
+func numberLeaves(root *Node) {
+	id := 0
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			id++
+			n.LeafID = id
+			return
+		}
+		n.LeafID = 0
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+}
+
+// NumLeaves returns the number of leaves (classes) in the tree.
+func (t *Tree) NumLeaves() int {
+	count := 0
+	t.WalkLeaves(func(*Node, []PathStep) { count++ })
+	return count
+}
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 1).
+func (t *Tree) Depth() int {
+	var depth func(*Node) int
+	depth = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		l, r := depth(n.Left), depth(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return depth(t.Root)
+}
+
+// PathStep records one decision on the way from the root to a node: the
+// attribute tested, the threshold, and which side was taken. A step with
+// Above=true means the instance had a *high* value of the split event,
+// which the paper treats as a potential performance-improvement source.
+type PathStep struct {
+	Attr      int
+	Name      string
+	Threshold float64
+	Above     bool
+}
+
+func (s PathStep) String() string {
+	op := "<="
+	if s.Above {
+		op = ">"
+	}
+	return fmt.Sprintf("%s %s %.6g", s.Name, op, s.Threshold)
+}
+
+// WalkLeaves visits every leaf with its root path, left to right.
+func (t *Tree) WalkLeaves(fn func(leaf *Node, path []PathStep)) {
+	var walk func(n *Node, path []PathStep)
+	walk = func(n *Node, path []PathStep) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			fn(n, path)
+			return
+		}
+		step := PathStep{Attr: n.SplitAttr, Name: t.attrName(n.SplitAttr), Threshold: n.Threshold}
+		walk(n.Left, append(path, step))
+		step.Above = true
+		walk(n.Right, append(path, step))
+	}
+	walk(t.Root, nil)
+}
+
+func (t *Tree) attrName(a int) string {
+	if a >= 0 && a < len(t.AttrNames) {
+		return t.AttrNames[a]
+	}
+	return fmt.Sprintf("x%d", a)
+}

@@ -1,0 +1,140 @@
+// Package naive implements the traditional first-order performance model
+// that the paper's introduction argues against: CPI is estimated as an
+// ideal steady-state CPI plus a fixed per-event cycle penalty for each
+// counter, identical for every workload and phase:
+//
+//	CPI = CPI_ideal + sum_i penalty_i * X_i
+//
+// (cf. Karkhanis & Smith, ISCA'04). Because modern out-of-order machines
+// hide a workload-dependent share of every penalty, uniform penalties
+// systematically mis-price events — the motivating observation for the
+// model-tree approach. Two variants are provided:
+//
+//   - FixedPenaltyModel: hand-assigned architectural penalties (the ad-hoc
+//     practice the paper describes), no fitting at all.
+//   - Fitted global linear model (via Learner): a single least-squares
+//     linear model over the whole training set, i.e. a model tree with
+//     exactly one leaf. Its gap to the full tree isolates the value of
+//     workload classification.
+package naive
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/linreg"
+)
+
+// FixedPenaltyModel predicts CPI from architecturally assigned constant
+// penalties per event occurrence.
+type FixedPenaltyModel struct {
+	// BaseCPI is the assumed no-stall steady-state CPI.
+	BaseCPI float64
+	// Penalties maps attribute column index to cycles per event.
+	Penalties map[int]float64
+	// Names maps the same columns to names, for reports.
+	Names map[int]string
+}
+
+// Predict implements eval.Regressor.
+func (m *FixedPenaltyModel) Predict(row dataset.Instance) float64 {
+	cpi := m.BaseCPI
+	for a, p := range m.Penalties {
+		cpi += p * row[a]
+	}
+	return cpi
+}
+
+// String renders the model as a fixed-penalty equation.
+func (m *FixedPenaltyModel) String() string {
+	type term struct {
+		a int
+		p float64
+	}
+	terms := make([]term, 0, len(m.Penalties))
+	for a, p := range m.Penalties {
+		terms = append(terms, term{a, p})
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].a < terms[j].a })
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPI = %.3g", m.BaseCPI)
+	for _, t := range terms {
+		name := m.Names[t.a]
+		if name == "" {
+			name = fmt.Sprintf("x%d", t.a)
+		}
+		fmt.Fprintf(&b, " + %.3g*%s", t.p, name)
+	}
+	return b.String()
+}
+
+// NewCore2FixedPenalties builds a FixedPenaltyModel with textbook Core 2
+// Duo penalty assignments for the named attributes present in the dataset
+// schema. Attributes not found in the schema are skipped, so the model can
+// be applied to reduced schemas in tests.
+//
+// The penalty values are the kind of first-order numbers an analyst would
+// read off an optimization guide: full memory latency for an L2 miss, L2
+// latency for L1 misses, published page-walk and flush costs for TLB and
+// branch events. They deliberately ignore overlap, which is the point.
+func NewCore2FixedPenalties(d *dataset.Dataset) *FixedPenaltyModel {
+	assign := map[string]float64{
+		"L2M":       165, // memory access latency in cycles at 2.4 GHz
+		"L1DM":      14,  // L2 hit latency
+		"L1IM":      14,
+		"BrMisPr":   14, // pipeline flush + refetch
+		"DtlbL0LdM": 2,
+		"DtlbLdM":   9, // page walk
+		"DtlbLdReM": 9,
+		"Dtlb":      9,
+		"ItlbM":     20,
+		"LdBlSta":   5,
+		"LdBlStd":   6,
+		"LdBlOvSt":  5,
+		"MisalRef":  3,
+		"L1DSpLd":   9,
+		"L1DSpSt":   9,
+		"LCP":       6,
+		"InstLd":    0,
+		"InstSt":    0,
+		"BrPred":    0,
+		"InstOther": 0,
+	}
+	m := &FixedPenaltyModel{
+		BaseCPI:   0.30, // ideal CPI of a 4-wide machine with typical ILP limits
+		Penalties: map[int]float64{},
+		Names:     map[int]string{},
+	}
+	for name, p := range assign {
+		if p == 0 {
+			continue
+		}
+		if a := d.AttrIndex(name); a >= 0 {
+			m.Penalties[a] = p
+			m.Names[a] = name
+		}
+	}
+	return m
+}
+
+// GlobalLinear fits one least-squares linear model on the entire training
+// set — the "single function for all workloads" straw man.
+type GlobalLinear struct {
+	Model *linreg.Model
+}
+
+// TrainGlobalLinear fits the single global linear model.
+func TrainGlobalLinear(d *dataset.Dataset) (*GlobalLinear, error) {
+	m, err := linreg.FitGreedy(d, d.FeatureIndices())
+	if err != nil {
+		return nil, fmt.Errorf("naive: fitting global linear model: %w", err)
+	}
+	return &GlobalLinear{Model: m}, nil
+}
+
+// Predict implements eval.Regressor.
+func (g *GlobalLinear) Predict(row dataset.Instance) float64 {
+	return g.Model.Predict(row)
+}

@@ -1,0 +1,102 @@
+package naive
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func miniSchema() *dataset.Dataset {
+	return dataset.MustNew([]dataset.Attribute{
+		{Name: "CPI"}, {Name: "L2M"}, {Name: "BrMisPr"}, {Name: "Unrelated"},
+	}, 0)
+}
+
+func TestFixedPenaltyArithmetic(t *testing.T) {
+	m := &FixedPenaltyModel{
+		BaseCPI:   0.3,
+		Penalties: map[int]float64{1: 165, 2: 14},
+		Names:     map[int]string{1: "L2M", 2: "BrMisPr"},
+	}
+	got := m.Predict(dataset.Instance{0, 0.01, 0.002, 5})
+	want := 0.3 + 165*0.01 + 14*0.002
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestNewCore2FixedPenaltiesMapping(t *testing.T) {
+	d := miniSchema()
+	m := NewCore2FixedPenalties(d)
+	if _, ok := m.Penalties[d.AttrIndex("L2M")]; !ok {
+		t.Error("L2M penalty not assigned")
+	}
+	if _, ok := m.Penalties[d.AttrIndex("Unrelated")]; ok {
+		t.Error("penalty assigned to unknown attribute")
+	}
+	// Zero-penalty mix attributes must not appear.
+	for a := range m.Penalties {
+		if m.Penalties[a] == 0 {
+			t.Errorf("zero penalty stored for %v", m.Names[a])
+		}
+	}
+	if !strings.Contains(m.String(), "L2M") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestFixedPenaltyMisestimatesInteractions(t *testing.T) {
+	// Ground truth: the effective L2M penalty is 165 in workload class A
+	// (dependent misses) but only 40 in class B (overlapped misses). A
+	// single fixed penalty cannot fit both.
+	rng := rand.New(rand.NewSource(1))
+	d := miniSchema()
+	for i := 0; i < 400; i++ {
+		l2 := rng.Float64() * 0.02
+		cpi := 0.3 + 165*l2
+		if i%2 == 0 {
+			cpi = 0.3 + 40*l2
+		}
+		d.MustAppend(dataset.Instance{cpi, l2, 0, 0})
+	}
+	m := NewCore2FixedPenalties(d)
+	met, err := eval.Evaluate(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.RAE < 0.3 {
+		t.Errorf("fixed penalties fit interaction data too well (RAE %v); the motivating failure disappeared", met.RAE)
+	}
+}
+
+func TestGlobalLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := miniSchema()
+	for i := 0; i < 300; i++ {
+		l2 := rng.Float64() * 0.02
+		br := rng.Float64() * 0.01
+		d.MustAppend(dataset.Instance{0.5 + 100*l2 + 12*br, l2, br, rng.Float64()})
+	}
+	g, err := TrainGlobalLinear(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := eval.Evaluate(g, d)
+	if met.Correlation < 0.999 {
+		t.Errorf("global linear fit on linear data C=%v", met.Correlation)
+	}
+	l2 := d.AttrIndex("L2M")
+	if math.Abs(g.Model.Coef(l2)-100) > 1 {
+		t.Errorf("L2M coefficient %v, want ~100", g.Model.Coef(l2))
+	}
+}
+
+func TestGlobalLinearEmpty(t *testing.T) {
+	if _, err := TrainGlobalLinear(miniSchema()); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}

@@ -1,0 +1,239 @@
+// Package phases implements execution-phase detection over section
+// sequences, the Sherwood-style phase machinery the paper builds on: "we
+// make the assumption that any given workload in general may embody
+// multiple phases or classes of behavior" (§III). The paper localizes
+// classification by cutting execution into equal-instruction sections;
+// this package adds the complementary capability of finding the phase
+// *boundaries* in a section stream, so reports can say "sections 120-340
+// form one phase dominated by LCP stalls" instead of listing sections.
+//
+// The detector is an online centroid tracker: each section's counter
+// vector (normalized per attribute) is compared with the running centroid
+// of the current phase; when the distance exceeds a threshold for a few
+// consecutive sections, a new phase begins. This mirrors the basic-block
+// vector clustering of Sherwood et al. with counters in place of BBVs.
+package phases
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Threshold is the phase-change trigger in *noise units*: a section
+	// is out-of-phase when its top-quartile feature deviation from the
+	// phase centroid exceeds Threshold times the typical section-to-
+	// section noise of those features.
+	Threshold float64
+	// MinRun is the number of consecutive out-of-phase sections required
+	// to open a new phase (debouncing against single-section noise).
+	MinRun int
+	// MinPhaseLen merges phases shorter than this into their neighbor.
+	MinPhaseLen int
+}
+
+// DefaultConfig returns thresholds that work well for Table I ratios.
+func DefaultConfig() Config {
+	return Config{Threshold: 5, MinRun: 3, MinPhaseLen: 5}
+}
+
+// Segment is one detected phase: a half-open section range [Start, End)
+// and the centroid of its feature vectors.
+type Segment struct {
+	Start, End int
+	Centroid   []float64 // indexed by feature position
+}
+
+// Len returns the segment's section count.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// Detector carries normalization state.
+type Detector struct {
+	cfg      Config
+	features []int
+	scale    []float64 // per-feature noise scale
+}
+
+// NewDetector prepares a detector for the dataset's feature columns. Each
+// feature is normalized by its *noise floor* — the median absolute
+// difference between successive sections — so "how far did this counter
+// move" is measured against how much it normally wobbles within a phase.
+// (Range- or variance-based normalization fails here: for a feature that
+// only carries noise, the range IS the noise, and for a feature carrying a
+// phase shift, the shift inflates the variance.) The median is robust to
+// the rare large jumps at true phase boundaries.
+func NewDetector(d *dataset.Dataset, cfg Config) *Detector {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = DefaultConfig().Threshold
+	}
+	if cfg.MinRun < 1 {
+		cfg.MinRun = 1
+	}
+	if cfg.MinPhaseLen < 1 {
+		cfg.MinPhaseLen = 1
+	}
+	features := d.FeatureIndices()
+	det := &Detector{cfg: cfg, features: features, scale: make([]float64, len(features))}
+	n := d.Len()
+	diffs := make([]float64, 0, n)
+	for i, f := range features {
+		diffs = diffs[:0]
+		for r := 1; r < n; r++ {
+			diffs = append(diffs, math.Abs(d.Value(r, f)-d.Value(r-1, f)))
+		}
+		noise := median(diffs)
+		if noise <= 0 {
+			// A constant (or stepwise-constant) column: fall back to a
+			// sliver of its range so any movement at all registers.
+			lo, hi := d.ColumnMinMax(f)
+			noise = (hi - lo) / 100
+		}
+		if noise <= 0 {
+			noise = 1 // truly constant column: never triggers
+		}
+		det.scale[i] = noise
+	}
+	return det
+}
+
+// median returns the median of v (0 for empty input); v is reordered.
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sort.Float64s(v)
+	mid := len(v) / 2
+	if len(v)%2 == 1 {
+		return v[mid]
+	}
+	return (v[mid-1] + v[mid]) / 2
+}
+
+// vector extracts the normalized feature vector of row i.
+func (det *Detector) vector(d *dataset.Dataset, i int) []float64 {
+	v := make([]float64, len(det.features))
+	for j, f := range det.features {
+		v[j] = d.Value(i, f) / det.scale[j]
+	}
+	return v
+}
+
+// distance is the mean of the top quartile of absolute normalized
+// per-feature differences. A phase change typically moves a handful of
+// the 20 counters while the rest stay put; averaging over all features
+// would dilute the signal, while a plain max would fire on a single noisy
+// counter. The top-quartile mean is sensitive to coordinated movement and
+// robust to one outlier feature.
+func distance(a, b []float64) float64 {
+	diffs := make([]float64, len(a))
+	for i := range a {
+		diffs[i] = math.Abs(a[i] - b[i])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(diffs)))
+	k := len(diffs) / 4
+	if k < 1 {
+		k = 1
+	}
+	s := 0.0
+	for i := 0; i < k; i++ {
+		s += diffs[i]
+	}
+	return s / float64(k)
+}
+
+// Segment splits the dataset's section sequence into phases. Rows are
+// assumed to be in execution order.
+func (det *Detector) Segment(d *dataset.Dataset) []Segment {
+	n := d.Len()
+	if n == 0 {
+		return nil
+	}
+	var segs []Segment
+	cur := Segment{Start: 0, Centroid: det.vector(d, 0)}
+	count := 1.0
+	outOfPhase := 0
+	for i := 1; i < n; i++ {
+		v := det.vector(d, i)
+		if distance(v, cur.Centroid) > det.cfg.Threshold {
+			outOfPhase++
+			if outOfPhase >= det.cfg.MinRun {
+				// Close the phase before the deviating run began.
+				cur.End = i - outOfPhase + 1
+				segs = append(segs, cur)
+				start := cur.End
+				cur = Segment{Start: start, Centroid: det.vector(d, start)}
+				count = 1
+				for j := start + 1; j <= i; j++ {
+					addToCentroid(cur.Centroid, det.vector(d, j), &count)
+				}
+				outOfPhase = 0
+			}
+			continue
+		}
+		// A deviating run shorter than MinRun was an outlier burst: keep
+		// those sections in the phase but leave them out of the centroid,
+		// so one wild section cannot drag the reference point.
+		outOfPhase = 0
+		addToCentroid(cur.Centroid, v, &count)
+	}
+	cur.End = n
+	segs = append(segs, cur)
+	return mergeShort(segs, det.cfg.MinPhaseLen)
+}
+
+// addToCentroid folds v into the running mean.
+func addToCentroid(centroid, v []float64, count *float64) {
+	*count++
+	for i := range centroid {
+		centroid[i] += (v[i] - centroid[i]) / *count
+	}
+}
+
+// mergeShort merges segments below the minimum length into their
+// predecessor (or successor for the first segment).
+func mergeShort(segs []Segment, minLen int) []Segment {
+	if len(segs) <= 1 {
+		return segs
+	}
+	out := segs[:0]
+	for _, s := range segs {
+		if len(out) > 0 && s.Len() < minLen {
+			out[len(out)-1].End = s.End
+			continue
+		}
+		if len(out) == 0 || s.Len() >= minLen {
+			out = append(out, s)
+			continue
+		}
+	}
+	// A short first segment folds into the one after it.
+	if len(out) > 1 && out[0].Len() < minLen {
+		out[1].Start = out[0].Start
+		out = out[1:]
+	}
+	return out
+}
+
+// Render formats the segmentation with per-phase mean target values.
+func Render(segs []Segment, d *dataset.Dataset) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d phase(s) over %d sections:\n", len(segs), d.Len())
+	for i, s := range segs {
+		sum := 0.0
+		for j := s.Start; j < s.End; j++ {
+			sum += d.Target(j)
+		}
+		mean := 0.0
+		if s.Len() > 0 {
+			mean = sum / float64(s.Len())
+		}
+		fmt.Fprintf(&b, "  phase %d: sections %d..%d (%d), mean %s %.3f\n",
+			i+1, s.Start, s.End-1, s.Len(), d.TargetName(), mean)
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package phases
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// syntheticPhases builds a section sequence with k clearly distinct phases
+// of the given lengths: each phase has its own feature baseline.
+func syntheticPhases(lengths []int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.MustNew([]dataset.Attribute{
+		{Name: "CPI"}, {Name: "a"}, {Name: "b"},
+	}, 0)
+	for p, n := range lengths {
+		baseA := float64(p) * 1.0
+		baseB := float64(p%2) * 2.0
+		for i := 0; i < n; i++ {
+			d.MustAppend(dataset.Instance{
+				1 + float64(p),
+				baseA + 0.02*rng.NormFloat64(),
+				baseB + 0.02*rng.NormFloat64(),
+			})
+		}
+	}
+	return d
+}
+
+func TestSegmentRecoversPhaseCount(t *testing.T) {
+	lengths := []int{40, 30, 50}
+	d := syntheticPhases(lengths, 1)
+	det := NewDetector(d, DefaultConfig())
+	segs := det.Segment(d)
+	if len(segs) != 3 {
+		t.Fatalf("detected %d phases, want 3: %+v", len(segs), segs)
+	}
+	// Boundaries within a few sections of truth.
+	bounds := []int{40, 70}
+	if abs(segs[0].End-bounds[0]) > 4 || abs(segs[1].End-bounds[1]) > 4 {
+		t.Errorf("boundaries %d,%d, want ~%d,~%d", segs[0].End, segs[1].End, bounds[0], bounds[1])
+	}
+	// Segments are contiguous and cover everything.
+	if segs[0].Start != 0 || segs[len(segs)-1].End != d.Len() {
+		t.Error("segments do not cover the sequence")
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Error("segments not contiguous")
+		}
+	}
+}
+
+func TestSegmentSinglePhase(t *testing.T) {
+	d := syntheticPhases([]int{80}, 2)
+	det := NewDetector(d, DefaultConfig())
+	segs := det.Segment(d)
+	if len(segs) != 1 {
+		t.Fatalf("homogeneous run split into %d phases", len(segs))
+	}
+	if segs[0].Len() != 80 {
+		t.Errorf("segment length %d", segs[0].Len())
+	}
+}
+
+func TestSegmentIgnoresSingleOutliers(t *testing.T) {
+	d := syntheticPhases([]int{60}, 3)
+	// Inject two isolated outlier sections.
+	d.Row(20)[1] += 10
+	d.Row(40)[2] += 10
+	det := NewDetector(d, DefaultConfig())
+	segs := det.Segment(d)
+	if len(segs) != 1 {
+		t.Errorf("outliers created %d phases, want 1 (debounced)", len(segs))
+	}
+}
+
+func TestSegmentEmpty(t *testing.T) {
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	det := NewDetector(d, DefaultConfig())
+	if segs := det.Segment(d); segs != nil {
+		t.Errorf("empty dataset produced segments: %+v", segs)
+	}
+}
+
+func TestConfigSanitized(t *testing.T) {
+	d := syntheticPhases([]int{30}, 4)
+	det := NewDetector(d, Config{Threshold: -1, MinRun: 0, MinPhaseLen: 0})
+	if det.cfg.Threshold <= 0 || det.cfg.MinRun < 1 || det.cfg.MinPhaseLen < 1 {
+		t.Error("config not sanitized")
+	}
+}
+
+func TestRender(t *testing.T) {
+	d := syntheticPhases([]int{30, 30}, 5)
+	det := NewDetector(d, DefaultConfig())
+	s := Render(det.Segment(d), d)
+	if !strings.Contains(s, "phase 1") || !strings.Contains(s, "mean CPI") {
+		t.Errorf("render:\n%s", s)
+	}
+}
+
+// TestDetectsWorkloadPhaseBoundary checks the detector against the real
+// simulated pipeline: a two-phase benchmark whose phases have very
+// different counter signatures.
+func TestDetectsWorkloadPhaseBoundary(t *testing.T) {
+	memory := workload.Params{
+		LoadFrac: 0.34, StoreFrac: 0.10, BranchFrac: 0.16,
+		DataFootprint: 32 << 20, Pattern: workload.PointerChase, ColdFrac: 0.04,
+		DepNearFrac: 0.2, ALUDepFrac: 0.3,
+		BranchTakenProb: 0.55, BranchEntropy: 0.03, LoopFrac: 0.3,
+		CodeFootprint: 16 << 10, JumpProb: 0.05,
+	}
+	compute := memory
+	compute.Pattern = workload.Random
+	compute.DataFootprint = 64 << 10
+	compute.ColdFrac = 0.02
+	b := workload.Benchmark{Name: "twophase", Phases: []workload.Phase{
+		{Params: memory, Sections: 25},
+		{Params: compute, Sections: 25},
+	}}
+	cfg := counters.DefaultCollectConfig()
+	cfg.SectionLen = 5000
+	cfg.WarmupSections = 0
+	col, err := counters.CollectBenchmark(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(col.Data, DefaultConfig())
+	segs := det.Segment(col.Data)
+	if len(segs) < 2 {
+		t.Fatalf("two-phase workload detected as %d phase(s)", len(segs))
+	}
+	// The dominant boundary should sit near section 25.
+	bestGap := 1 << 30
+	for _, s := range segs[:len(segs)-1] {
+		if g := abs(s.End - 25); g < bestGap {
+			bestGap = g
+		}
+	}
+	if bestGap > 5 {
+		t.Errorf("no detected boundary within 5 sections of the true phase change (best %d)", bestGap)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,221 @@
+// Package regtree implements a CART-style regression tree with constant
+// leaf predictions (Breiman et al. 1984). It is the classical-regression-
+// tree comparator the paper contrasts with model trees: identical variance-
+// reduction splitting, but each leaf predicts the mean of its training
+// instances rather than a linear model, so it needs far more leaves to
+// approximate the same piecewise-linear CPI surface and cannot explain
+// per-event contributions.
+package regtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Config holds the CART hyper-parameters.
+type Config struct {
+	// MinLeaf is the minimum number of training instances in a leaf.
+	MinLeaf int
+	// MaxDepth bounds tree depth (0 means unbounded).
+	MaxDepth int
+	// MinVarianceFraction stops splitting nodes whose target variance is
+	// below this fraction of the root variance.
+	MinVarianceFraction float64
+}
+
+// DefaultConfig mirrors common CART defaults.
+func DefaultConfig() Config {
+	return Config{MinLeaf: 5, MaxDepth: 0, MinVarianceFraction: 0.0025}
+}
+
+// Node is one regression-tree node.
+type Node struct {
+	SplitAttr   int // -1 for leaves
+	Threshold   float64
+	Left, Right *Node
+	Value       float64 // constant prediction at leaves (mean target)
+	N           int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is a trained regression tree.
+type Tree struct {
+	Root      *Node
+	Config    Config
+	AttrNames []string
+	TrainN    int
+}
+
+// Build grows a regression tree on the dataset.
+func Build(d *dataset.Dataset, cfg Config) (*Tree, error) {
+	if d.Len() == 0 {
+		return nil, errors.New("regtree: cannot build tree on empty dataset")
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	attrs := d.Attrs()
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = a.Name
+	}
+	b := &builder{
+		cfg:      cfg,
+		rootVar:  d.TargetVariance(),
+		features: d.FeatureIndices(),
+	}
+	return &Tree{Root: b.grow(d, 1), Config: cfg, AttrNames: names, TrainN: d.Len()}, nil
+}
+
+type builder struct {
+	cfg      Config
+	rootVar  float64
+	features []int
+}
+
+func (b *builder) grow(d *dataset.Dataset, depth int) *Node {
+	n := &Node{SplitAttr: -1, Value: d.TargetMean(), N: d.Len()}
+	if d.Len() < 2*b.cfg.MinLeaf {
+		return n
+	}
+	if b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth {
+		return n
+	}
+	if d.TargetVariance() < b.cfg.MinVarianceFraction*b.rootVar {
+		return n
+	}
+	attr, threshold, ok := b.bestSplit(d)
+	if !ok {
+		return n
+	}
+	left, right := d.Split(attr, threshold)
+	if left.Len() < b.cfg.MinLeaf || right.Len() < b.cfg.MinLeaf {
+		return n
+	}
+	n.SplitAttr = attr
+	n.Threshold = threshold
+	n.Left = b.grow(left, depth+1)
+	n.Right = b.grow(right, depth+1)
+	return n
+}
+
+// bestSplit minimizes the weighted child variance (equivalently maximizes
+// variance reduction), the CART least-squares criterion.
+func (b *builder) bestSplit(d *dataset.Dataset) (attr int, threshold float64, ok bool) {
+	n := d.Len()
+	parentSS := d.TargetVariance() * float64(n)
+	best := parentSS - 1e-12
+
+	type pair struct{ x, y float64 }
+	pairs := make([]pair, n)
+	for _, a := range b.features {
+		for i := 0; i < n; i++ {
+			pairs[i] = pair{d.Value(i, a), d.Target(i)}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
+		var totalSum, totalSq float64
+		for _, p := range pairs {
+			totalSum += p.y
+			totalSq += p.y * p.y
+		}
+		var leftSum, leftSq float64
+		for i := 0; i < n-1; i++ {
+			leftSum += pairs[i].y
+			leftSq += pairs[i].y * pairs[i].y
+			if pairs[i].x == pairs[i+1].x {
+				continue
+			}
+			nl, nr := i+1, n-i-1
+			if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+				continue
+			}
+			ss := childSS(leftSum, leftSq, nl) + childSS(totalSum-leftSum, totalSq-leftSq, nr)
+			if ss < best {
+				best = ss
+				attr = a
+				threshold = (pairs[i].x + pairs[i+1].x) / 2
+				ok = true
+			}
+		}
+	}
+	return attr, threshold, ok
+}
+
+// childSS returns the within-child sum of squared deviations.
+func childSS(sum, sq float64, n int) float64 {
+	m := sum / float64(n)
+	ss := sq - float64(n)*m*m
+	if ss < 0 {
+		return 0
+	}
+	return ss
+}
+
+// Predict routes the instance to a leaf and returns the leaf mean.
+func (t *Tree) Predict(row dataset.Instance) float64 {
+	n := t.Root
+	for !n.IsLeaf() {
+		if row[n.SplitAttr] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Value
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int {
+	var count func(*Node) int
+	count = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		if n.IsLeaf() {
+			return 1
+		}
+		return count(n.Left) + count(n.Right)
+	}
+	return count(t.Root)
+}
+
+// Depth returns the maximum node depth.
+func (t *Tree) Depth() int {
+	var depth func(*Node) int
+	depth = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + int(math.Max(float64(depth(n.Left)), float64(depth(n.Right))))
+	}
+	return depth(t.Root)
+}
+
+// String renders the tree structure for debugging.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		indent := strings.Repeat("|   ", depth)
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "%s-> %.4g (n=%d)\n", indent, n.Value, n.N)
+			return
+		}
+		name := fmt.Sprintf("x%d", n.SplitAttr)
+		if n.SplitAttr < len(t.AttrNames) {
+			name = t.AttrNames[n.SplitAttr]
+		}
+		fmt.Fprintf(&b, "%s%s <= %.6g ?\n", indent, name, n.Threshold)
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	walk(t.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package regtree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+// stepData has y constant within each of two regions of x.
+func stepData(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		y := 1.0
+		if x > 0.5 {
+			y = 5.0
+		}
+		d.MustAppend(dataset.Instance{y, x})
+	}
+	return d
+}
+
+func TestBuildEmpty(t *testing.T) {
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	if _, err := Build(d, DefaultConfig()); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestRecoversStepFunction(t *testing.T) {
+	d := stepData(1000, 1)
+	tree, err := Build(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.IsLeaf() {
+		t.Fatal("no split found")
+	}
+	if math.Abs(tree.Root.Threshold-0.5) > 0.05 {
+		t.Errorf("root threshold %v, want ~0.5", tree.Root.Threshold)
+	}
+	if got := tree.Predict(dataset.Instance{0, 0.25}); math.Abs(got-1) > 0.01 {
+		t.Errorf("Predict(0.25) = %v, want 1", got)
+	}
+	if got := tree.Predict(dataset.Instance{0, 0.75}); math.Abs(got-5) > 0.01 {
+		t.Errorf("Predict(0.75) = %v, want 5", got)
+	}
+}
+
+func TestLeafPredictsMean(t *testing.T) {
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	for _, y := range []float64{1, 2, 3} {
+		d.MustAppend(dataset.Instance{y, 0})
+	}
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 10 // force single leaf
+	tree, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict(dataset.Instance{0, 0}); got != 2 {
+		t.Errorf("leaf prediction %v, want mean 2", got)
+	}
+}
+
+func TestMaxDepthBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64()
+		d.MustAppend(dataset.Instance{math.Sin(12 * x), x})
+	}
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 3
+	tree, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 3 {
+		t.Errorf("Depth = %d exceeds bound 3", tree.Depth())
+	}
+	cfg.MaxDepth = 0
+	deep, _ := Build(d, cfg)
+	if deep.Depth() <= 3 {
+		t.Errorf("unbounded tree depth %d suspiciously shallow", deep.Depth())
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	d := stepData(500, 3)
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 60
+	tree, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() && n.N < cfg.MinLeaf {
+			t.Errorf("leaf with %d < %d instances", n.N, cfg.MinLeaf)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(tree.Root)
+}
+
+func TestNeedsManyLeavesForLinearFunction(t *testing.T) {
+	// The defining weakness vs model trees: a smooth linear target needs
+	// many constant segments.
+	rng := rand.New(rand.NewSource(4))
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	for i := 0; i < 3000; i++ {
+		x := rng.Float64()
+		d.MustAppend(dataset.Instance{10 * x, x})
+	}
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 20
+	tree, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() < 8 {
+		t.Errorf("CART fit a linear ramp with only %d leaves; expected many", tree.NumLeaves())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	d := stepData(300, 5)
+	tree, _ := Build(d, DefaultConfig())
+	if s := tree.String(); !strings.Contains(s, "x <=") {
+		t.Errorf("rendering missing split: %q", s)
+	}
+}
+
+// Property: predictions always equal the mean of some training subset, so
+// they lie within the target's observed range.
+func TestPredictionWithinRangeProperty(t *testing.T) {
+	d := stepData(400, 6)
+	tree, err := Build(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := d.ColumnMinMax(0)
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		p := tree.Predict(dataset.Instance{0, x})
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CycleCategory labels one source of cycles in the ground-truth CPI stack.
+// Unlike the PMU counters — which count *events* and leave the cycle
+// attribution to be inferred — the simulator knows exactly how many cycles
+// each mechanism charged. Real hardware cannot report this (which is why
+// the paper needs a model); the simulator can, which lets the repository
+// validate the model tree's "how much" answers against truth.
+type CycleCategory int
+
+const (
+	// CatBase is issue-slot and dependency-serialization cost.
+	CatBase CycleCategory = iota
+	// CatL2Miss is data-side L2 (memory) miss stall.
+	CatL2Miss
+	// CatL1DMiss is data-side L1-miss/L2-hit stall.
+	CatL1DMiss
+	// CatFrontEnd is instruction-side miss stall (L1I, inst-L2, ITLB).
+	CatFrontEnd
+	// CatBranch is mispredict flush cost.
+	CatBranch
+	// CatDTLB is data translation (L0 miss + page walk) cost.
+	CatDTLB
+	// CatLCP is length-changing-prefix pre-decode stall.
+	CatLCP
+	// CatBlocks is load-block (STA/STD/overlap) cost.
+	CatBlocks
+	// CatAlign is misalignment and line-split cost.
+	CatAlign
+	// CatStore is store-side miss cost drained through the store buffer.
+	CatStore
+
+	numCategories
+)
+
+// String names the category.
+func (c CycleCategory) String() string {
+	switch c {
+	case CatBase:
+		return "base"
+	case CatL2Miss:
+		return "l2miss"
+	case CatL1DMiss:
+		return "l1dmiss"
+	case CatFrontEnd:
+		return "frontend"
+	case CatBranch:
+		return "branch"
+	case CatDTLB:
+		return "dtlb"
+	case CatLCP:
+		return "lcp"
+	case CatBlocks:
+		return "blocks"
+	case CatAlign:
+		return "align"
+	case CatStore:
+		return "store"
+	default:
+		return fmt.Sprintf("cat(%d)", int(c))
+	}
+}
+
+// Breakdown is the ground-truth cycle attribution accumulated alongside
+// the PMU counters.
+type Breakdown [numCategories]float64
+
+// Total returns the summed cycles across categories.
+func (b Breakdown) Total() float64 {
+	s := 0.0
+	for _, v := range b {
+		s += v
+	}
+	return s
+}
+
+// Share returns category cycles divided by the total (0 when idle).
+func (b Breakdown) Share(c CycleCategory) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b[c] / t
+}
+
+// Reset zeroes the breakdown.
+func (b *Breakdown) Reset() { *b = Breakdown{} }
+
+// String renders the stack largest-first, e.g.
+// "l2miss:46.2% base:21.0% dtlb:12.4% ...".
+func (b Breakdown) String() string {
+	type entry struct {
+		c CycleCategory
+		v float64
+	}
+	entries := make([]entry, 0, numCategories)
+	for c := CycleCategory(0); c < numCategories; c++ {
+		if b[c] > 0 {
+			entries = append(entries, entry{c, b[c]})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].v > entries[j].v })
+	t := b.Total()
+	parts := make([]string, 0, len(entries))
+	for _, e := range entries {
+		parts = append(parts, fmt.Sprintf("%s:%.1f%%", e.c, 100*e.v/t))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,99 @@
+package cpu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim/trace"
+)
+
+// TestBreakdownSumsToCycles is the accounting invariant: every cycle the
+// model charges is attributed to exactly one category, so the breakdown
+// total must equal the PMU cycle counter for any instruction mix.
+func TestBreakdownSumsToCycles(t *testing.T) {
+	var insts []trace.Inst
+	// A messy mix exercising every charging path.
+	addr := uint64(0x40_0000_0000)
+	for i := 0; i < 2000; i++ {
+		switch i % 7 {
+		case 0:
+			insts = append(insts, trace.Inst{Kind: trace.Load, PC: 0x1000, Addr: addr, Size: 8, DepDist: uint8(i % 3)})
+			addr += 1 << 19
+		case 1:
+			insts = append(insts, trace.Inst{Kind: trace.Store, PC: 0x1004, Addr: addr, Size: 8, Misaligned: i%2 == 0})
+		case 2:
+			insts = append(insts, trace.Inst{Kind: trace.Branch, PC: 0x9000_0000 + uint64(i)*64, Taken: true, Target: 0x9100_0000 + uint64(i)*64})
+		case 3:
+			insts = append(insts, trace.Inst{Kind: trace.Load, PC: 0x1008, Addr: 0x503C + uint64(i%4), Size: 8, BlockSTA: true})
+		case 4:
+			insts = append(insts, trace.Inst{Kind: trace.Other, PC: uint64(i) * 4 % (4 << 20), LCP: i%3 == 0})
+		default:
+			insts = append(insts, trace.Inst{Kind: trace.Other, PC: 0x2000, DepDist: 2})
+		}
+	}
+	c := run(insts)
+	bd := c.CycleBreakdown()
+	if diff := math.Abs(bd.Total() - c.Counters().Cycles); diff > 1e-6 {
+		t.Errorf("breakdown total %v != cycles %v (diff %v)", bd.Total(), c.Counters().Cycles, diff)
+	}
+}
+
+func TestBreakdownCategoriesRespondToWorkload(t *testing.T) {
+	// Pure ALU stream: everything is base once the one-line loop's cold
+	// fetch amortizes.
+	c := run(fill(50000, 0x1000))
+	bd := c.CycleBreakdown()
+	if bd.Share(CatBase) < 0.97 {
+		t.Errorf("ALU stream base share %v, want ~1", bd.Share(CatBase))
+	}
+	// Chase stream: l2miss dominates.
+	c = run(coldLoads(300, 5, 1))
+	bd = c.CycleBreakdown()
+	if bd.Share(CatL2Miss) < 0.5 {
+		t.Errorf("chase L2 share %v, want > 0.5", bd.Share(CatL2Miss))
+	}
+}
+
+func TestBreakdownResetWithSection(t *testing.T) {
+	c := run(coldLoads(50, 5, 1))
+	if c.CycleBreakdown().Total() == 0 {
+		t.Fatal("no cycles attributed")
+	}
+	c.ResetSection()
+	if c.CycleBreakdown().Total() != 0 {
+		t.Error("ResetSection did not clear the breakdown")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var bd Breakdown
+	bd[CatBase] = 3
+	bd[CatL2Miss] = 7
+	s := bd.String()
+	if !strings.Contains(s, "l2miss:70.0%") || !strings.Contains(s, "base:30.0%") {
+		t.Errorf("String = %q", s)
+	}
+	// Largest first.
+	if strings.Index(s, "l2miss") > strings.Index(s, "base") {
+		t.Errorf("not sorted: %q", s)
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	for c := CycleCategory(0); c < numCategories; c++ {
+		if c.String() == "" || strings.HasPrefix(c.String(), "cat(") {
+			t.Errorf("category %d has no name", int(c))
+		}
+	}
+	if !strings.HasPrefix(CycleCategory(99).String(), "cat(") {
+		t.Error("unknown category should render as cat(n)")
+	}
+}
+
+func TestBreakdownIdleShare(t *testing.T) {
+	var bd Breakdown
+	if bd.Share(CatBase) != 0 {
+		t.Error("idle share nonzero")
+	}
+}

@@ -1,0 +1,153 @@
+// Package cpu implements the trace-driven timing model of a Core-2-Duo-like
+// out-of-order superscalar core together with its performance-monitoring
+// counters.
+//
+// The model is interval-analysis style: a base cost per retired instruction
+// (issue-width plus dependency serialization) plus penalties for
+// micro-architectural events. Crucially — and this is the property the
+// reproduced paper hinges on — the *effective* penalty of an event depends
+// on context:
+//
+//   - Independent L2 data misses that fall within one reorder-buffer window
+//     of each other overlap (memory-level parallelism) and cost only a
+//     residual fraction of the memory latency; dependent misses (pointer
+//     chasing) serialize and pay the full latency.
+//   - L1D misses that hit L2 are largely hidden by out-of-order execution
+//     unless a consumer follows closely.
+//   - Branch mispredict flushes are cheap when they occur in the shadow of
+//     an outstanding long-latency miss.
+//   - Instruction-side misses starve the front end and cannot be hidden;
+//     an L1I miss that also misses L2 pays full memory latency, which is
+//     what makes the paper's LM18 class (high L2M + high L1IM, CPI ~ 2.2)
+//     so slow.
+//
+// A uniform fixed-penalty model therefore mis-prices events, while a model
+// tree that first classifies sections can fit accurate per-class linear
+// models — the paper's thesis, reproduced mechanistically.
+package cpu
+
+// Config holds the timing parameters of the modeled core. Latencies are in
+// core cycles at the paper's 2.4 GHz operating point.
+type Config struct {
+	// IssueWidth is the sustained superscalar width (Core 2: 4).
+	IssueWidth float64
+	// DepSerialization is the extra cycle cost charged when an instruction
+	// has a producer within its dependency distance, modeling limited ILP.
+	DepSerialization float64
+	// MemLatency is the L2-miss-to-DRAM latency.
+	MemLatency float64
+	// L2HitLatency is the L1-miss/L2-hit latency.
+	L2HitLatency float64
+	// MispredictPenalty is the pipeline flush + refetch cost of a branch
+	// mispredict when fully exposed.
+	MispredictPenalty float64
+	// Dtlb0Penalty is the cost of missing the L0 load DTLB but hitting the
+	// main DTLB.
+	Dtlb0Penalty float64
+	// WalkPenalty is the page-walk cost of a last-level TLB miss.
+	WalkPenalty float64
+	// LdBlockSTAPenalty, LdBlockSTDPenalty and LdBlockOvStPenalty price
+	// the three load-block conditions.
+	LdBlockSTAPenalty  float64
+	LdBlockSTDPenalty  float64
+	LdBlockOvStPenalty float64
+	// MisalignPenalty prices a misaligned memory reference.
+	MisalignPenalty float64
+	// SplitLoadPenalty and SplitStorePenalty price cache-line-crossing
+	// accesses.
+	SplitLoadPenalty  float64
+	SplitStorePenalty float64
+	// LCPPenalty is the pre-decoder stall for a length-changing prefix.
+	LCPPenalty float64
+
+	// ROBWindow is the reorder-buffer depth in instructions; independent
+	// long-latency misses within this distance overlap.
+	ROBWindow uint64
+	// MLPResidual is the fraction of MemLatency charged for an overlapped
+	// (memory-parallel) L2 miss.
+	MLPResidual float64
+	// OOOHidingResidual is the fraction of L2HitLatency charged for an
+	// L1D miss whose consumer is far away.
+	OOOHidingResidual float64
+	// ShadowResidual is the fraction of MispredictPenalty charged when the
+	// flush happens under an outstanding miss.
+	ShadowResidual float64
+	// StoreExposure is the fraction of store-side miss latency charged;
+	// stores retire off the critical path through store buffers.
+	StoreExposure float64
+	// FrontEndExposure is the fraction of instruction-side L2-hit latency
+	// charged for an L1I miss (decode queue slack hides a little).
+	FrontEndExposure float64
+
+	// WrongPathFetches is the number of wrong-path instruction fetches
+	// simulated after each mispredict; they perturb the I-side structures
+	// and inflate speculative-inclusive counters, which is what separates
+	// DtlbLdM from DtlbLdReM on real hardware.
+	WrongPathFetches int
+	// WrongPathLoads is the number of wrong-path data loads simulated
+	// after each mispredict.
+	WrongPathLoads int
+
+	// Seed drives wrong-path address generation.
+	Seed int64
+}
+
+// NetBurstConfig returns Pentium-4-like timing parameters: a much deeper
+// pipeline (31 stages vs ~14) makes the mispredict flush-and-resteer cost
+// roughly 2.5x the Core 2 value, and the higher clock multiplies memory
+// latency in cycles. The paper's §V.A discussion contrasts exactly this:
+// branch mispredicts had a "controlling role" on NetBurst but matter much
+// less on Core 2.
+func NetBurstConfig() Config {
+	c := DefaultConfig()
+	c.IssueWidth = 3
+	c.MispredictPenalty = 31
+	c.MemLatency = 220 // higher clock, similar DRAM: more cycles
+	c.L2HitLatency = 18
+	c.ROBWindow = 126
+	return c
+}
+
+// InOrderConfig returns the timing of an in-order core of the same width:
+// no miss overlap, no out-of-order latency hiding, no mispredict
+// shadowing. Every penalty is fully exposed — the machine for which the
+// traditional fixed-penalty model is actually correct.
+func InOrderConfig() Config {
+	c := DefaultConfig()
+	c.MLPResidual = 1
+	c.OOOHidingResidual = 1
+	c.ShadowResidual = 1
+	c.StoreExposure = 1
+	c.FrontEndExposure = 1
+	c.ROBWindow = 1
+	return c
+}
+
+// DefaultConfig returns Core-2-Duo-like timing parameters.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:         4,
+		DepSerialization:   0.45,
+		MemLatency:         165,
+		L2HitLatency:       14,
+		MispredictPenalty:  13,
+		Dtlb0Penalty:       2,
+		WalkPenalty:        30,
+		LdBlockSTAPenalty:  5,
+		LdBlockSTDPenalty:  6,
+		LdBlockOvStPenalty: 5,
+		MisalignPenalty:    1.5,
+		SplitLoadPenalty:   9,
+		SplitStorePenalty:  9,
+		LCPPenalty:         6,
+		ROBWindow:          96,
+		MLPResidual:        0.22,
+		OOOHidingResidual:  0.18,
+		ShadowResidual:     0.25,
+		StoreExposure:      0.15,
+		FrontEndExposure:   0.8,
+		WrongPathFetches:   2,
+		WrongPathLoads:     1,
+		Seed:               1,
+	}
+}

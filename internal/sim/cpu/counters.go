@@ -1,0 +1,75 @@
+package cpu
+
+// Counters is the performance-monitoring counter file of the simulated
+// core: raw event counts accumulated since the last section reset. Field
+// names follow the paper's Table I metric abbreviations; each comment gives
+// the hardware event the paper programmed.
+type Counters struct {
+	// Cycles is CPU_CLK_UNHALTED.CORE; fractional cycles accumulate from
+	// the width-based base cost and are rounded only when read.
+	Cycles float64
+	// Insts is INST_RETIRED.ANY.
+	Insts uint64
+	// Loads is INST_RETIRED.LOADS.
+	Loads uint64
+	// Stores is INST_RETIRED.STORES.
+	Stores uint64
+	// Branches is BR_INST_RETIRED.ANY.
+	Branches uint64
+	// BrMispred is BR_INST_RETIRED.MISPRED.
+	BrMispred uint64
+	// L1DMiss is MEM_LOAD_RETIRED.L1D_LINE_MISS (retired loads missing
+	// L1D).
+	L1DMiss uint64
+	// L1IMiss is L1I_MISSES (includes wrong-path fetches, as the real
+	// event does).
+	L1IMiss uint64
+	// L2Miss is MEM_LOAD_RETIRED.L2_LINE_MISS (retired loads missing L2).
+	L2Miss uint64
+	// Dtlb0LdMiss is DTLB_MISSES.L0_MISS_LD.
+	Dtlb0LdMiss uint64
+	// DtlbLdMiss is DTLB_MISSES.MISS_LD — load page walks *including
+	// speculative wrong-path loads*.
+	DtlbLdMiss uint64
+	// DtlbLdRetMiss is MEM_LOAD_RETIRED.DTLB_MISS — retired-only load page
+	// walks.
+	DtlbLdRetMiss uint64
+	// DtlbAnyMiss is DTLB_MISSES.ANY (loads + stores + speculative).
+	DtlbAnyMiss uint64
+	// ItlbMiss is ITLB.MISS_RETIRED.
+	ItlbMiss uint64
+	// LdBlockSTA is LOAD_BLOCK.STA.
+	LdBlockSTA uint64
+	// LdBlockSTD is LOAD_BLOCK.STD.
+	LdBlockSTD uint64
+	// LdBlockOvSt is LOAD_BLOCK.OVERLAP_STORE.
+	LdBlockOvSt uint64
+	// Misaligned is MISALIGN_MEM_REF.
+	Misaligned uint64
+	// SplitLoads is L1D_SPLIT.LOADS.
+	SplitLoads uint64
+	// SplitStores is L1D_SPLIT.STORES.
+	SplitStores uint64
+	// LCPStalls is ILD_STALL (length-changing-prefix stalls).
+	LCPStalls uint64
+}
+
+// CPI returns cycles per retired instruction (0 when idle).
+func (c Counters) CPI() float64 {
+	if c.Insts == 0 {
+		return 0
+	}
+	return c.Cycles / float64(c.Insts)
+}
+
+// PerInst returns count/Insts (0 when idle), the per-instruction ratio used
+// for every Table I predictor.
+func (c Counters) PerInst(count uint64) float64 {
+	if c.Insts == 0 {
+		return 0
+	}
+	return float64(count) / float64(c.Insts)
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }

@@ -1,0 +1,305 @@
+package cpu
+
+import (
+	"math/rand"
+
+	"repro/internal/sim/branch"
+	"repro/internal/sim/mem"
+	"repro/internal/sim/trace"
+)
+
+// CPU is the trace-driven core model. It owns the memory hierarchy and
+// branch predictor, processes one instruction per Step, and accumulates
+// cycles and PMU counters.
+type CPU struct {
+	cfg Config
+	Mem *mem.Hierarchy
+	BP  *branch.Predictor
+
+	ctr Counters
+	// bd is the ground-truth cycle breakdown, reset with the counters.
+	bd Breakdown
+	// retired is the lifetime retired-instruction index (never reset), used
+	// for ROB-window overlap decisions across section boundaries.
+	retired uint64
+	// lastLongMiss is the retired index of the most recent long-latency
+	// (memory) miss; misses within ROBWindow of it may overlap.
+	lastLongMiss uint64
+	// haveLongMiss records whether lastLongMiss is valid yet.
+	haveLongMiss bool
+	// lastDataAddr seeds wrong-path load addresses.
+	lastDataAddr uint64
+	rng          *rand.Rand
+}
+
+// New builds a core with the given timing config, cache geometry and
+// branch-predictor geometry.
+func New(cfg Config, geom mem.Core2Geometry, bp branch.Config) *CPU {
+	return &CPU{
+		cfg: cfg,
+		Mem: mem.NewHierarchy(geom),
+		BP:  branch.New(bp),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Config returns the timing configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Counters returns a snapshot of the PMU state.
+func (c *CPU) Counters() Counters { return c.ctr }
+
+// CycleBreakdown returns the ground-truth cycle attribution accumulated
+// since the last section reset. Real PMUs cannot produce this; the
+// simulator can, which is what lets the repository check the model tree's
+// "how much" answers against truth (the groundtruth experiment).
+func (c *CPU) CycleBreakdown() Breakdown { return c.bd }
+
+// ResetSection zeroes the PMU counters and cycle accumulator while keeping
+// all micro-architectural state (cache contents, predictor training) warm,
+// exactly like reprogramming counters between sampling sections on real
+// hardware.
+func (c *CPU) ResetSection() {
+	c.ctr.Reset()
+	c.bd.Reset()
+}
+
+// Retired returns the lifetime retired instruction count.
+func (c *CPU) Retired() uint64 { return c.retired }
+
+// inShadow reports whether the current instruction falls within one ROB
+// window of the last long-latency miss, i.e. whether a new event can hide
+// under (or overlap with) that miss.
+func (c *CPU) inShadow() bool {
+	return c.haveLongMiss && c.retired-c.lastLongMiss < c.cfg.ROBWindow
+}
+
+// noteLongMiss records a long-latency miss at the current instruction.
+func (c *CPU) noteLongMiss() {
+	c.lastLongMiss = c.retired
+	c.haveLongMiss = true
+}
+
+// charge books cycles to a ground-truth category and returns them, so
+// call sites can simultaneously accumulate the per-instruction cost.
+func (c *CPU) charge(cat CycleCategory, cycles float64) float64 {
+	c.bd[cat] += cycles
+	return cycles
+}
+
+// Step retires one instruction, charging cycles and counting events.
+func (c *CPU) Step(in *trace.Inst) {
+	cfg := &c.cfg
+	c.ctr.Insts++
+
+	// Base cost: superscalar issue slot plus dependency serialization.
+	base := 1 / cfg.IssueWidth
+	if in.DepDist > 0 && in.DepDist <= 4 {
+		base += cfg.DepSerialization / float64(in.DepDist)
+	}
+	c.bd[CatBase] += base
+	cost := base
+
+	// Front end: every instruction is fetched. Instruction-side stalls
+	// cannot be hidden by the out-of-order core — a starved front end
+	// starves everything — so exposure stays high and an I-side L2 miss
+	// pays (nearly) full memory latency.
+	fr := c.Mem.Fetch(in.PC)
+	if fr.L1Miss {
+		c.ctr.L1IMiss++
+		if fr.L2Miss {
+			cost += c.charge(CatFrontEnd, cfg.MemLatency*cfg.FrontEndExposure)
+			c.noteLongMiss()
+		} else {
+			cost += c.charge(CatFrontEnd, cfg.L2HitLatency*cfg.FrontEndExposure)
+		}
+	}
+	if fr.ItlbMiss {
+		c.ctr.ItlbMiss++
+		cost += c.charge(CatFrontEnd, cfg.WalkPenalty*cfg.FrontEndExposure)
+	}
+	if in.LCP {
+		c.ctr.LCPStalls++
+		cost += c.charge(CatLCP, cfg.LCPPenalty)
+	}
+
+	switch in.Kind {
+	case trace.Load:
+		cost += c.stepLoad(in)
+	case trace.Store:
+		cost += c.stepStore(in)
+	case trace.Branch:
+		cost += c.stepBranch(in)
+	}
+
+	c.ctr.Cycles += cost
+	c.retired++
+}
+
+func (c *CPU) stepLoad(in *trace.Inst) float64 {
+	cfg := &c.cfg
+	c.ctr.Loads++
+	c.lastDataAddr = in.Addr
+	cost := 0.0
+
+	dr := c.Mem.Data(in.Addr, true)
+	if dr.Dtlb0Miss {
+		c.ctr.Dtlb0LdMiss++
+		cost += c.charge(CatDTLB, cfg.Dtlb0Penalty)
+	}
+	if dr.DtlbMiss {
+		c.ctr.DtlbLdMiss++
+		c.ctr.DtlbLdRetMiss++
+		c.ctr.DtlbAnyMiss++
+		// Page walks overlap with an outstanding memory miss.
+		if c.inShadow() {
+			cost += c.charge(CatDTLB, cfg.WalkPenalty*cfg.MLPResidual)
+		} else {
+			cost += c.charge(CatDTLB, cfg.WalkPenalty)
+		}
+	}
+	if dr.L1Miss {
+		c.ctr.L1DMiss++
+		if dr.L2Miss {
+			c.ctr.L2Miss++
+			dependent := in.DepDist > 0 && in.DepDist <= 8
+			switch {
+			case dependent:
+				// A nearby consumer serializes the miss: full latency.
+				cost += c.charge(CatL2Miss, cfg.MemLatency)
+			case c.inShadow():
+				// Independent miss under an outstanding miss: MLP overlap.
+				cost += c.charge(CatL2Miss, cfg.MemLatency*cfg.MLPResidual)
+			default:
+				// Independent, isolated miss: the OOO window hides a
+				// sliver while the ROB drains, then stalls.
+				cost += c.charge(CatL2Miss, cfg.MemLatency*(1-float64(cfg.ROBWindow)/cfg.IssueWidth/cfg.MemLatency))
+			}
+			c.noteLongMiss()
+		} else {
+			// L1 miss, L2 hit: mostly hidden unless a consumer is close.
+			if in.DepDist > 0 && in.DepDist <= 4 {
+				cost += c.charge(CatL1DMiss, cfg.L2HitLatency)
+			} else {
+				cost += c.charge(CatL1DMiss, cfg.L2HitLatency*cfg.OOOHidingResidual)
+			}
+		}
+	}
+
+	// Load-block and alignment hazards.
+	if in.BlockSTA {
+		c.ctr.LdBlockSTA++
+		cost += c.charge(CatBlocks, cfg.LdBlockSTAPenalty)
+	}
+	if in.BlockSTD {
+		c.ctr.LdBlockSTD++
+		cost += c.charge(CatBlocks, cfg.LdBlockSTDPenalty)
+	}
+	if in.BlockOverlap {
+		c.ctr.LdBlockOvSt++
+		cost += c.charge(CatBlocks, cfg.LdBlockOvStPenalty)
+	}
+	if in.Misaligned {
+		c.ctr.Misaligned++
+		cost += c.charge(CatAlign, cfg.MisalignPenalty)
+	}
+	if in.SplitsLine(uint64(c.Mem.L1D.LineB())) {
+		c.ctr.SplitLoads++
+		cost += c.charge(CatAlign, cfg.SplitLoadPenalty)
+	}
+	return cost
+}
+
+func (c *CPU) stepStore(in *trace.Inst) float64 {
+	cfg := &c.cfg
+	c.ctr.Stores++
+	c.lastDataAddr = in.Addr
+	cost := 0.0
+
+	dr := c.Mem.Data(in.Addr, false)
+	if dr.DtlbMiss {
+		c.ctr.DtlbAnyMiss++
+		cost += c.charge(CatDTLB, cfg.WalkPenalty*cfg.StoreExposure)
+	}
+	if dr.L1Miss {
+		// Store misses drain through the store buffer; they expose only a
+		// fraction of their latency and never count in the retired-load
+		// miss events.
+		if dr.L2Miss {
+			cost += c.charge(CatStore, cfg.MemLatency*cfg.StoreExposure)
+			c.noteLongMiss()
+		} else {
+			cost += c.charge(CatStore, cfg.L2HitLatency*cfg.StoreExposure)
+		}
+	}
+	if in.Misaligned {
+		c.ctr.Misaligned++
+		cost += c.charge(CatAlign, cfg.MisalignPenalty)
+	}
+	if in.SplitsLine(uint64(c.Mem.L1D.LineB())) {
+		c.ctr.SplitStores++
+		cost += c.charge(CatAlign, cfg.SplitStorePenalty)
+	}
+	return cost
+}
+
+func (c *CPU) stepBranch(in *trace.Inst) float64 {
+	cfg := &c.cfg
+	c.ctr.Branches++
+	cost := 0.0
+	if !c.BP.Lookup(in.PC, in.Target, in.Taken) {
+		c.ctr.BrMispred++
+		// A flush in the shadow of a pending miss costs little: the back
+		// end was stalled anyway. Exposed flushes pay the full refill.
+		if c.inShadow() {
+			cost += c.charge(CatBranch, cfg.MispredictPenalty*cfg.ShadowResidual)
+		} else {
+			cost += c.charge(CatBranch, cfg.MispredictPenalty)
+		}
+		c.simulateWrongPath(in)
+	}
+	return cost
+}
+
+// simulateWrongPath models speculative execution past a mispredicted
+// branch: a few wrong-path fetches and loads that perturb the I-side and
+// TLB structures and bump the speculative-inclusive counters (L1I_MISSES,
+// DTLB_MISSES.MISS_LD) without affecting the retired-only ones — the same
+// divergence the paper's Table I events exhibit on silicon.
+func (c *CPU) simulateWrongPath(in *trace.Inst) {
+	for i := 0; i < c.cfg.WrongPathFetches; i++ {
+		// Wrong-path fetch runs down the not-taken (or stale-target) path:
+		// nearby code, within a few KB of the branch.
+		wrongPC := in.PC + uint64(1+c.rng.Intn(64))<<6
+		fr := c.Mem.Fetch(wrongPC)
+		if fr.L1Miss {
+			c.ctr.L1IMiss++
+		}
+		if fr.ItlbMiss {
+			c.ctr.ItlbMiss++ // conservatively counted, like the raw event
+		}
+	}
+	for i := 0; i < c.cfg.WrongPathLoads; i++ {
+		wrongAddr := c.lastDataAddr + uint64(c.rng.Intn(1<<16))
+		dr := c.Mem.Data(wrongAddr, true)
+		if dr.Dtlb0Miss {
+			c.ctr.Dtlb0LdMiss++
+		}
+		if dr.DtlbMiss {
+			c.ctr.DtlbLdMiss++ // speculative walk: MISS_LD but not retired
+			c.ctr.DtlbAnyMiss++
+		}
+	}
+}
+
+// Run drains a stream through the core, returning the number of
+// instructions retired.
+func (c *CPU) Run(s trace.Stream) uint64 {
+	var in trace.Inst
+	var n uint64
+	for s.Next(&in) {
+		c.Step(&in)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim/branch"
+	"repro/internal/sim/mem"
+	"repro/internal/sim/trace"
+)
+
+func newCore() *CPU {
+	return New(DefaultConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+}
+
+// run drives a slice of instructions through a fresh core and returns it.
+func run(insts []trace.Inst) *CPU {
+	c := newCore()
+	c.Run(&trace.SliceStream{Insts: insts})
+	return c
+}
+
+// fill produces n Other instructions walking a tiny code loop, which hit
+// the L1I after the first line.
+func fill(n int, startPC uint64) []trace.Inst {
+	out := make([]trace.Inst, n)
+	for i := range out {
+		out[i] = trace.Inst{Kind: trace.Other, PC: startPC + uint64(i%16)*4}
+	}
+	return out
+}
+
+func TestBaseCPIApproachesIssueWidth(t *testing.T) {
+	c := run(fill(10000, 0x1000))
+	cpi := c.Counters().CPI()
+	want := 1 / c.Config().IssueWidth
+	if math.Abs(cpi-want) > 0.02 {
+		t.Errorf("hazard-free CPI %v, want ~%v", cpi, want)
+	}
+}
+
+func TestDependencySerializationCost(t *testing.T) {
+	indep := fill(5000, 0x1000)
+	dep := fill(5000, 0x1000)
+	for i := range dep {
+		dep[i].DepDist = 1
+	}
+	ci := run(indep).Counters().CPI()
+	cd := run(dep).Counters().CPI()
+	if cd <= ci {
+		t.Errorf("dependent CPI %v not above independent %v", cd, ci)
+	}
+}
+
+// coldLoads builds n loads at fresh 4KB-spaced addresses (every one misses
+// caches and TLBs), separated by gap filler instructions.
+func coldLoads(n, gap int, dep uint8) []trace.Inst {
+	var out []trace.Inst
+	addr := uint64(0x10_0000_0000)
+	for i := 0; i < n; i++ {
+		out = append(out, trace.Inst{Kind: trace.Load, PC: 0x1000, Addr: addr, Size: 8, DepDist: dep})
+		addr += 1 << 20 // new page and line every time, prefetch-proof
+		out = append(out, fill(gap, 0x2000)...)
+	}
+	return out
+}
+
+func TestDependentMissesCostMoreThanClustered(t *testing.T) {
+	// Clustered independent misses overlap (MLP); dependent misses
+	// serialize at full memory latency. Same event counts, very
+	// different cycles — the paper's central interaction effect.
+	clustered := run(coldLoads(200, 10, 0)) // 11 instructions apart, inside ROB window
+	chase := run(coldLoads(200, 10, 1))
+	cc := clustered.Counters()
+	ch := chase.Counters()
+	if cc.L2Miss != ch.L2Miss {
+		t.Fatalf("miss counts differ: %d vs %d", cc.L2Miss, ch.L2Miss)
+	}
+	if ch.CPI() < cc.CPI()*1.8 {
+		t.Errorf("chase CPI %v not >> clustered CPI %v", ch.CPI(), cc.CPI())
+	}
+}
+
+func TestIsolatedMissesBetweenClusteredAndChase(t *testing.T) {
+	clustered := run(coldLoads(100, 10, 0)).Counters().CPI()
+	isolated := run(coldLoads(100, 200, 0)).Counters().CPI()
+	chase := run(coldLoads(100, 10, 1)).Counters().CPI()
+	// Per-miss cost ordering holds even though isolated runs have more
+	// filler (compare per-miss penalty, not raw CPI).
+	perMiss := func(cpi float64, instPerMiss int) float64 {
+		base := 1 / DefaultConfig().IssueWidth
+		return (cpi - base) * float64(instPerMiss)
+	}
+	pClustered := perMiss(clustered, 11)
+	pIsolated := perMiss(isolated, 201)
+	pChase := perMiss(chase, 11)
+	if !(pClustered < pIsolated && pIsolated < pChase*1.2) {
+		t.Errorf("per-miss penalties: clustered %v, isolated %v, chase %v; want increasing",
+			pClustered, pIsolated, pChase)
+	}
+}
+
+func TestMispredictShadowing(t *testing.T) {
+	// A mispredicted branch directly behind an L2 miss is largely hidden;
+	// an exposed one pays the full flush.
+	mispredictAfterMiss := func(withMiss bool) float64 {
+		var insts []trace.Inst
+		addr := uint64(0x20_0000_0000)
+		for i := 0; i < 300; i++ {
+			if withMiss {
+				insts = append(insts, trace.Inst{Kind: trace.Load, PC: 0x1000, Addr: addr, Size: 8})
+				addr += 1 << 20
+			} else {
+				insts = append(insts, trace.Inst{Kind: trace.Other, PC: 0x1000})
+			}
+			// A never-before-seen branch PC with a random-ish outcome:
+			// guaranteed cold-BTB mispredicts on taken.
+			insts = append(insts, trace.Inst{
+				Kind: trace.Branch, PC: 0x9000_0000 + uint64(i)*64, Taken: true,
+				Target: 0x9100_0000 + uint64(i)*64,
+			})
+			insts = append(insts, fill(30, 0x2000)...)
+		}
+		c := run(insts)
+		return c.Counters().Cycles
+	}
+	// Compare the branch cost contribution by subtracting a run without
+	// branches... simpler: the shadowed configuration's *additional*
+	// cycles over its no-branch baseline must be smaller.
+	withMissCycles := mispredictAfterMiss(true)
+	noMissCycles := mispredictAfterMiss(false)
+	// Baselines without the branch instructions.
+	base := func(withMiss bool) float64 {
+		var insts []trace.Inst
+		addr := uint64(0x20_0000_0000)
+		for i := 0; i < 300; i++ {
+			if withMiss {
+				insts = append(insts, trace.Inst{Kind: trace.Load, PC: 0x1000, Addr: addr, Size: 8})
+				addr += 1 << 20
+			} else {
+				insts = append(insts, trace.Inst{Kind: trace.Other, PC: 0x1000})
+			}
+			insts = append(insts, fill(30, 0x2000)...)
+		}
+		return run(insts).Counters().Cycles
+	}
+	shadowedCost := withMissCycles - base(true)
+	exposedCost := noMissCycles - base(false)
+	if shadowedCost >= exposedCost {
+		t.Errorf("shadowed mispredict cost %v not below exposed %v", shadowedCost, exposedCost)
+	}
+}
+
+func TestEventCountersExact(t *testing.T) {
+	insts := []trace.Inst{
+		{Kind: trace.Store, PC: 0x1000, Addr: 0x5000, Size: 8},
+		{Kind: trace.Load, PC: 0x1004, Addr: 0x5000, Size: 8, BlockSTA: true, BlockSTD: true},
+		{Kind: trace.Load, PC: 0x1008, Addr: 0x5008, Size: 8, BlockOverlap: true, Misaligned: true},
+		{Kind: trace.Load, PC: 0x100C, Addr: 0x503C, Size: 8},  // splits 0x5040 line boundary
+		{Kind: trace.Store, PC: 0x1010, Addr: 0x507C, Size: 8}, // split store
+		{Kind: trace.Other, PC: 0x1014, LCP: true},
+		{Kind: trace.Branch, PC: 0x1018, Taken: false},
+	}
+	c := run(insts)
+	ctr := c.Counters()
+	if ctr.Insts != 7 {
+		t.Errorf("Insts = %d", ctr.Insts)
+	}
+	if ctr.Loads != 3 || ctr.Stores != 2 || ctr.Branches != 1 {
+		t.Errorf("mix %d/%d/%d", ctr.Loads, ctr.Stores, ctr.Branches)
+	}
+	if ctr.LdBlockSTA != 1 || ctr.LdBlockSTD != 1 || ctr.LdBlockOvSt != 1 {
+		t.Errorf("load blocks %d/%d/%d", ctr.LdBlockSTA, ctr.LdBlockSTD, ctr.LdBlockOvSt)
+	}
+	if ctr.Misaligned != 1 {
+		t.Errorf("Misaligned = %d", ctr.Misaligned)
+	}
+	if ctr.SplitLoads != 1 || ctr.SplitStores != 1 {
+		t.Errorf("splits %d/%d", ctr.SplitLoads, ctr.SplitStores)
+	}
+	if ctr.LCPStalls != 1 {
+		t.Errorf("LCPStalls = %d", ctr.LCPStalls)
+	}
+}
+
+func TestResetSectionKeepsWarmth(t *testing.T) {
+	c := newCore()
+	insts := make([]trace.Inst, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		insts = append(insts, trace.Inst{
+			Kind: trace.Load, PC: 0x1000 + uint64(i%16)*4,
+			Addr: uint64(i%64) * 64, Size: 8,
+		})
+	}
+	c.Run(&trace.SliceStream{Insts: insts})
+	cold := c.Counters().CPI()
+	c.ResetSection()
+	if c.Counters().Insts != 0 {
+		t.Fatal("ResetSection did not clear counters")
+	}
+	c.Run(&trace.SliceStream{Insts: insts})
+	warm := c.Counters().CPI()
+	if warm >= cold {
+		t.Errorf("warm CPI %v not below cold CPI %v", warm, cold)
+	}
+	if c.Retired() != 2000 {
+		t.Errorf("Retired = %d, want lifetime 2000", c.Retired())
+	}
+}
+
+func TestWrongPathInflatesSpeculativeCounters(t *testing.T) {
+	// Mispredicts spawn wrong-path loads: DtlbLdMiss (speculative) must
+	// exceed DtlbLdRetMiss (retired-only).
+	var insts []trace.Inst
+	for i := 0; i < 4000; i++ {
+		// Fresh branch PCs force constant mispredicts.
+		insts = append(insts, trace.Inst{
+			Kind: trace.Branch, PC: 0x5000_0000 + uint64(i)*64, Taken: true,
+			Target: 0x5100_0000 + uint64(i)*64,
+		})
+		insts = append(insts, trace.Inst{Kind: trace.Load, PC: 0x1000, Addr: uint64(i) * 8192, Size: 8})
+	}
+	ctr := run(insts).Counters()
+	if ctr.BrMispred == 0 {
+		t.Fatal("no mispredicts generated")
+	}
+	if ctr.DtlbLdMiss <= ctr.DtlbLdRetMiss {
+		t.Errorf("speculative walks %d not above retired %d", ctr.DtlbLdMiss, ctr.DtlbLdRetMiss)
+	}
+}
+
+func TestFrontEndMissCosts(t *testing.T) {
+	// Code footprint far beyond L1I: every 16th instruction fetch touches
+	// a new line. With a data-free stream the CPI rise is pure front end.
+	small := make([]trace.Inst, 20000)
+	big := make([]trace.Inst, 20000)
+	for i := range small {
+		small[i] = trace.Inst{Kind: trace.Other, PC: uint64(i%1024) * 4}      // 4 KB loop
+		big[i] = trace.Inst{Kind: trace.Other, PC: uint64(i) * 4 % (8 << 20)} // 8 MB walk
+	}
+	cs := run(small).Counters()
+	cb := run(big).Counters()
+	if cb.L1IMiss <= cs.L1IMiss {
+		t.Fatalf("big-code L1I misses %d not above small-code %d", cb.L1IMiss, cs.L1IMiss)
+	}
+	if cb.CPI() <= cs.CPI() {
+		t.Errorf("big-code CPI %v not above small-code %v", cb.CPI(), cs.CPI())
+	}
+}
+
+func TestCountersPerInst(t *testing.T) {
+	var ctr Counters
+	if ctr.CPI() != 0 || ctr.PerInst(5) != 0 {
+		t.Error("idle counters should report zero ratios")
+	}
+	ctr.Insts = 100
+	ctr.Cycles = 250
+	if ctr.CPI() != 2.5 {
+		t.Errorf("CPI = %v", ctr.CPI())
+	}
+	if ctr.PerInst(20) != 0.2 {
+		t.Errorf("PerInst = %v", ctr.PerInst(20))
+	}
+}
+
+func TestStoreMissesCheaperThanLoadMisses(t *testing.T) {
+	mk := func(kind trace.Kind) []trace.Inst {
+		var out []trace.Inst
+		addr := uint64(0x30_0000_0000)
+		for i := 0; i < 300; i++ {
+			out = append(out, trace.Inst{Kind: kind, PC: 0x1000, Addr: addr, Size: 8})
+			addr += 1 << 20
+			out = append(out, fill(50, 0x2000)...)
+		}
+		return out
+	}
+	loadCPI := run(mk(trace.Load)).Counters().CPI()
+	storeCPI := run(mk(trace.Store)).Counters().CPI()
+	if storeCPI >= loadCPI {
+		t.Errorf("store-miss CPI %v not below load-miss CPI %v (store buffering)", storeCPI, loadCPI)
+	}
+}

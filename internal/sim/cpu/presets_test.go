@@ -1,0 +1,71 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/sim/branch"
+	"repro/internal/sim/mem"
+	"repro/internal/sim/trace"
+)
+
+// mispredictTrace builds a stream whose only penalty source is cold-BTB
+// mispredicts.
+func mispredictTrace(n int) []trace.Inst {
+	var out []trace.Inst
+	for i := 0; i < n; i++ {
+		out = append(out, trace.Inst{
+			Kind: trace.Branch, PC: 0x1000_0000 + uint64(i)*64, Taken: true,
+			Target: 0x2000_0000 + uint64(i)*64,
+		})
+		out = append(out, fill(20, 0x3000)...)
+	}
+	return out
+}
+
+func TestNetBurstMispredictsCostMore(t *testing.T) {
+	insts := mispredictTrace(500)
+	core2 := New(DefaultConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	core2.Run(&trace.SliceStream{Insts: insts})
+	nb := New(NetBurstConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	nb.Run(&trace.SliceStream{Insts: insts})
+	c2, cn := core2.Counters(), nb.Counters()
+	if cn.BrMispred != c2.BrMispred {
+		t.Fatalf("mispredict counts differ: %d vs %d", cn.BrMispred, c2.BrMispred)
+	}
+	if cn.CPI() <= c2.CPI() {
+		t.Errorf("NetBurst CPI %v not above Core 2 CPI %v on mispredict-bound code", cn.CPI(), c2.CPI())
+	}
+}
+
+func TestInOrderExposesAllPenalties(t *testing.T) {
+	// Clustered independent misses: nearly free on the OOO core (MLP),
+	// fully exposed in order.
+	insts := coldLoads(200, 10, 0)
+	ooo := New(DefaultConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	ooo.Run(&trace.SliceStream{Insts: insts})
+	ino := New(InOrderConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	ino.Run(&trace.SliceStream{Insts: insts})
+	if ino.Counters().CPI() < ooo.Counters().CPI()*2 {
+		t.Errorf("in-order CPI %v not far above OOO CPI %v on overlappable misses",
+			ino.Counters().CPI(), ooo.Counters().CPI())
+	}
+}
+
+func TestInOrderMatchesNominalPenalties(t *testing.T) {
+	// On the in-order core a single isolated cold load costs the full
+	// nominal walk + memory latency — the regime where the traditional
+	// fixed-penalty model is exact.
+	cfg := InOrderConfig()
+	core := New(cfg, mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	warm := fill(1000, 0x1000)
+	core.Run(&trace.SliceStream{Insts: warm})
+	before := core.Counters().Cycles
+	core.Run(&trace.SliceStream{Insts: []trace.Inst{
+		{Kind: trace.Load, PC: 0x1000, Addr: 0x70_0000_0000, Size: 8},
+	}})
+	delta := core.Counters().Cycles - before
+	want := 1/cfg.IssueWidth + cfg.MemLatency + cfg.WalkPenalty + cfg.Dtlb0Penalty
+	if delta < want*0.95 || delta > want*1.05 {
+		t.Errorf("isolated in-order cold load cost %v cycles, want ~%v", delta, want)
+	}
+}

@@ -1,0 +1,226 @@
+// Package mem models the memory-subsystem structures of a Core-2-Duo-like
+// processor: set-associative LRU caches (split 32 KB L1 instruction and
+// data caches over a shared 4 MB L2) and the translation hierarchy (a tiny
+// L0 load DTLB in front of the main DTLB, plus an ITLB).
+//
+// These structures supply the miss events of the paper's Table I: L1DM,
+// L1IM, L2M, DtlbL0LdM, DtlbLdM, DtlbLdReM, Dtlb and ItlbM. The timing
+// consequences of the misses are modeled separately in internal/sim/cpu.
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name  string
+	SizeB int64 // total capacity in bytes
+	Ways  int   // associativity
+	LineB int64 // line size in bytes
+}
+
+// Validate checks structural soundness (power-of-two geometry, etc.).
+func (c CacheConfig) Validate() error {
+	if c.SizeB <= 0 || c.Ways <= 0 || c.LineB <= 0 {
+		return fmt.Errorf("mem: cache %q has non-positive geometry", c.Name)
+	}
+	if c.SizeB%(int64(c.Ways)*c.LineB) != 0 {
+		return fmt.Errorf("mem: cache %q size %d not divisible by ways*line", c.Name, c.SizeB)
+	}
+	sets := c.SizeB / (int64(c.Ways) * c.LineB)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: cache %q has %d sets, not a power of two", c.Name, sets)
+	}
+	if c.LineB&(c.LineB-1) != 0 {
+		return fmt.Errorf("mem: cache %q line size %d not a power of two", c.Name, c.LineB)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+//
+// Implementation: each set is a small slice of tags ordered most- to
+// least-recently used; with the 8-16 way associativities modeled here a
+// move-to-front scan beats fancier structures.
+type Cache struct {
+	cfg       CacheConfig
+	sets      [][]uint64 // sets[s] = tags in MRU..LRU order
+	setMask   uint64
+	lineShift uint
+	// Stats
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache. It panics on an invalid configuration, because
+// configurations are static program data here.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeB / (int64(cfg.Ways) * cfg.LineB)
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]uint64, nsets),
+		setMask:   uint64(nsets - 1),
+		lineShift: uint(bits.TrailingZeros64(uint64(cfg.LineB))),
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// Access looks up the line containing addr, fills it on a miss, and
+// reports whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	line := addr >> c.lineShift
+	s := line & c.setMask
+	set := c.sets[s]
+	for i, tag := range set {
+		if tag == line {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	c.Misses++
+	if len(set) < c.cfg.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[s] = set
+	return false
+}
+
+// Fill installs the line containing addr as MRU without touching the
+// access/miss statistics. It models fills from hardware prefetchers, which
+// the PMU's demand-miss events do not count.
+func (c *Cache) Fill(addr uint64) {
+	line := addr >> c.lineShift
+	s := line & c.setMask
+	set := c.sets[s]
+	for i, tag := range set {
+		if tag == line {
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return
+		}
+	}
+	if len(set) < c.cfg.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[s] = set
+}
+
+// Probe reports whether the line containing addr is present without
+// updating replacement state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	for _, tag := range c.sets[line&c.setMask] {
+		if tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.Accesses, c.Misses = 0, 0
+}
+
+// ResetStats clears statistics but keeps contents (used between sampling
+// sections so cache warmth carries over, as on real hardware).
+func (c *Cache) ResetStats() { c.Accesses, c.Misses = 0, 0 }
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// LineB returns the line size in bytes.
+func (c *Cache) LineB() int64 { return c.cfg.LineB }
+
+// TLBConfig describes a translation lookaside buffer.
+type TLBConfig struct {
+	Name    string
+	Entries int
+	Ways    int
+	PageB   int64
+}
+
+// Validate checks structural soundness.
+func (c TLBConfig) Validate() error {
+	if c.Entries <= 0 || c.Ways <= 0 || c.PageB <= 0 {
+		return fmt.Errorf("mem: TLB %q has non-positive geometry", c.Name)
+	}
+	if c.Entries%c.Ways != 0 {
+		return fmt.Errorf("mem: TLB %q entries %d not divisible by ways %d", c.Name, c.Entries, c.Ways)
+	}
+	sets := c.Entries / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: TLB %q has %d sets, not a power of two", c.Name, sets)
+	}
+	if c.PageB&(c.PageB-1) != 0 {
+		return fmt.Errorf("mem: TLB %q page size %d not a power of two", c.Name, c.PageB)
+	}
+	return nil
+}
+
+// TLB is a set-associative LRU translation buffer over page numbers. It
+// reuses the cache machinery with page-granular tags.
+type TLB struct {
+	inner     *Cache
+	pageShift uint
+}
+
+// NewTLB builds a TLB; it panics on an invalid configuration.
+func NewTLB(cfg TLBConfig) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	// Model the TLB as a cache whose "line" is one page-number unit: use
+	// entry-count geometry with line size 1 over page numbers.
+	inner := NewCache(CacheConfig{
+		Name:  cfg.Name,
+		SizeB: int64(cfg.Entries),
+		Ways:  cfg.Ways,
+		LineB: 1,
+	})
+	return &TLB{inner: inner, pageShift: uint(bits.TrailingZeros64(uint64(cfg.PageB)))}
+}
+
+// Access translates addr, filling on a miss, and reports whether it hit.
+func (t *TLB) Access(addr uint64) bool { return t.inner.Access(addr >> t.pageShift) }
+
+// Probe reports presence without side effects.
+func (t *TLB) Probe(addr uint64) bool { return t.inner.Probe(addr >> t.pageShift) }
+
+// Reset clears contents and statistics.
+func (t *TLB) Reset() { t.inner.Reset() }
+
+// ResetStats clears statistics only.
+func (t *TLB) ResetStats() { t.inner.ResetStats() }
+
+// Accesses returns the access count.
+func (t *TLB) Accesses() uint64 { return t.inner.Accesses }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.inner.Misses }

@@ -1,0 +1,183 @@
+package mem
+
+// Core2Geometry returns the cache/TLB geometry of the paper's test machine,
+// a 2.4 GHz Core 2 Duo: per-core 32 KB L1I and 32 KB L1D (8-way, 64 B
+// lines), a shared 4 MB 16-way L2, a 16-entry L0 load DTLB in front of a
+// 256-entry DTLB, and a 128-entry ITLB. (We model one core; the paper's
+// workloads are single-threaded SPEC runs.)
+type Core2Geometry struct {
+	L1I, L1D, L2      CacheConfig
+	DTLB0, DTLB, ITLB TLBConfig
+}
+
+// DefaultCore2Geometry returns the standard Core 2 Duo parameters.
+func DefaultCore2Geometry() Core2Geometry {
+	return Core2Geometry{
+		L1I:   CacheConfig{Name: "L1I", SizeB: 32 << 10, Ways: 8, LineB: 64},
+		L1D:   CacheConfig{Name: "L1D", SizeB: 32 << 10, Ways: 8, LineB: 64},
+		L2:    CacheConfig{Name: "L2", SizeB: 4 << 20, Ways: 16, LineB: 64},
+		DTLB0: TLBConfig{Name: "DTLB0", Entries: 16, Ways: 4, PageB: 4 << 10},
+		DTLB:  TLBConfig{Name: "DTLB", Entries: 256, Ways: 4, PageB: 4 << 10},
+		ITLB:  TLBConfig{Name: "ITLB", Entries: 128, Ways: 4, PageB: 4 << 10},
+	}
+}
+
+// ScaledGeometry returns the Core 2 geometry divided by factor (minimum one
+// way / line). Small geometries make the miss events easy to excite in unit
+// tests without large footprints.
+func ScaledGeometry(factor int64) Core2Geometry {
+	g := DefaultCore2Geometry()
+	shrinkCache := func(c CacheConfig) CacheConfig {
+		c.SizeB /= factor
+		min := int64(c.Ways) * c.LineB
+		if c.SizeB < min {
+			c.SizeB = min
+		}
+		return c
+	}
+	shrinkTLB := func(t TLBConfig) TLBConfig {
+		t.Entries /= int(factor)
+		if t.Entries < t.Ways {
+			t.Entries = t.Ways
+		}
+		return t
+	}
+	g.L1I, g.L1D, g.L2 = shrinkCache(g.L1I), shrinkCache(g.L1D), shrinkCache(g.L2)
+	g.DTLB0, g.DTLB, g.ITLB = shrinkTLB(g.DTLB0), shrinkTLB(g.DTLB), shrinkTLB(g.ITLB)
+	return g
+}
+
+// DataResult describes the outcome of one data access through the
+// hierarchy.
+type DataResult struct {
+	L1Miss    bool // missed the L1 data cache
+	L2Miss    bool // missed the shared L2 (implies L1Miss)
+	Dtlb0Miss bool // missed the L0 load DTLB (loads only)
+	DtlbMiss  bool // missed the main DTLB (page walk)
+}
+
+// FetchResult describes the outcome of one instruction fetch.
+type FetchResult struct {
+	L1Miss   bool
+	L2Miss   bool
+	ItlbMiss bool
+}
+
+// Hierarchy wires the caches and TLBs together with the Core 2 inclusion
+// and lookup protocol: data accesses translate through DTLB0 (loads) and
+// the main DTLB, then probe L1D and, on a miss, L2; instruction fetches
+// translate through the ITLB and probe L1I then L2.
+type Hierarchy struct {
+	L1I, L1D, L2      *Cache
+	DTLB0, DTLB, ITLB *TLB
+	// DataPF and InstPF are the stream prefetchers watching demand lines
+	// on each side; nil disables prefetching (for ablations).
+	DataPF, InstPF *Prefetcher
+	// L2DataMisses and L2InstMisses split L2.Misses by requester so the
+	// timing model can distinguish instruction-driven L2 misses (which
+	// starve the front end) from data-driven ones.
+	L2DataMisses uint64
+	L2InstMisses uint64
+}
+
+// NewHierarchy constructs the hierarchy for a geometry, with stream
+// prefetchers enabled on both sides.
+func NewHierarchy(g Core2Geometry) *Hierarchy {
+	return &Hierarchy{
+		L1I:    NewCache(g.L1I),
+		L1D:    NewCache(g.L1D),
+		L2:     NewCache(g.L2),
+		DTLB0:  NewTLB(g.DTLB0),
+		DTLB:   NewTLB(g.DTLB),
+		ITLB:   NewTLB(g.ITLB),
+		DataPF: NewPrefetcher(2),
+		InstPF: NewPrefetcher(2),
+	}
+}
+
+// Data performs a data access (load when isLoad, else store) at addr.
+func (h *Hierarchy) Data(addr uint64, isLoad bool) DataResult {
+	var r DataResult
+	if isLoad {
+		// The L0 DTLB filters load translations only, as on Core 2.
+		if !h.DTLB0.Access(addr) {
+			r.Dtlb0Miss = true
+			if !h.DTLB.Access(addr) {
+				r.DtlbMiss = true
+			}
+		}
+	} else {
+		if !h.DTLB.Access(addr) {
+			r.DtlbMiss = true
+		}
+	}
+	if !h.L1D.Access(addr) {
+		r.L1Miss = true
+		if !h.L2.Access(addr) {
+			r.L2Miss = true
+			h.L2DataMisses++
+		}
+	}
+	if h.DataPF != nil {
+		line := uint64(h.L2.LineB())
+		for _, pl := range h.DataPF.Observe(addr / line) {
+			// The DPL prefetches into the L2 only; L1D still takes the
+			// demand miss, so L1DM stays an honest event for streams.
+			h.L2.Fill(pl * line)
+		}
+	}
+	return r
+}
+
+// Fetch performs an instruction fetch at pc.
+func (h *Hierarchy) Fetch(pc uint64) FetchResult {
+	var r FetchResult
+	if !h.ITLB.Access(pc) {
+		r.ItlbMiss = true
+	}
+	if !h.L1I.Access(pc) {
+		r.L1Miss = true
+		if !h.L2.Access(pc) {
+			r.L2Miss = true
+			h.L2InstMisses++
+		}
+	}
+	if h.InstPF != nil {
+		line := uint64(h.L1I.LineB())
+		for _, pl := range h.InstPF.Observe(pc / line) {
+			// The instruction prefetcher fills both levels: sequential
+			// code runs ahead of the fetcher.
+			h.L1I.Fill(pl * line)
+			h.L2.Fill(pl * line)
+		}
+	}
+	return r
+}
+
+// Reset clears all contents and statistics.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.DTLB0.Reset()
+	h.DTLB.Reset()
+	h.ITLB.Reset()
+	if h.DataPF != nil {
+		h.DataPF.Reset()
+	}
+	if h.InstPF != nil {
+		h.InstPF.Reset()
+	}
+	h.L2DataMisses, h.L2InstMisses = 0, 0
+}
+
+// ResetStats clears statistics but preserves warmth.
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	h.DTLB0.ResetStats()
+	h.DTLB.ResetStats()
+	h.ITLB.ResetStats()
+	h.L2DataMisses, h.L2InstMisses = 0, 0
+}

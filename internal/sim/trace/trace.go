@@ -1,0 +1,136 @@
+// Package trace defines the dynamic instruction representation consumed by
+// the CPU timing model and produced by the workload generators. An
+// instruction stream is pulled one record at a time, so multi-billion
+// instruction executions never materialize in memory.
+package trace
+
+// Kind classifies a dynamic instruction.
+type Kind uint8
+
+const (
+	// Other covers ALU/FP/move instructions with no memory or control
+	// side effects relevant to the model.
+	Other Kind = iota
+	// Load is a memory read.
+	Load
+	// Store is a memory write.
+	Store
+	// Branch is a conditional or unconditional control transfer.
+	Branch
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	default:
+		return "other"
+	}
+}
+
+// Inst is one dynamic instruction record.
+type Inst struct {
+	// Kind classifies the instruction.
+	Kind Kind
+	// PC is the instruction address (drives L1I/ITLB behaviour).
+	PC uint64
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+	// Size is the access size in bytes for loads and stores.
+	Size uint8
+	// Taken and Target describe branch outcomes.
+	Taken  bool
+	Target uint64
+	// DepDist is the distance (in instructions) from this instruction to
+	// its first consumer: 0 means no nearby consumer (independent work
+	// follows, so the out-of-order core can hide latency), small values
+	// mean a tight dependency chain (latency is exposed). Workload
+	// generators set this from their dependency profile.
+	DepDist uint8
+	// LCP marks an instruction whose encoding carries a length-changing
+	// prefix, causing a pre-decode stall (the paper's LCP event).
+	LCP bool
+	// Misaligned marks a memory access whose address is not naturally
+	// aligned for its size.
+	Misaligned bool
+	// BlockSTA, BlockSTD and BlockOverlap mark loads that are blocked by,
+	// respectively, an unresolved store address, unavailable store data,
+	// and a partially overlapping earlier store (failed forwarding).
+	BlockSTA, BlockSTD, BlockOverlap bool
+}
+
+// SplitsLine reports whether a memory access crosses a cache-line boundary
+// of the given line size (the L1D split load/store events).
+func (in *Inst) SplitsLine(lineB uint64) bool {
+	if in.Kind != Load && in.Kind != Store || in.Size == 0 {
+		return false
+	}
+	start := in.Addr
+	end := in.Addr + uint64(in.Size) - 1
+	return start/lineB != end/lineB
+}
+
+// Stream produces instruction records. Next fills *Inst and reports false
+// when the stream is exhausted.
+type Stream interface {
+	Next(*Inst) bool
+}
+
+// SliceStream adapts a fixed instruction slice to Stream; used by tests.
+type SliceStream struct {
+	Insts []Inst
+	pos   int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(in *Inst) bool {
+	if s.pos >= len(s.Insts) {
+		return false
+	}
+	*in = s.Insts[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the stream.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// FuncStream adapts a generator function to Stream.
+type FuncStream func(*Inst) bool
+
+// Next implements Stream.
+func (f FuncStream) Next(in *Inst) bool { return f(in) }
+
+// Limit wraps a stream and stops it after n instructions.
+func Limit(s Stream, n uint64) Stream {
+	remaining := n
+	return FuncStream(func(in *Inst) bool {
+		if remaining == 0 {
+			return false
+		}
+		if !s.Next(in) {
+			return false
+		}
+		remaining--
+		return true
+	})
+}
+
+// Concat chains streams end to end.
+func Concat(streams ...Stream) Stream {
+	i := 0
+	return FuncStream(func(in *Inst) bool {
+		for i < len(streams) {
+			if streams[i].Next(in) {
+				return true
+			}
+			i++
+		}
+		return false
+	})
+}

@@ -1,0 +1,148 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func linearData(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "a"}, {Name: "b"}}, 0)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		d.MustAppend(dataset.Instance{2*a - b, a, b})
+	}
+	return d
+}
+
+func TestTrainValidation(t *testing.T) {
+	empty := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	if _, err := Train(empty, DefaultConfig()); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	d := linearData(10, 1)
+	cfg := DefaultConfig()
+	cfg.C = 0
+	if _, err := Train(d, cfg); err == nil {
+		t.Error("C=0 accepted")
+	}
+}
+
+func TestLearnsLinearWithLinearKernel(t *testing.T) {
+	d := linearData(600, 2)
+	cfg := DefaultConfig()
+	cfg.Kernel = KernelLinear
+	m, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := eval.Evaluate(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Correlation < 0.98 {
+		t.Errorf("linear-kernel correlation %v < 0.98", met.Correlation)
+	}
+}
+
+func TestLearnsNonlinearWithRBF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := dataset.MustNew([]dataset.Attribute{{Name: "y"}, {Name: "x"}}, 0)
+	for i := 0; i < 600; i++ {
+		x := rng.Float64()*4 - 2
+		d.MustAppend(dataset.Instance{math.Sin(2 * x), x})
+	}
+	m, err := Train(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := eval.Evaluate(m, d)
+	if met.Correlation < 0.95 {
+		t.Errorf("RBF fit of sin correlation %v < 0.95", met.Correlation)
+	}
+}
+
+func TestSubsamplingCap(t *testing.T) {
+	d := linearData(500, 4)
+	cfg := DefaultConfig()
+	cfg.MaxTrainSize = 100
+	cfg.Kernel = KernelLinear
+	m, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSupportVectors() > 100 {
+		t.Errorf("support vectors %d exceed training cap 100", m.NumSupportVectors())
+	}
+	met, _ := eval.Evaluate(m, d)
+	if met.Correlation < 0.95 {
+		t.Errorf("subsampled fit correlation %v < 0.95", met.Correlation)
+	}
+}
+
+func TestSupportVectorsBounded(t *testing.T) {
+	d := linearData(200, 5)
+	m, err := Train(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv := m.NumSupportVectors(); sv > d.Len() {
+		t.Errorf("support vectors %d > training size %d", sv, d.Len())
+	}
+}
+
+func TestEpsilonTubeSparsity(t *testing.T) {
+	// With a wide epsilon tube and an easy target, many points sit inside
+	// the tube and contribute no support vector.
+	d := linearData(300, 6)
+	wide := DefaultConfig()
+	wide.Kernel = KernelLinear
+	wide.Epsilon = 1.0
+	narrow := wide
+	narrow.Epsilon = 0.001
+	mw, err := Train(d, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := Train(d, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mw.NumSupportVectors() >= mn.NumSupportVectors() {
+		t.Errorf("wide tube kept %d SVs, narrow %d; expected fewer for wide",
+			mw.NumSupportVectors(), mn.NumSupportVectors())
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	d := linearData(150, 7)
+	m1, err := Train(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := dataset.Instance{0, 0.5, -0.5}
+	if m1.Predict(in) != m2.Predict(in) {
+		t.Error("same seed produced different machines")
+	}
+}
+
+func TestPredictFinite(t *testing.T) {
+	d := linearData(100, 8)
+	m, err := Train(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []dataset.Instance{{0, 0, 0}, {0, 50, -50}} {
+		if p := m.Predict(in); math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Errorf("Predict(%v) = %v", in, p)
+		}
+	}
+}

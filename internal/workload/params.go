@@ -1,0 +1,182 @@
+// Package workload synthesizes SPEC-CPU2006-like instruction streams for
+// the simulated core. Each Benchmark is a sequence of Phases; each Phase is
+// a parameterized kernel (instruction mix, memory footprint and access
+// pattern, branch behaviour, code footprint, encoding hazards) plus a
+// section budget. Per-section parameter jitter provides the within-class
+// variation that the model tree's leaf regressions fit.
+//
+// The suite in suite.go is constructed so the named benchmarks reproduce
+// the behavioural signatures the paper reports: 436.cactusADM sections are
+// overwhelmingly high-L2-miss plus high-L1I-miss (the LM18 class),
+// 429.mcf sections are dominated by dependent L2 and DTLB misses (LM17),
+// and roughly a fifth of 403.gcc sections are length-changing-prefix
+// stalled (the LM10 story).
+package workload
+
+import "fmt"
+
+// AccessPattern selects how a kernel walks its data footprint.
+type AccessPattern int
+
+const (
+	// Stream walks sequentially with a fixed stride (prefetch-friendly in
+	// spirit; here it produces overlappable, independent misses).
+	Stream AccessPattern = iota
+	// Random picks uniform addresses in the footprint (independent misses,
+	// DTLB-hostile for large footprints).
+	Random
+	// PointerChase picks random addresses with a dependent consumer,
+	// serializing every miss — the mcf signature.
+	PointerChase
+)
+
+// String names the pattern.
+func (p AccessPattern) String() string {
+	switch p {
+	case Stream:
+		return "stream"
+	case Random:
+		return "random"
+	case PointerChase:
+		return "chase"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Params fully describes a kernel.
+type Params struct {
+	// LoadFrac, StoreFrac and BranchFrac give the instruction mix; the
+	// remainder are non-memory, non-branch instructions.
+	LoadFrac, StoreFrac, BranchFrac float64
+
+	// DataFootprint is the bytes of data touched by the kernel.
+	DataFootprint int64
+	// Pattern selects the data access pattern.
+	Pattern AccessPattern
+	// StrideB is the stream stride in bytes (Stream pattern only).
+	StrideB int64
+	// ColdFrac is the fraction of data accesses that go to the large
+	// footprint; the remainder hit a small hot working set (HotFootprint),
+	// modeling the cache-friendly majority of real programs' accesses.
+	ColdFrac float64
+	// FreshPageFrac is the probability that a data access touches a
+	// brand-new page (allocator growth, stack expansion, OS activity):
+	// a guaranteed TLB miss and cold lines. Every real program has a
+	// nonzero background rate, which keeps "any walks at all" from being
+	// a perfect workload discriminator.
+	FreshPageFrac float64
+	// PageBurstLen, when positive, clusters Random/PointerChase cold
+	// accesses: the kernel stays within one 4 KiB page for this many
+	// accesses before jumping to a new random page. Page clustering
+	// decouples L2 misses from DTLB misses — a grid sweep touches many
+	// lines per page (one translation, many misses), while true pointer
+	// chasing (PageBurstLen 0) misses both on every access.
+	PageBurstLen int
+	// HotFootprint is the hot working-set size in bytes (default 16 KB
+	// when zero), sized to live comfortably in the L1D.
+	HotFootprint int64
+
+	// DepNearFrac is the fraction of loads with a consumer within a few
+	// instructions even outside pointer chasing, exposing their latency.
+	DepNearFrac float64
+	// ALUDepFrac is the fraction of non-memory instructions on a tight
+	// dependency chain (limits base ILP).
+	ALUDepFrac float64
+
+	// BranchTakenProb is the probability that a forward conditional branch
+	// site is strongly-taken (bias 0.9) rather than strongly-not-taken
+	// (bias 0.1), the bimodal structure of real conditionals.
+	BranchTakenProb float64
+	// BranchEntropy is the fraction of branch sites whose outcome is
+	// data-dependent random (hard to predict); the rest follow stable
+	// patterns the predictor learns.
+	BranchEntropy float64
+	// LoopFrac is the fraction of branch sites that are loop back-edges
+	// with a fixed per-site trip count.
+	LoopFrac float64
+
+	// CodeFootprint is the bytes of hot code; footprints beyond the L1I
+	// capacity drive L1IM, beyond the L2 drive instruction-side L2 misses.
+	CodeFootprint int64
+	// JumpProb is the per-branch probability of transferring to a random
+	// spot in the code footprint (function calls / large control flow)
+	// rather than a short loop edge.
+	JumpProb float64
+
+	// LCPFrac is the fraction of instructions carrying a length-changing
+	// prefix.
+	LCPFrac float64
+	// MisalignFrac is the fraction of memory accesses that are misaligned.
+	MisalignFrac float64
+	// SplitFrac is the fraction of memory accesses that cross a cache
+	// line.
+	SplitFrac float64
+	// BlockSTAFrac, BlockSTDFrac and BlockOvStFrac are the fractions of
+	// loads hitting each load-block condition.
+	BlockSTAFrac, BlockSTDFrac, BlockOvStFrac float64
+}
+
+// Validate checks that fractions are sane and footprints positive.
+func (p Params) Validate() error {
+	if p.LoadFrac < 0 || p.StoreFrac < 0 || p.BranchFrac < 0 ||
+		p.LoadFrac+p.StoreFrac+p.BranchFrac > 1 {
+		return fmt.Errorf("workload: instruction mix fractions invalid (%v/%v/%v)",
+			p.LoadFrac, p.StoreFrac, p.BranchFrac)
+	}
+	if p.DataFootprint <= 0 {
+		return fmt.Errorf("workload: data footprint %d must be positive", p.DataFootprint)
+	}
+	if p.CodeFootprint <= 0 {
+		return fmt.Errorf("workload: code footprint %d must be positive", p.CodeFootprint)
+	}
+	if p.Pattern == Stream && p.StrideB <= 0 {
+		return fmt.Errorf("workload: stream pattern requires positive stride, got %d", p.StrideB)
+	}
+	for _, f := range []float64{
+		p.ColdFrac, p.FreshPageFrac,
+		p.DepNearFrac, p.ALUDepFrac, p.BranchTakenProb, p.BranchEntropy, p.LoopFrac, p.JumpProb,
+		p.LCPFrac, p.MisalignFrac, p.SplitFrac, p.BlockSTAFrac, p.BlockSTDFrac, p.BlockOvStFrac,
+	} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("workload: fraction %v out of [0,1]", f)
+		}
+	}
+	return nil
+}
+
+// Phase is a kernel plus its share of the benchmark's execution, in
+// sections.
+type Phase struct {
+	Params   Params
+	Sections int
+}
+
+// Benchmark is a named sequence of phases.
+type Benchmark struct {
+	Name   string
+	Phases []Phase
+}
+
+// TotalSections returns the benchmark's section count.
+func (b Benchmark) TotalSections() int {
+	n := 0
+	for _, ph := range b.Phases {
+		n += ph.Sections
+	}
+	return n
+}
+
+// Scale returns a copy with each phase's section budget multiplied by f
+// (minimum 1 section per phase). Used to shrink the suite for tests.
+func (b Benchmark) Scale(f float64) Benchmark {
+	out := Benchmark{Name: b.Name}
+	for _, ph := range b.Phases {
+		n := int(float64(ph.Sections) * f)
+		if n < 1 {
+			n = 1
+		}
+		out.Phases = append(out.Phases, Phase{Params: ph.Params, Sections: n})
+	}
+	return out
+}

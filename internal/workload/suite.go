@@ -1,0 +1,370 @@
+package workload
+
+// The suite below is the synthetic stand-in for the paper's "subset of
+// SPEC CPU2006". Parameter choices target the per-benchmark signatures the
+// paper reports and the general behaviour of these programs on Core 2
+// hardware:
+//
+//   - 436.cactusADM: >=95% of sections with high L2 misses AND high L1I
+//     misses (the paper's LM18 class, CPI ~ 2.2).
+//   - 429.mcf: >=70% of sections with high L2 + high L1D misses and heavy
+//     DTLB pressure from dependent pointer chasing (LM17).
+//   - 403.gcc: ~20% of sections limited by length-changing-prefix stalls
+//     (the LM10 narrative), the rest a mix of branchy/compute phases.
+//   - memory streamers (462.libquantum, 470.lbm) with high L2 miss counts
+//     but overlapped (MLP) latency — the interaction a fixed-penalty model
+//     cannot express.
+//   - branch-mispredict bound kernels (458.sjeng, 445.gobmk),
+//     compute-bound kernels (444.namd, 456.hmmer), and load-block /
+//     misalignment kernels (400.perlbench, 464.h264ref).
+
+// mix is a helper for common instruction mixes.
+func mix(p Params, load, store, branch float64) Params {
+	p.LoadFrac, p.StoreFrac, p.BranchFrac = load, store, branch
+	return p
+}
+
+// base returns the shared defaults every kernel starts from: a mildly
+// branchy integer mix, L1-resident data, predictable branches, small code.
+func base() Params {
+	return Params{
+		LoadFrac:        0.30,
+		StoreFrac:       0.12,
+		BranchFrac:      0.18,
+		DataFootprint:   64 << 10,
+		Pattern:         Random,
+		ColdFrac:        0.05,
+		DepNearFrac:     0.20,
+		ALUDepFrac:      0.30,
+		BranchTakenProb: 0.55,
+		BranchEntropy:   0.015,
+		FreshPageFrac:   0.0030,
+		LoopFrac:        0.30,
+		CodeFootprint:   16 << 10,
+		JumpProb:        0.05,
+	}
+}
+
+// Suite returns the full synthetic benchmark set with its default section
+// budgets (roughly 7,600 sections in total, matching the scale at which
+// the paper's 430-instance leaf minimum yields a tree of ~18 leaves).
+func Suite() []Benchmark {
+	return []Benchmark{
+		mcf(), cactusADM(), gcc(), bzip2(), sjeng(), libquantum(),
+		namd(), omnetpp(), hmmer(), gobmk(), lbm(), xalancbmk(),
+		h264ref(), soplex(), astar(), perlbench(),
+	}
+}
+
+// SuiteScaled returns the suite with every phase's section budget scaled by
+// f, for fast tests and examples.
+func SuiteScaled(f float64) []Benchmark {
+	full := Suite()
+	out := make([]Benchmark, len(full))
+	for i, b := range full {
+		out[i] = b.Scale(f)
+	}
+	return out
+}
+
+// BenchmarkByName returns the named benchmark from the suite, or false.
+func BenchmarkByName(name string) (Benchmark, bool) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+func mcf() Benchmark {
+	// Dominant phase: dependent pointer chasing over a footprint far beyond
+	// L2 and DTLB reach. Every miss serializes (full memory latency) and
+	// walks the page tables.
+	chase := mix(base(), 0.34, 0.10, 0.16)
+	chase.Pattern = PointerChase
+	chase.DataFootprint = 64 << 20
+	chase.ColdFrac = 0.05
+	chase.BranchEntropy = 0.05
+	// Secondary phase: network simplex arithmetic on cached rows.
+	arith := mix(base(), 0.30, 0.10, 0.16)
+	arith.Pattern = PointerChase
+	arith.DataFootprint = 12 << 20
+	arith.ColdFrac = 0.012
+	arith.BranchEntropy = 0.04
+	return Benchmark{Name: "429.mcf", Phases: []Phase{
+		{Params: chase, Sections: 380},
+		{Params: arith, Sections: 120},
+	}}
+}
+
+func cactusADM() Benchmark {
+	// >=95% of sections: huge straight-line loop body (code far beyond
+	// L1I, competing with data for L2) — the LM18 signature. The grid
+	// sweep's gather pattern is irregular enough to defeat the stream
+	// prefetcher, so its data misses are demand misses.
+	big := mix(base(), 0.34, 0.14, 0.08)
+	big.CodeFootprint = 3 << 20
+	big.JumpProb = 0.60
+	big.Pattern = Random
+	big.DataFootprint = 16 << 20
+	big.ColdFrac = 0.045
+	big.DepNearFrac = 0.10
+	big.PageBurstLen = 16
+	// Startup/setup phase, ordinary behaviour.
+	setup := mix(base(), 0.30, 0.12, 0.15)
+	return Benchmark{Name: "436.cactusADM", Phases: []Phase{
+		{Params: setup, Sections: 20},
+		{Params: big, Sections: 480},
+	}}
+}
+
+func gcc() Benchmark {
+	// Parsing: branchy, moderate code footprint.
+	parse := mix(base(), 0.28, 0.12, 0.22)
+	parse.CodeFootprint = 192 << 10
+	parse.JumpProb = 0.25
+	parse.BranchEntropy = 0.06
+	parse.DataFootprint = 2 << 20
+	parse.ColdFrac = 0.04
+	// Optimization passes emitting length-changing prefixes: the ~20% of
+	// sections the paper attributes to LCP stalls (alongside cache misses).
+	lcp := mix(base(), 0.30, 0.14, 0.16)
+	lcp.LCPFrac = 0.045
+	lcp.DataFootprint = 4 << 20
+	lcp.ColdFrac = 0.05
+	lcp.CodeFootprint = 96 << 10
+	lcp.JumpProb = 0.15
+	// Code generation: store-heavy.
+	codegen := mix(base(), 0.26, 0.20, 0.16)
+	codegen.DataFootprint = 3 << 20
+	codegen.ColdFrac = 0.06
+	return Benchmark{Name: "403.gcc", Phases: []Phase{
+		{Params: parse, Sections: 220},
+		{Params: lcp, Sections: 110},
+		{Params: codegen, Sections: 170},
+	}}
+}
+
+func bzip2() Benchmark {
+	compress := mix(base(), 0.28, 0.12, 0.20)
+	compress.BranchEntropy = 0.08
+	compress.DataFootprint = 3 << 20
+	compress.ColdFrac = 0.10
+	compress.Pattern = Random
+	decompress := mix(base(), 0.30, 0.14, 0.18)
+	decompress.BranchEntropy = 0.06
+	decompress.DataFootprint = 1 << 20
+	decompress.ColdFrac = 0.08
+	return Benchmark{Name: "401.bzip2", Phases: []Phase{
+		{Params: compress, Sections: 260},
+		{Params: decompress, Sections: 180},
+	}}
+}
+
+func sjeng() Benchmark {
+	// Chess search: unpredictable branches on a cached board.
+	search := mix(base(), 0.26, 0.10, 0.24)
+	search.BranchEntropy = 0.12
+	search.DataFootprint = 512 << 10
+	search.ColdFrac = 0.06
+	search.CodeFootprint = 48 << 10
+	search.JumpProb = 0.15
+	eval := mix(base(), 0.28, 0.10, 0.20)
+	eval.BranchEntropy = 0.07
+	eval.DataFootprint = 256 << 10
+	eval.ColdFrac = 0.05
+	return Benchmark{Name: "458.sjeng", Phases: []Phase{
+		{Params: search, Sections: 320},
+		{Params: eval, Sections: 120},
+	}}
+}
+
+func libquantum() Benchmark {
+	// Quantum register streaming: enormous independent sequential loads —
+	// high L2 miss counts whose latency overlaps (MLP), so the effective
+	// per-miss cost is a fraction of memory latency.
+	stream := mix(base(), 0.26, 0.08, 0.14)
+	stream.Pattern = Stream
+	stream.StrideB = 8
+	stream.DataFootprint = 48 << 20
+	stream.ColdFrac = 0.85
+	stream.DepNearFrac = 0.02
+	stream.BranchEntropy = 0.02
+	return Benchmark{Name: "462.libquantum", Phases: []Phase{
+		{Params: stream, Sections: 420},
+	}}
+}
+
+func namd() Benchmark {
+	// Molecular dynamics: compute-bound with long FP dependency chains.
+	compute := mix(base(), 0.28, 0.08, 0.08)
+	compute.ALUDepFrac = 0.55
+	// Dependency chains live in the FP ALU work, not behind the loads, so
+	// the out-of-order core hides the L2-resident working set's latency.
+	compute.DepNearFrac = 0.05
+	compute.DataFootprint = 512 << 10
+	compute.ColdFrac = 0.02
+	compute.BranchEntropy = 0.02
+	// Particle neighbour lists: a random-access working set beyond the L0
+	// DTLB's reach but cheap to serve from L2 — DTLB0 misses without the
+	// CPI cost of real memory misses.
+	compute.HotFootprint = 96 << 10
+	return Benchmark{Name: "444.namd", Phases: []Phase{
+		{Params: compute, Sections: 400},
+	}}
+}
+
+func omnetpp() Benchmark {
+	// Discrete event simulation: pointer-heavy heap traffic, DTLB-hostile.
+	events := mix(base(), 0.32, 0.14, 0.18)
+	events.Pattern = PointerChase
+	events.DataFootprint = 20 << 20
+	events.ColdFrac = 0.02
+	events.BranchEntropy = 0.045
+	events.CodeFootprint = 128 << 10
+	events.JumpProb = 0.20
+	return Benchmark{Name: "471.omnetpp", Phases: []Phase{
+		{Params: events, Sections: 420},
+	}}
+}
+
+func hmmer() Benchmark {
+	// Profile HMM search: tight predictable loops, moderate dependencies.
+	inner := mix(base(), 0.34, 0.12, 0.10)
+	inner.BranchEntropy = 0.01
+	inner.ALUDepFrac = 0.40
+	inner.DepNearFrac = 0.06
+	inner.DataFootprint = 256 << 10
+	inner.ColdFrac = 0.03
+	// Score matrices: L2-resident but larger than the L0 DTLB covers.
+	inner.HotFootprint = 80 << 10
+	return Benchmark{Name: "456.hmmer", Phases: []Phase{
+		{Params: inner, Sections: 380},
+	}}
+}
+
+func gobmk() Benchmark {
+	// Go engine: mispredict-bound with moderate code footprint.
+	play := mix(base(), 0.26, 0.12, 0.22)
+	play.BranchEntropy = 0.11
+	play.CodeFootprint = 160 << 10
+	play.JumpProb = 0.25
+	play.DataFootprint = 1 << 20
+	play.ColdFrac = 0.05
+	// Board/pattern tables: random hits beyond the L0 DTLB's coverage.
+	play.HotFootprint = 72 << 10
+	return Benchmark{Name: "445.gobmk", Phases: []Phase{
+		{Params: play, Sections: 420},
+	}}
+}
+
+func lbm() Benchmark {
+	// Lattice Boltzmann: store-dominated streaming over a huge grid.
+	sweep := mix(base(), 0.24, 0.24, 0.08)
+	sweep.Pattern = Stream
+	sweep.StrideB = 8
+	sweep.DataFootprint = 56 << 20
+	sweep.ColdFrac = 0.70
+	sweep.DepNearFrac = 0.03
+	sweep.BranchEntropy = 0.02
+	return Benchmark{Name: "470.lbm", Phases: []Phase{
+		{Params: sweep, Sections: 400},
+	}}
+}
+
+func xalancbmk() Benchmark {
+	// XSLT processing: large code, virtual-call-style jumps, DTLB traffic.
+	// The DOM working set fits the L2 but spans far more pages than the
+	// DTLB covers (the DTLB maps only a quarter of the L2), the exact
+	// regime the paper calls out: DTLB misses significant even though the
+	// data hits the L2 cache.
+	transform := mix(base(), 0.30, 0.12, 0.20)
+	transform.CodeFootprint = 512 << 10
+	transform.JumpProb = 0.35
+	transform.BranchEntropy = 0.05
+	transform.DataFootprint = 3 << 20
+	transform.ColdFrac = 0.10
+	transform.Pattern = Random
+	return Benchmark{Name: "483.xalancbmk", Phases: []Phase{
+		{Params: transform, Sections: 440},
+	}}
+}
+
+func h264ref() Benchmark {
+	// Video encoding: misaligned and line-splitting block accesses plus
+	// some LCP-encoded SIMD-era instructions.
+	encode := mix(base(), 0.34, 0.14, 0.12)
+	encode.MisalignFrac = 0.10
+	encode.SplitFrac = 0.05
+	encode.LCPFrac = 0.012
+	encode.DataFootprint = 2 << 20
+	encode.ColdFrac = 0.10
+	encode.Pattern = Stream
+	encode.StrideB = 8
+	motion := mix(base(), 0.36, 0.10, 0.14)
+	motion.MisalignFrac = 0.16
+	motion.SplitFrac = 0.08
+	motion.DataFootprint = 1 << 20
+	motion.ColdFrac = 0.12
+	motion.Pattern = Random
+	return Benchmark{Name: "464.h264ref", Phases: []Phase{
+		{Params: encode, Sections: 260},
+		{Params: motion, Sections: 200},
+	}}
+}
+
+func soplex() Benchmark {
+	// Simplex LP solver: sparse matrix rows, DTLB and L2 pressure without
+	// full pointer dependence.
+	// Sparse row access is index->value indirection: dependent, like mcf.
+	pricing := mix(base(), 0.32, 0.10, 0.16)
+	pricing.Pattern = PointerChase
+	pricing.DataFootprint = 28 << 20
+	pricing.ColdFrac = 0.030
+	pricing.DepNearFrac = 0.10
+	factor := mix(base(), 0.30, 0.14, 0.12)
+	factor.Pattern = Stream
+	factor.StrideB = 8
+	factor.DataFootprint = 8 << 20
+	factor.ColdFrac = 0.20
+	return Benchmark{Name: "450.soplex", Phases: []Phase{
+		{Params: pricing, Sections: 280},
+		{Params: factor, Sections: 160},
+	}}
+}
+
+func astar() Benchmark {
+	// Path finding: pointer chasing with erratic branches.
+	path := mix(base(), 0.30, 0.10, 0.20)
+	path.Pattern = PointerChase
+	path.DataFootprint = 10 << 20
+	path.ColdFrac = 0.022
+	path.BranchEntropy = 0.08
+	return Benchmark{Name: "473.astar", Phases: []Phase{
+		{Params: path, Sections: 420},
+	}}
+}
+
+func perlbench() Benchmark {
+	// Interpreter: store-forwarding hazards (load blocks), branchy
+	// dispatch, moderate code footprint.
+	interp := mix(base(), 0.30, 0.16, 0.20)
+	interp.BlockSTAFrac = 0.10
+	interp.BlockSTDFrac = 0.05
+	interp.BlockOvStFrac = 0.04
+	interp.BranchEntropy = 0.055
+	interp.CodeFootprint = 224 << 10
+	interp.JumpProb = 0.30
+	interp.DataFootprint = 1 << 20
+	interp.ColdFrac = 0.04
+	regex := mix(base(), 0.32, 0.12, 0.22)
+	regex.BlockSTAFrac = 0.06
+	regex.BranchEntropy = 0.07
+	regex.DataFootprint = 512 << 10
+	regex.ColdFrac = 0.05
+	return Benchmark{Name: "400.perlbench", Phases: []Phase{
+		{Params: interp, Sections: 280},
+		{Params: regex, Sections: 160},
+	}}
+}

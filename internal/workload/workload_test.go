@@ -1,0 +1,380 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim/trace"
+)
+
+func testParams() Params {
+	return Params{
+		LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.2,
+		DataFootprint: 1 << 20, Pattern: Random, ColdFrac: 0.1,
+		DepNearFrac: 0.2, ALUDepFrac: 0.3,
+		BranchTakenProb: 0.5, BranchEntropy: 0.1, LoopFrac: 0.3,
+		CodeFootprint: 32 << 10, JumpProb: 0.1,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := testParams()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.LoadFrac = 0.9; p.StoreFrac = 0.5 }, // mix > 1
+		func(p *Params) { p.LoadFrac = -0.1 },
+		func(p *Params) { p.DataFootprint = 0 },
+		func(p *Params) { p.CodeFootprint = -5 },
+		func(p *Params) { p.Pattern = Stream; p.StrideB = 0 },
+		func(p *Params) { p.BranchEntropy = 1.5 },
+		func(p *Params) { p.ColdFrac = -0.2 },
+		func(p *Params) { p.FreshPageFrac = 2 },
+	}
+	for i, mut := range cases {
+		p := testParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(testParams(), 7)
+	g2 := NewGenerator(testParams(), 7)
+	var a, b trace.Inst
+	for i := 0; i < 10000; i++ {
+		g1.Next(&a)
+		g2.Next(&b)
+		if a != b {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	g3 := NewGenerator(testParams(), 8)
+	same := true
+	for i := 0; i < 1000; i++ {
+		g1.Next(&a)
+		g3.Next(&b)
+		if a != b {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestInstructionMixApproximate(t *testing.T) {
+	p := testParams()
+	p.LoopFrac = 0 // loops skew the dynamic mix; disable for this check
+	p.JumpProb = 0
+	g := NewGenerator(p, 1)
+	var in trace.Inst
+	counts := map[trace.Kind]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		counts[in.Kind]++
+	}
+	check := func(kind trace.Kind, want float64) {
+		got := float64(counts[kind]) / n
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("%v fraction %.3f, want ~%.2f", kind, got, want)
+		}
+	}
+	check(trace.Load, p.LoadFrac)
+	check(trace.Store, p.StoreFrac)
+	check(trace.Branch, p.BranchFrac)
+}
+
+func TestAddressesWithinRegions(t *testing.T) {
+	p := testParams()
+	g := NewGenerator(p, 2)
+	var in trace.Inst
+	for i := 0; i < 50000; i++ {
+		g.Next(&in)
+		switch in.Kind {
+		case trace.Load, trace.Store:
+			if in.Addr < 0x0000_7000_0000_0000 {
+				t.Fatalf("data address %#x outside data region", in.Addr)
+			}
+		}
+		if in.PC < 0x0000_4000_0000_0000 || in.PC >= 0x0000_7000_0000_0000 {
+			t.Fatalf("PC %#x outside code region", in.PC)
+		}
+	}
+}
+
+func TestBranchTargetsStablePerPC(t *testing.T) {
+	g := NewGenerator(testParams(), 3)
+	var in trace.Inst
+	targets := map[uint64]uint64{}
+	for i := 0; i < 200000; i++ {
+		g.Next(&in)
+		if in.Kind != trace.Branch || !in.Taken {
+			continue
+		}
+		if prev, ok := targets[in.PC]; ok {
+			// Loop back-edges and jumps have per-PC fixed targets; only
+			// loop *exits* differ (not taken), so any taken occurrence of
+			// the same PC must agree.
+			if prev != in.Target {
+				t.Fatalf("branch %#x took targets %#x and %#x", in.PC, prev, in.Target)
+			}
+		} else {
+			targets[in.PC] = in.Target
+		}
+	}
+	if len(targets) == 0 {
+		t.Fatal("no taken branches observed")
+	}
+}
+
+func TestKindStablePerPC(t *testing.T) {
+	g := NewGenerator(testParams(), 4)
+	var in trace.Inst
+	kinds := map[uint64]trace.Kind{}
+	for i := 0; i < 100000; i++ {
+		g.Next(&in)
+		if prev, ok := kinds[in.PC]; ok && prev != in.Kind {
+			t.Fatalf("PC %#x changed kind %v -> %v", in.PC, prev, in.Kind)
+		}
+		kinds[in.PC] = in.Kind
+	}
+}
+
+func TestChaseLoadsAreDependent(t *testing.T) {
+	p := testParams()
+	p.Pattern = PointerChase
+	p.ColdFrac = 1 // all cold accesses
+	g := NewGenerator(p, 5)
+	var in trace.Inst
+	for i := 0; i < 20000; i++ {
+		g.Next(&in)
+		if in.Kind == trace.Load && in.DepDist == 0 {
+			t.Fatal("pointer-chase load with no dependent consumer")
+		}
+	}
+}
+
+func TestStreamAdvancesSequentially(t *testing.T) {
+	p := testParams()
+	p.Pattern = Stream
+	p.StrideB = 64
+	p.ColdFrac = 1
+	g := NewGenerator(p, 6)
+	var in trace.Inst
+	var prev uint64
+	seen := 0
+	for i := 0; i < 5000 && seen < 100; i++ {
+		g.Next(&in)
+		if in.Kind != trace.Load && in.Kind != trace.Store {
+			continue
+		}
+		if seen > 0 && in.Addr > prev && in.Addr-prev > 4096 {
+			t.Fatalf("stream jumped from %#x to %#x", prev, in.Addr)
+		}
+		prev = in.Addr
+		seen++
+	}
+}
+
+func TestFreshPageTouchesNewPages(t *testing.T) {
+	p := testParams()
+	p.FreshPageFrac = 0.2
+	g := NewGenerator(p, 7)
+	var in trace.Inst
+	growth := map[uint64]bool{}
+	for i := 0; i < 50000; i++ {
+		g.Next(&in)
+		if (in.Kind == trace.Load || in.Kind == trace.Store) && in.Addr >= 0x0000_7800_0000_0000 {
+			page := in.Addr >> 12
+			growth[page] = true
+		}
+	}
+	if len(growth) < 100 {
+		t.Errorf("only %d growth pages touched; fresh-page path inactive", len(growth))
+	}
+}
+
+func TestPageBurstClustersPages(t *testing.T) {
+	p := testParams()
+	p.ColdFrac = 1
+	p.PageBurstLen = 16
+	g := NewGenerator(p, 8)
+	var in trace.Inst
+	var pages []uint64
+	for i := 0; i < 30000 && len(pages) < 2000; i++ {
+		g.Next(&in)
+		if in.Kind == trace.Load || in.Kind == trace.Store {
+			if in.Addr >= 0x0000_7800_0000_0000 {
+				continue // ignore fresh-page noise accesses
+			}
+			pages = append(pages, in.Addr>>12)
+		}
+	}
+	// Consecutive data accesses should frequently share a page.
+	same := 0
+	for i := 1; i < len(pages); i++ {
+		if pages[i] == pages[i-1] {
+			same++
+		}
+	}
+	frac := float64(same) / float64(len(pages)-1)
+	if frac < 0.7 {
+		t.Errorf("page-burst same-page fraction %.2f, want > 0.7", frac)
+	}
+}
+
+func TestSetParamsPreservesPosition(t *testing.T) {
+	p := testParams()
+	p.Pattern = Stream
+	p.StrideB = 64
+	p.ColdFrac = 1
+	p.FreshPageFrac = 0
+	g := NewGenerator(p, 9)
+	var in trace.Inst
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		g.Next(&in)
+		if in.Kind == trace.Load || in.Kind == trace.Store {
+			last = in.Addr
+		}
+	}
+	g.SetParams(p) // same params; position must not reset
+	for i := 0; i < 100; i++ {
+		g.Next(&in)
+		if in.Kind == trace.Load || in.Kind == trace.Store {
+			if in.Addr <= 0x0000_7000_0000_0000+64 {
+				t.Fatalf("stream restarted at %#x after SetParams (was at %#x)", in.Addr, last)
+			}
+			return
+		}
+	}
+}
+
+func TestSetParamsClampsPositions(t *testing.T) {
+	p := testParams()
+	g := NewGenerator(p, 10)
+	var in trace.Inst
+	for i := 0; i < 1000; i++ {
+		g.Next(&in)
+	}
+	small := p
+	small.DataFootprint = 4096
+	small.CodeFootprint = 1024
+	g.SetParams(small)
+	for i := 0; i < 1000; i++ {
+		g.Next(&in)
+		if in.PC-0x0000_4000_0000_0000 >= 1024 {
+			t.Fatalf("PC %#x beyond shrunken code footprint", in.PC)
+		}
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := testParams()
+	for i := 0; i < 500; i++ {
+		q := jitter(base, rng)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("jittered params invalid: %v", err)
+		}
+		if q.DataFootprint < int64(float64(base.DataFootprint)*0.5) ||
+			q.DataFootprint > int64(float64(base.DataFootprint)*1.5) {
+			t.Errorf("footprint jitter out of bounds: %d", q.DataFootprint)
+		}
+	}
+}
+
+func TestSuiteWellFormed(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 12 {
+		t.Fatalf("suite has only %d benchmarks", len(suite))
+	}
+	names := map[string]bool{}
+	total := 0
+	for _, b := range suite {
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		names[b.Name] = true
+		if len(b.Phases) == 0 {
+			t.Errorf("%s has no phases", b.Name)
+		}
+		for pi, ph := range b.Phases {
+			if err := ph.Params.Validate(); err != nil {
+				t.Errorf("%s phase %d: %v", b.Name, pi, err)
+			}
+			if ph.Sections <= 0 {
+				t.Errorf("%s phase %d: %d sections", b.Name, pi, ph.Sections)
+			}
+		}
+		total += b.TotalSections()
+	}
+	if total < 4000 {
+		t.Errorf("suite totals %d sections; expected thousands", total)
+	}
+	for _, want := range []string{"429.mcf", "436.cactusADM", "403.gcc"} {
+		if _, ok := BenchmarkByName(want); !ok {
+			t.Errorf("suite missing %s", want)
+		}
+	}
+	if _, ok := BenchmarkByName("nope"); ok {
+		t.Error("unknown benchmark found")
+	}
+}
+
+func TestScale(t *testing.T) {
+	b := Suite()[0]
+	s := b.Scale(0.1)
+	if s.TotalSections() >= b.TotalSections() {
+		t.Error("Scale(0.1) did not shrink")
+	}
+	tiny := b.Scale(0.000001)
+	for _, ph := range tiny.Phases {
+		if ph.Sections < 1 {
+			t.Error("Scale produced empty phase")
+		}
+	}
+}
+
+func TestSectionSourceWalksPhases(t *testing.T) {
+	b := Benchmark{Name: "t", Phases: []Phase{
+		{Params: testParams(), Sections: 3},
+		{Params: testParams(), Sections: 2},
+	}}
+	src := NewSectionSource(b, 1)
+	var phases []int
+	for {
+		gen, ph := src.Next()
+		if gen == nil {
+			break
+		}
+		phases = append(phases, ph)
+	}
+	want := []int{0, 0, 0, 1, 1}
+	if len(phases) != len(want) {
+		t.Fatalf("phases %v", phases)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phases %v, want %v", phases, want)
+		}
+	}
+}
+
+func TestAccessPatternString(t *testing.T) {
+	for _, p := range []AccessPattern{Stream, Random, PointerChase} {
+		if p.String() == "" {
+			t.Errorf("pattern %d renders empty", int(p))
+		}
+	}
+	if AccessPattern(9).String() == "" {
+		t.Error("unknown pattern renders empty")
+	}
+}
