@@ -1,0 +1,35 @@
+# Developer entry points. `make check` is the CI gate: vet plus the short
+# test set under the race detector, keeping the parallel execution layer
+# (internal/parallel and its call sites) provably race-clean.
+
+GO ?= go
+
+.PHONY: build test check vet race bench bench-parallel experiments
+
+build:
+	$(GO) build ./...
+
+# Full test suite (tier-1 verify).
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short test set under the race detector; includes the determinism
+# regression tests, which drive every stage at Jobs=1 and Jobs=4.
+race:
+	$(GO) test -race -short ./...
+
+check: vet race
+
+# Serial-vs-parallel speedup benchmarks (see EXPERIMENTS.md "Parallel
+# execution").
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 2x .
+
+bench:
+	$(GO) test -run '^$$' -bench . .
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -7,13 +7,16 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/counters"
 	"repro/internal/dataset"
+	"repro/internal/ensemble"
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/mtree"
+	"repro/internal/parallel"
 	"repro/internal/sim/branch"
 	"repro/internal/sim/cpu"
 	"repro/internal/sim/mem"
@@ -124,11 +127,95 @@ func BenchmarkAblationSectionLength(b *testing.B) {
 				learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
 					return mtree.Build(d, cfg)
 				}}
-				res, err := eval.CrossValidate(learner, col.Data, 5, 1)
+				res, err := eval.CrossValidate(learner, col.Data, 5, 1, parallel.Config{})
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.ReportMetric(res.Pooled.Correlation, "CV-correlation")
+			}
+		})
+	}
+}
+
+// ---- Parallel execution layer (serial vs all-cores; identical output) ----
+
+// benchJobVariants yields the serial baseline and the all-cores variant.
+// On a multi-core runner the jobsN sub-benchmarks should show near-linear
+// speedup for collection (embarrassingly parallel benchmarks) and
+// substantial speedup for CV and bagging; the outputs are byte-identical
+// either way (see determinism_test.go).
+func benchJobVariants() []int {
+	max := runtime.GOMAXPROCS(0)
+	if max == 1 {
+		return []int{1}
+	}
+	return []int{1, max}
+}
+
+// BenchmarkParallelCollect measures suite simulation throughput, the
+// dominant cost of a full-scale experiment run.
+func BenchmarkParallelCollect(b *testing.B) {
+	suite := workload.SuiteScaled(0.1)
+	for _, jobs := range benchJobVariants() {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			cfg := counters.DefaultCollectConfig()
+			cfg.Jobs = jobs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := counters.CollectSuite(suite, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCV measures k-fold cross validation of the M5' tree
+// with folds trained serially vs concurrently.
+func BenchmarkParallelCV(b *testing.B) {
+	ctx := benchCtx(b)
+	col, err := ctx.Collection()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, jobs := range benchJobVariants() {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			cfg := mtree.DefaultConfig()
+			cfg.MinLeaf = 43
+			cfg.Jobs = jobs
+			learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+				return mtree.Build(d, cfg)
+			}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.CrossValidate(learner, col.Data, 5, 1, parallel.Config{Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelBagging measures bagged-ensemble training with member
+// trees trained serially vs concurrently.
+func BenchmarkParallelBagging(b *testing.B) {
+	ctx := benchCtx(b)
+	col, err := ctx.Collection()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, jobs := range benchJobVariants() {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			cfg := ensemble.DefaultConfig()
+			cfg.Trees = 10
+			cfg.Tree.MinLeaf = 43
+			cfg.Tree.Jobs = jobs
+			cfg.Jobs = jobs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ensemble.Train(col.Data, cfg); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -6,6 +6,7 @@
 //
 //	collect [-out data.csv] [-labels labels.csv] [-scale 1.0]
 //	        [-section 20000] [-seed 42] [-bench 429.mcf] [-summary]
+//	        [-jobs N]
 package main
 
 import (
@@ -30,12 +31,14 @@ func main() {
 		seed    = flag.Int64("seed", 42, "workload synthesis seed")
 		bench   = flag.String("bench", "", "collect a single named benchmark (default: whole suite)")
 		summary = flag.Bool("summary", false, "print a per-column summary instead of CSV")
+		jobs    = flag.Int("jobs", 0, "benchmarks simulated concurrently (0 = all cores, 1 = serial; output is identical)")
 	)
 	flag.Parse()
 
 	cfg := counters.DefaultCollectConfig()
 	cfg.SectionLen = *section
 	cfg.Seed = *seed
+	cfg.Jobs = *jobs
 
 	var suite []workload.Benchmark
 	if *bench != "" {

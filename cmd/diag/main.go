@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -17,13 +18,17 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	jobs := flag.Int("jobs", 0, "worker count for simulation and split scoring (0 = all cores)")
+	flag.Parse()
 	cfg := counters.DefaultCollectConfig()
+	cfg.Jobs = *jobs
 	col, err := counters.CollectSuite(workload.SuiteScaled(1.0), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	tcfg := mtree.DefaultConfig()
 	tcfg.MinLeaf = 430
+	tcfg.Jobs = *jobs
 	tree, err := mtree.Build(col.Data, tcfg)
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,12 @@
 //	experiments -run accuracy   # one experiment
 //	experiments -list           # list experiment names
 //	experiments -scale 0.2      # faster, reduced-scale run
+//	experiments -jobs 1         # force fully serial execution
+//
+// Independent experiments run concurrently (-jobs workers, default all
+// cores) and every layer below them — suite simulation, CV folds, bagged
+// trees, split scoring — uses the same worker budget. Output is printed
+// in registry order and is byte-identical for every -jobs value.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -31,6 +38,7 @@ func main() {
 		minLeaf = flag.Int("minleaf", 430, "M5' minimum leaf population at scale 1.0")
 		folds   = flag.Int("cv", 10, "cross-validation folds")
 		seed    = flag.Int64("seed", 42, "random seed")
+		jobs    = flag.Int("jobs", 0, "worker count for experiments and all parallel stages (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -46,6 +54,7 @@ func main() {
 	cfg.MinLeaf = *minLeaf
 	cfg.Folds = *folds
 	cfg.Seed = *seed
+	cfg.Jobs = *jobs
 	ctx := experiments.NewContext(cfg)
 
 	var selected []experiments.Experiment
@@ -62,16 +71,30 @@ func main() {
 		}
 	}
 
+	// Experiments are independent given the shared (once-guarded)
+	// collection, so they run concurrently; results are buffered and
+	// printed in registry order.
+	type outcome struct {
+		res experiments.Result
+		dur time.Duration
+	}
+	outs, err := parallel.Map(parallel.Config{Jobs: *jobs}, selected,
+		func(_ int, e experiments.Experiment) (outcome, error) {
+			start := time.Now()
+			res, err := e.Run(ctx)
+			if err != nil {
+				return outcome{}, fmt.Errorf("%s: %w", e.Name, err)
+			}
+			return outcome{res: res, dur: time.Since(start)}, nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
 	failures := 0
-	for _, e := range selected {
-		start := time.Now()
-		res, err := e.Run(ctx)
-		if err != nil {
-			log.Fatalf("%s: %v", e.Name, err)
-		}
-		fmt.Println(res.Render())
-		fmt.Printf("(%s completed in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
-		for _, c := range res.Claims {
+	for i, o := range outs {
+		fmt.Println(o.res.Render())
+		fmt.Printf("(%s completed in %v)\n\n", selected[i].Name, o.dur.Round(time.Millisecond))
+		for _, c := range o.res.Claims {
 			if !c.Holds {
 				failures++
 			}

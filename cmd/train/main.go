@@ -6,7 +6,7 @@
 // Usage:
 //
 //	train -in data.csv [-minleaf 430] [-cv 10] [-out tree.json]
-//	      [-target CPI] [-nosmooth] [-noprune]
+//	      [-target CPI] [-nosmooth] [-noprune] [-jobs N]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/mtree"
 	"repro/internal/naive"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		smooth  = flag.Bool("smooth", true, "enable M5 smoothing")
 		prune   = flag.Bool("prune", true, "enable post-pruning")
 		global  = flag.Bool("global", false, "also fit/evaluate a single global linear model")
+		jobs    = flag.Int("jobs", 0, "worker count for CV folds, bootstrap resamples and split scoring (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -56,6 +58,8 @@ func main() {
 	cfg.MinLeaf = *minLeaf
 	cfg.Smooth = *smooth
 	cfg.Prune = *prune
+	cfg.Jobs = *jobs
+	par := parallel.Config{Jobs: *jobs}
 
 	tree, err := mtree.Build(d, cfg)
 	if err != nil {
@@ -75,13 +79,13 @@ func main() {
 		learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
 			return mtree.Build(d, cfg)
 		}}
-		res, err := eval.CrossValidate(learner, d, *cv, *seed)
+		res, err := eval.CrossValidate(learner, d, *cv, *seed, par)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%d-fold CV pooled: %s\n", *cv, res.Pooled)
 		fmt.Printf("%d-fold CV mean:   %s\n", *cv, res.MeanFoldMetrics())
-		if corr, mae, rae, err := eval.BootstrapCI(res.Predicted, res.Actual, 1000, 0.95, *seed); err == nil {
+		if corr, mae, rae, err := eval.BootstrapCI(res.Predicted, res.Actual, 1000, 0.95, *seed, par); err == nil {
 			fmt.Printf("95%% bootstrap CI:  C %s  MAE %s  RAE %s\n", corr, mae, rae)
 		}
 	}

@@ -1,0 +1,230 @@
+// Determinism regression tests for the parallel execution layer: every
+// concurrent stage — suite simulation, split scoring, CV folds, bootstrap
+// resampling, bagged trees — must produce byte-identical results at
+// Jobs=1 (the exact serial path), Jobs=4, and Jobs=GOMAXPROCS. These
+// tests are the enforcement of the contract documented in DESIGN.md
+// ("Parallel execution"); run them with -race to also prove the
+// goroutine code clean.
+package repro_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/dataset"
+	"repro/internal/ensemble"
+	"repro/internal/eval"
+	"repro/internal/mtree"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// jobVariants are the worker counts every stage is checked across.
+func jobVariants() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+// detDataset synthesizes a deterministic piecewise-linear dataset large
+// enough (n >= splitParallelMinRows) that mtree's concurrent
+// split-scoring path is actually exercised at the root.
+func detDataset(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.MustNew([]dataset.Attribute{
+		{Name: "y"}, {Name: "x1"}, {Name: "x2"}, {Name: "x3"}, {Name: "const"},
+	}, 0)
+	for i := 0; i < n; i++ {
+		x1 := rng.Float64() * 4
+		x2 := rng.Float64() * 4
+		x3 := rng.Float64() * 4
+		y := 1 + 0.5*x2
+		if x1 > 2 {
+			y = 10 + 2*x3
+		}
+		// "const" is identical everywhere: it exercises the
+		// constant-attribute skip in the split search.
+		d.MustAppend(dataset.Instance{y + 0.1*rng.NormFloat64(), x1, x2, x3, 3.25})
+	}
+	return d
+}
+
+// TestCollectSuiteDeterministicAcrossJobs asserts the collection dataset
+// (rows, labels and breakdown count) hashes identically for every worker
+// count.
+func TestCollectSuiteDeterministicAcrossJobs(t *testing.T) {
+	suite := workload.SuiteScaled(0.03)
+	var want [32]byte
+	var wantLabels []counters.SectionLabel
+	for i, jobs := range jobVariants() {
+		cfg := counters.DefaultCollectConfig()
+		cfg.Jobs = jobs
+		col, err := counters.CollectSuite(suite, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := col.Data.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.Sum256(buf.Bytes())
+		if i == 0 {
+			want = h
+			wantLabels = col.Labels
+			continue
+		}
+		if h != want {
+			t.Errorf("jobs=%d produced a different dataset hash than jobs=1", jobs)
+		}
+		if len(col.Labels) != len(wantLabels) {
+			t.Fatalf("jobs=%d produced %d labels, want %d", jobs, len(col.Labels), len(wantLabels))
+		}
+		for j := range col.Labels {
+			if col.Labels[j] != wantLabels[j] {
+				t.Fatalf("jobs=%d label %d = %+v, want %+v", jobs, j, col.Labels[j], wantLabels[j])
+			}
+		}
+	}
+}
+
+// TestTreeDeterministicAcrossJobs asserts the rendered tree structure and
+// rule set are identical for every split-scoring worker count.
+func TestTreeDeterministicAcrossJobs(t *testing.T) {
+	d := detDataset(3000, 11)
+	var wantTree, wantRules string
+	for i, jobs := range jobVariants() {
+		cfg := mtree.DefaultConfig()
+		cfg.MinLeaf = 50
+		cfg.Jobs = jobs
+		tree, err := mtree.Build(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTree, gotRules := tree.String(), tree.RenderRules()
+		if i == 0 {
+			wantTree, wantRules = gotTree, gotRules
+			continue
+		}
+		if gotTree != wantTree {
+			t.Errorf("jobs=%d tree differs from jobs=1:\n%s\nvs\n%s", jobs, gotTree, wantTree)
+		}
+		if gotRules != wantRules {
+			t.Errorf("jobs=%d rules differ from jobs=1", jobs)
+		}
+	}
+}
+
+// TestCrossValidateDeterministicAcrossJobs asserts pooled metrics and the
+// out-of-fold prediction vector are bit-identical for every fold worker
+// count.
+func TestCrossValidateDeterministicAcrossJobs(t *testing.T) {
+	d := detDataset(2500, 12)
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 50
+	learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
+		return mtree.Build(d, cfg)
+	}}
+	var want eval.CVResult
+	for i, jobs := range jobVariants() {
+		res, err := eval.CrossValidate(learner, d, 5, 7, parallel.Config{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res
+			continue
+		}
+		if res.Pooled != want.Pooled {
+			t.Errorf("jobs=%d pooled metrics %+v, want %+v", jobs, res.Pooled, want.Pooled)
+		}
+		if len(res.Predicted) != len(want.Predicted) {
+			t.Fatalf("jobs=%d produced %d predictions, want %d", jobs, len(res.Predicted), len(want.Predicted))
+		}
+		for j := range res.Predicted {
+			if res.Predicted[j] != want.Predicted[j] || res.Actual[j] != want.Actual[j] {
+				t.Fatalf("jobs=%d prediction %d differs", jobs, j)
+			}
+		}
+	}
+}
+
+// TestBootstrapCIDeterministicAcrossJobs asserts identical confidence
+// intervals for every resample worker count.
+func TestBootstrapCIDeterministicAcrossJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 400
+	pred := make([]float64, n)
+	act := make([]float64, n)
+	for i := range act {
+		act[i] = rng.NormFloat64()
+		pred[i] = act[i] + 0.2*rng.NormFloat64()
+	}
+	var wc, wm, wr eval.Interval
+	for i, jobs := range jobVariants() {
+		c, m, r, err := eval.BootstrapCI(pred, act, 200, 0.95, 5, parallel.Config{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			wc, wm, wr = c, m, r
+			continue
+		}
+		if c != wc || m != wm || r != wr {
+			t.Errorf("jobs=%d intervals (%v %v %v) differ from jobs=1 (%v %v %v)", jobs, c, m, r, wc, wm, wr)
+		}
+	}
+}
+
+// TestEnsembleDeterministicAcrossJobs asserts the bagged ensemble — member
+// predictions, OOB error and coverage — is identical for every tree
+// worker count, and that a member's bootstrap sample does not depend on
+// the ensemble size (the per-tree seed derivation guarantee).
+func TestEnsembleDeterministicAcrossJobs(t *testing.T) {
+	d := detDataset(1200, 13)
+	base := ensemble.DefaultConfig()
+	base.Trees = 8
+	base.Tree.MinLeaf = 60
+	probe := dataset.Instance{0, 1.7, 2.2, 0.4, 3.25}
+
+	var want *ensemble.Bagger
+	for i, jobs := range jobVariants() {
+		cfg := base
+		cfg.Jobs = jobs
+		b, err := ensemble.Train(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = b
+			continue
+		}
+		if b.OOBError != want.OOBError || b.OOBCoverage != want.OOBCoverage {
+			t.Errorf("jobs=%d OOB (%v, %v) differs from jobs=1 (%v, %v)",
+				jobs, b.OOBError, b.OOBCoverage, want.OOBError, want.OOBCoverage)
+		}
+		if got, exp := b.Predict(probe), want.Predict(probe); got != exp {
+			t.Errorf("jobs=%d ensemble prediction %v, want %v", jobs, got, exp)
+		}
+		for ti := range b.Trees {
+			if got, exp := b.Trees[ti].Predict(probe), want.Trees[ti].Predict(probe); got != exp {
+				t.Errorf("jobs=%d member %d predicts %v, want %v", jobs, ti, got, exp)
+			}
+		}
+	}
+
+	// Growing the ensemble must not perturb the earlier members' samples:
+	// tree t is seeded by (Seed, t) alone.
+	bigger := base
+	bigger.Trees = base.Trees + 4
+	bb, err := ensemble.Train(d, bigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < base.Trees; ti++ {
+		if got, exp := bb.Trees[ti].Predict(probe), want.Trees[ti].Predict(probe); got != exp {
+			t.Errorf("member %d changed when Trees grew from %d to %d", ti, base.Trees, bigger.Trees)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/mtree"
 	"repro/internal/naive"
+	"repro/internal/parallel"
 	"repro/internal/regtree"
 	"repro/internal/svm"
 	"repro/internal/workload"
@@ -73,7 +74,7 @@ func main() {
 
 	fmt.Printf("%-24s %8s %8s %9s\n", "model (5-fold CV)", "C", "MAE", "RAE")
 	for _, l := range learners {
-		res, err := eval.CrossValidate(l, d, 5, 1)
+		res, err := eval.CrossValidate(l, d, 5, 1, parallel.Config{})
 		if err != nil {
 			log.Fatalf("%s: %v", l.Name(), err)
 		}

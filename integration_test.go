@@ -10,6 +10,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/mtree"
 	"repro/internal/naive"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -74,7 +75,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
 		return mtree.Build(d, tcfg)
 	}}
-	res, err := eval.CrossValidate(learner, d, 5, 1)
+	res, err := eval.CrossValidate(learner, d, 5, 1, parallel.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

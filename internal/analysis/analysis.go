@@ -173,7 +173,14 @@ func (r WorkloadReport) Render() string {
 	for id, f := range r.LeafShare {
 		shares = append(shares, share{id, f})
 	}
-	sort.Slice(shares, func(i, j int) bool { return shares[i].f > shares[j].f })
+	// Tie-break equal shares by leaf ID so the rendering does not depend
+	// on map iteration order.
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].f != shares[j].f {
+			return shares[i].f > shares[j].f
+		}
+		return shares[i].id < shares[j].id
+	})
 	b.WriteString("class membership:")
 	for _, s := range shares {
 		fmt.Fprintf(&b, " LM%d:%.1f%%", s.id, 100*s.f)

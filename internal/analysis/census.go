@@ -53,9 +53,11 @@ func Census(t *mtree.Tree, col *counters.Collection) LeafCensus {
 
 // DominantLeaf returns the leaf holding the largest share of the
 // benchmark's sections and that share (0 if the benchmark is unknown).
+// Exact ties go to the lowest leaf ID, keeping the result independent of
+// map iteration order.
 func (c LeafCensus) DominantLeaf(benchmark string) (leafID int, share float64) {
 	for id, f := range c.Benchmarks[benchmark] {
-		if f > share {
+		if f > share || (f == share && share > 0 && id < leafID) {
 			leafID, share = id, f
 		}
 	}
@@ -86,7 +88,14 @@ func (c LeafCensus) Render() string {
 		for id, f := range c.Benchmarks[n] {
 			shares = append(shares, ls{id, f})
 		}
-		sort.Slice(shares, func(i, j int) bool { return shares[i].f > shares[j].f })
+		// Tie-break equal shares by leaf ID so the rendering does not
+		// depend on map iteration order.
+		sort.Slice(shares, func(i, j int) bool {
+			if shares[i].f != shares[j].f {
+				return shares[i].f > shares[j].f
+			}
+			return shares[i].id < shares[j].id
+		})
 		fmt.Fprintf(&b, "%-16s %8d ", n, c.Totals[n])
 		for i, s := range shares {
 			if i >= 4 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/sim/branch"
 	"repro/internal/sim/cpu"
 	"repro/internal/sim/mem"
@@ -29,6 +30,12 @@ type CollectConfig struct {
 	DisablePrefetch bool
 	// Seed drives workload synthesis.
 	Seed int64
+	// Jobs is the number of benchmarks simulated concurrently by
+	// CollectSuite (0 = GOMAXPROCS, 1 = serial). Each benchmark runs on
+	// its own simulated machine with a seed derived only from Seed and
+	// the benchmark name, so the merged collection is identical for every
+	// value of Jobs.
+	Jobs int
 }
 
 // DefaultCollectConfig returns the configuration used by the experiments:
@@ -110,15 +117,21 @@ func CollectSuiteNoPrefetch(suite []workload.Benchmark, cfg CollectConfig) (*Col
 
 // CollectSuite runs every benchmark and merges the sections into one
 // labeled collection — the training corpus for the model tree.
+//
+// Benchmarks are simulated concurrently (cfg.Jobs workers) and merged in
+// suite order, so the result is byte-identical to a serial run.
 func CollectSuite(suite []workload.Benchmark, cfg CollectConfig) (*Collection, error) {
+	cols, err := parallel.Map(parallel.Config{Jobs: cfg.Jobs}, suite,
+		func(_ int, b workload.Benchmark) (*Collection, error) {
+			return CollectBenchmark(b, cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
 	all := &Collection{Data: NewDataset()}
-	for _, b := range suite {
-		col, err := CollectBenchmark(b, cfg)
-		if err != nil {
-			return nil, err
-		}
+	for i, col := range cols {
 		if err := all.Data.Merge(col.Data); err != nil {
-			return nil, fmt.Errorf("counters: merging %s: %w", b.Name, err)
+			return nil, fmt.Errorf("counters: merging %s: %w", suite[i].Name, err)
 		}
 		all.Labels = append(all.Labels, col.Labels...)
 		all.Breakdowns = append(all.Breakdowns, col.Breakdowns...)

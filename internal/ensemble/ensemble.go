@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/mtree"
+	"repro/internal/parallel"
 )
 
 // Config controls bagging.
@@ -26,8 +27,15 @@ type Config struct {
 	// SampleFraction is the bootstrap sample size as a fraction of the
 	// training set (1.0 = classical bagging with replacement).
 	SampleFraction float64
-	// Seed drives the bootstrap resampling.
+	// Seed drives the bootstrap resampling. Tree t draws its bootstrap
+	// sample from an RNG seeded by parallel.DeriveSeed(Seed, t), so each
+	// member's sample depends only on (Seed, t) — not on Trees, and not on
+	// how many trees train concurrently.
 	Seed int64
+	// Jobs is the number of member trees trained concurrently
+	// (0 = GOMAXPROCS, 1 = serial). The ensemble, including the
+	// out-of-bag estimates, is identical for every value.
+	Jobs int
 }
 
 // DefaultConfig returns a 10-tree bagger with default M5' members.
@@ -60,35 +68,64 @@ func Train(d *dataset.Dataset, cfg Config) (*Bagger, error) {
 	if cfg.SampleFraction <= 0 || cfg.SampleFraction > 1 {
 		return nil, fmt.Errorf("ensemble: sample fraction %v not in (0,1]", cfg.SampleFraction)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	b := &Bagger{}
 
-	// oobSum/oobCount accumulate per-instance out-of-bag predictions.
-	oobSum := make([]float64, n)
-	oobCount := make([]int, n)
 	sampleSize := int(float64(n) * cfg.SampleFraction)
 	if sampleSize < 1 {
 		sampleSize = 1
 	}
-	inBag := make([]bool, n)
-	idx := make([]int, sampleSize)
-	for t := 0; t < cfg.Trees; t++ {
-		for i := range inBag {
-			inBag[i] = false
-		}
-		for i := range idx {
-			k := rng.Intn(n)
-			idx[i] = k
-			inBag[k] = true
-		}
-		tree, err := mtree.Build(d.Subset(idx), cfg.Tree)
-		if err != nil {
-			return nil, fmt.Errorf("ensemble: training tree %d: %w", t, err)
-		}
-		b.Trees = append(b.Trees, tree)
+	// Each member is an independent work item: draw the bootstrap sample
+	// from the tree's own derived seed, train, and predict the tree's
+	// out-of-bag rows. All randomness is fixed per (Seed, t) before any
+	// goroutine runs.
+	seeds := make([]int64, cfg.Trees)
+	for t := range seeds {
+		seeds[t] = parallel.DeriveSeed(cfg.Seed, t)
+	}
+	type member struct {
+		tree *mtree.Tree
+		// oobPred[i] is the tree's prediction for row i, valid only where
+		// oob[i] is true (row i was not drawn into the bootstrap sample).
+		oob     []bool
+		oobPred []float64
+	}
+	members, err := parallel.Map(parallel.Config{Jobs: cfg.Jobs}, seeds,
+		func(t int, seed int64) (member, error) {
+			rng := rand.New(rand.NewSource(seed))
+			inBag := make([]bool, n)
+			idx := make([]int, sampleSize)
+			for i := range idx {
+				k := rng.Intn(n)
+				idx[i] = k
+				inBag[k] = true
+			}
+			tree, err := mtree.Build(d.Subset(idx), cfg.Tree)
+			if err != nil {
+				return member{}, fmt.Errorf("ensemble: training tree %d: %w", t, err)
+			}
+			m := member{tree: tree, oob: make([]bool, n), oobPred: make([]float64, n)}
+			for i := 0; i < n; i++ {
+				if !inBag[i] {
+					m.oob[i] = true
+					m.oobPred[i] = tree.Predict(d.Row(i))
+				}
+			}
+			return m, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce the out-of-bag sums serially in tree order so the
+	// floating-point accumulation (and hence OOBError) is independent of
+	// goroutine scheduling.
+	oobSum := make([]float64, n)
+	oobCount := make([]int, n)
+	for _, m := range members {
+		b.Trees = append(b.Trees, m.tree)
 		for i := 0; i < n; i++ {
-			if !inBag[i] {
-				oobSum[i] += tree.Predict(d.Row(i))
+			if m.oob[i] {
+				oobSum[i] += m.oobPred[i]
 				oobCount[i]++
 			}
 		}

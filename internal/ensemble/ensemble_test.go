@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/mtree"
+	"repro/internal/parallel"
 )
 
 // noisyPiecewise builds a two-regime dataset with enough noise that a
@@ -98,11 +99,11 @@ func TestBaggingReducesVarianceOutOfFold(t *testing.T) {
 	bagged := eval.LearnerFunc{N: "bagged", F: func(d *dataset.Dataset) (eval.Regressor, error) {
 		return Train(d, smallConfig())
 	}}
-	rs, err := eval.CrossValidate(single, d, 5, 9)
+	rs, err := eval.CrossValidate(single, d, 5, 9, parallel.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := eval.CrossValidate(bagged, d, 5, 9)
+	rb, err := eval.CrossValidate(bagged, d, 5, 9, parallel.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Interval is a two-sided percentile confidence interval.
@@ -18,7 +20,12 @@ func (iv Interval) String() string { return fmt.Sprintf("[%.4f, %.4f]", iv.Lo, i
 // the accuracy-estimation companion to cross validation that the paper's
 // methodology (Kohavi 1995) discusses. level is the two-sided confidence
 // level, e.g. 0.95; b is the number of resamples.
-func BootstrapCI(predicted, actual []float64, b int, level float64, seed int64) (corr, mae, rae Interval, err error) {
+//
+// Each resample draws from its own RNG seeded by parallel.DeriveSeed(seed,
+// i), so the resamples are independent work items: they run concurrently
+// (par.Jobs workers) and the intervals are identical for every worker
+// count.
+func BootstrapCI(predicted, actual []float64, b int, level float64, seed int64, par parallel.Config) (corr, mae, rae Interval, err error) {
 	if len(predicted) != len(actual) || len(actual) == 0 {
 		return corr, mae, rae, fmt.Errorf("eval: bad bootstrap input (%d vs %d)", len(predicted), len(actual))
 	}
@@ -29,24 +36,38 @@ func BootstrapCI(predicted, actual []float64, b int, level float64, seed int64) 
 		return corr, mae, rae, fmt.Errorf("eval: confidence level %v not in (0,1)", level)
 	}
 	n := len(actual)
-	rng := rand.New(rand.NewSource(seed))
-	corrs := make([]float64, 0, b)
-	maes := make([]float64, 0, b)
-	raes := make([]float64, 0, b)
-	rp := make([]float64, n)
-	ra := make([]float64, n)
-	for i := 0; i < b; i++ {
+	seeds := make([]int64, b)
+	for i := range seeds {
+		seeds[i] = parallel.DeriveSeed(seed, i)
+	}
+	type resample struct {
+		m  Metrics
+		ok bool // false for degenerate resamples, which are skipped
+	}
+	outs, _ := parallel.Map(par, seeds, func(_ int, s int64) (resample, error) {
+		rng := rand.New(rand.NewSource(s))
+		rp := make([]float64, n)
+		ra := make([]float64, n)
 		for j := 0; j < n; j++ {
 			k := rng.Intn(n)
 			rp[j], ra[j] = predicted[k], actual[k]
 		}
 		m, err := Compute(rp, ra)
 		if err != nil {
+			return resample{}, nil
+		}
+		return resample{m: m, ok: true}, nil
+	})
+	corrs := make([]float64, 0, b)
+	maes := make([]float64, 0, b)
+	raes := make([]float64, 0, b)
+	for _, o := range outs {
+		if !o.ok {
 			continue
 		}
-		corrs = append(corrs, m.Correlation)
-		maes = append(maes, m.MAE)
-		raes = append(raes, m.RAE)
+		corrs = append(corrs, o.m.Correlation)
+		maes = append(maes, o.m.MAE)
+		raes = append(raes, o.m.RAE)
 	}
 	if len(corrs) == 0 {
 		return corr, mae, rae, fmt.Errorf("eval: all bootstrap resamples degenerate")

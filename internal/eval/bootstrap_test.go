@@ -3,6 +3,8 @@ package eval
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 func TestBootstrapCIBrackets(t *testing.T) {
@@ -19,7 +21,7 @@ func TestBootstrapCIBrackets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	corr, mae, rae, err := BootstrapCI(pred, act, 500, 0.95, 7)
+	corr, mae, rae, err := BootstrapCI(pred, act, 500, 0.95, 7, parallel.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +61,11 @@ func TestBootstrapCINarrowsWithN(t *testing.T) {
 	}
 	ps, as := mk(50)
 	pl, al := mk(2000)
-	cs, _, _, err := BootstrapCI(ps, as, 300, 0.95, 3)
+	cs, _, _, err := BootstrapCI(ps, as, 300, 0.95, 3, parallel.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, _, _, err := BootstrapCI(pl, al, 300, 0.95, 3)
+	cl, _, _, err := BootstrapCI(pl, al, 300, 0.95, 3, parallel.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,16 +75,16 @@ func TestBootstrapCINarrowsWithN(t *testing.T) {
 }
 
 func TestBootstrapCIErrors(t *testing.T) {
-	if _, _, _, err := BootstrapCI([]float64{1}, []float64{1, 2}, 100, 0.95, 1); err == nil {
+	if _, _, _, err := BootstrapCI([]float64{1}, []float64{1, 2}, 100, 0.95, 1, parallel.Config{}); err == nil {
 		t.Error("length mismatch accepted")
 	}
-	if _, _, _, err := BootstrapCI([]float64{1, 2}, []float64{1, 2}, 5, 0.95, 1); err == nil {
+	if _, _, _, err := BootstrapCI([]float64{1, 2}, []float64{1, 2}, 5, 0.95, 1, parallel.Config{}); err == nil {
 		t.Error("too few resamples accepted")
 	}
-	if _, _, _, err := BootstrapCI([]float64{1, 2}, []float64{1, 2}, 100, 1.5, 1); err == nil {
+	if _, _, _, err := BootstrapCI([]float64{1, 2}, []float64{1, 2}, 100, 1.5, 1, parallel.Config{}); err == nil {
 		t.Error("bad level accepted")
 	}
-	if _, _, _, err := BootstrapCI(nil, nil, 100, 0.95, 1); err == nil {
+	if _, _, _, err := BootstrapCI(nil, nil, 100, 0.95, 1, parallel.Config{}); err == nil {
 		t.Error("empty input accepted")
 	}
 }
@@ -90,11 +92,11 @@ func TestBootstrapCIErrors(t *testing.T) {
 func TestBootstrapDeterministic(t *testing.T) {
 	pred := []float64{1, 2, 3, 4, 5, 6}
 	act := []float64{1.1, 2.2, 2.9, 4.3, 4.8, 6.1}
-	a1, _, _, err := BootstrapCI(pred, act, 200, 0.9, 42)
+	a1, _, _, err := BootstrapCI(pred, act, 200, 0.9, 42, parallel.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, _, _, err := BootstrapCI(pred, act, 200, 0.9, 42)
+	a2, _, _, err := BootstrapCI(pred, act, 200, 0.9, 42, parallel.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // Regressor predicts the target value of one instance.
@@ -158,16 +159,27 @@ func (r CVResult) MeanFoldMetrics() Metrics {
 // folds that exclude it — matching the paper's protocol ("the prediction on
 // each data point is performed using a model that was built on training
 // data that does not include the data point").
-func CrossValidate(l Learner, d *dataset.Dataset, k int, seed int64) (CVResult, error) {
+//
+// Folds train and score concurrently (par.Jobs workers); the fold
+// partition is fixed up front by (k, seed) and results assemble in fold
+// order, so CVResult is identical for every worker count. l.Train must be
+// safe for concurrent use when par allows more than one worker — every
+// learner in this repository is, since each Train call builds its model
+// from scratch with its own seeded RNG. Pass parallel.Serial() for a
+// learner that is not.
+func CrossValidate(l Learner, d *dataset.Dataset, k int, seed int64, par parallel.Config) (CVResult, error) {
 	folds, err := d.KFold(k, seed)
 	if err != nil {
 		return CVResult{}, err
 	}
-	res := CVResult{LearnerName: l.Name()}
-	for fi, f := range folds {
+	type foldOut struct {
+		m         Metrics
+		pred, act []float64
+	}
+	outs, err := parallel.Map(par, folds, func(fi int, f dataset.Fold) (foldOut, error) {
 		model, err := l.Train(f.Train)
 		if err != nil {
-			return CVResult{}, fmt.Errorf("eval: training fold %d: %w", fi, err)
+			return foldOut{}, fmt.Errorf("eval: training fold %d: %w", fi, err)
 		}
 		pred := make([]float64, f.Test.Len())
 		act := make([]float64, f.Test.Len())
@@ -177,11 +189,18 @@ func CrossValidate(l Learner, d *dataset.Dataset, k int, seed int64) (CVResult, 
 		}
 		fm, err := Compute(pred, act)
 		if err != nil {
-			return CVResult{}, fmt.Errorf("eval: scoring fold %d: %w", fi, err)
+			return foldOut{}, fmt.Errorf("eval: scoring fold %d: %w", fi, err)
 		}
-		res.Folds = append(res.Folds, fm)
-		res.Predicted = append(res.Predicted, pred...)
-		res.Actual = append(res.Actual, act...)
+		return foldOut{m: fm, pred: pred, act: act}, nil
+	})
+	if err != nil {
+		return CVResult{}, err
+	}
+	res := CVResult{LearnerName: l.Name()}
+	for _, o := range outs {
+		res.Folds = append(res.Folds, o.m)
+		res.Predicted = append(res.Predicted, o.pred...)
+		res.Actual = append(res.Actual, o.act...)
 	}
 	pooled, err := Compute(res.Predicted, res.Actual)
 	if err != nil {

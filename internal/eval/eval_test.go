@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 func TestComputePerfectPrediction(t *testing.T) {
@@ -111,7 +112,7 @@ func newDataset(n int, seed int64) *dataset.Dataset {
 func TestCrossValidateProtocol(t *testing.T) {
 	d := newDataset(50, 1)
 	calls := 0
-	res, err := CrossValidate(meanLearner{&calls}, d, 5, 3)
+	res, err := CrossValidate(meanLearner{&calls}, d, 5, 3, parallel.Serial())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,10 +136,10 @@ func TestCrossValidateErrorPropagation(t *testing.T) {
 	fail := LearnerFunc{N: "fail", F: func(*dataset.Dataset) (Regressor, error) {
 		return nil, errors.New("boom")
 	}}
-	if _, err := CrossValidate(fail, d, 2, 1); err == nil {
+	if _, err := CrossValidate(fail, d, 2, 1, parallel.Serial()); err == nil {
 		t.Error("training error not propagated")
 	}
-	if _, err := CrossValidate(meanLearner{new(int)}, d, 100, 1); err == nil {
+	if _, err := CrossValidate(meanLearner{new(int)}, d, 100, 1, parallel.Serial()); err == nil {
 		t.Error("k > n accepted")
 	}
 }

@@ -17,10 +17,11 @@ func cvWith(ctx *Context, cfg mtree.Config) (eval.Metrics, int, error) {
 	if err != nil {
 		return eval.Metrics{}, 0, err
 	}
+	cfg.Jobs = ctx.Cfg.Jobs
 	learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
 		return mtree.Build(d, cfg)
 	}}
-	res, err := eval.CrossValidate(learner, col.Data, ctx.Cfg.Folds, ctx.Cfg.Seed)
+	res, err := eval.CrossValidate(learner, col.Data, ctx.Cfg.Folds, ctx.Cfg.Seed, ctx.Cfg.Par())
 	if err != nil {
 		return eval.Metrics{}, 0, err
 	}
@@ -206,6 +207,7 @@ func AblationPrefetch(ctx *Context) (Result, error) {
 	ccfg := counters.DefaultCollectConfig()
 	ccfg.Seed = ctx.Cfg.Seed
 	ccfg.SectionLen = ctx.Cfg.SectionLen
+	ccfg.Jobs = ctx.Cfg.Jobs
 
 	withPF, err := counters.CollectSuite(workload.SuiteScaled(scale), ccfg)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 func m5Learner(ctx *Context) eval.Learner {
 	cfg := mtree.DefaultConfig()
 	cfg.MinLeaf = ctx.Cfg.ScaledMinLeaf()
+	cfg.Jobs = ctx.Cfg.Jobs
 	return eval.LearnerFunc{N: "M5' model tree", F: func(d *dataset.Dataset) (eval.Regressor, error) {
 		return mtree.Build(d, cfg)
 	}}
@@ -29,7 +30,7 @@ func Accuracy(ctx *Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := eval.CrossValidate(m5Learner(ctx), col.Data, ctx.Cfg.Folds, ctx.Cfg.Seed)
+	res, err := eval.CrossValidate(m5Learner(ctx), col.Data, ctx.Cfg.Folds, ctx.Cfg.Seed, ctx.Cfg.Par())
 	if err != nil {
 		return Result{}, err
 	}
@@ -112,7 +113,7 @@ func Comparators(ctx *Context) (Result, error) {
 	fmt.Fprintf(&b, "%-24s %8s %8s %9s %8s\n", "model", "C", "MAE", "RAE", "folds")
 	for _, l := range learners {
 		k := folds[l.Name()]
-		res, err := eval.CrossValidate(l, d, k, ctx.Cfg.Seed)
+		res, err := eval.CrossValidate(l, d, k, ctx.Cfg.Seed, ctx.Cfg.Par())
 		if err != nil {
 			return Result{}, fmt.Errorf("experiments: cross-validating %s: %w", l.Name(), err)
 		}
@@ -175,7 +176,7 @@ func NaiveExp(ctx *Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := eval.CrossValidate(m5Learner(ctx), d, ctx.Cfg.Folds, ctx.Cfg.Seed)
+	res, err := eval.CrossValidate(m5Learner(ctx), d, ctx.Cfg.Folds, ctx.Cfg.Seed, ctx.Cfg.Par())
 	if err != nil {
 		return Result{}, err
 	}

@@ -21,6 +21,7 @@ func BaggingExp(ctx *Context) (Result, error) {
 	}
 	treeCfg := mtree.DefaultConfig()
 	treeCfg.MinLeaf = ctx.Cfg.ScaledMinLeaf()
+	treeCfg.Jobs = ctx.Cfg.Jobs
 
 	single := eval.LearnerFunc{N: "single M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
 		return mtree.Build(d, treeCfg)
@@ -28,17 +29,18 @@ func BaggingExp(ctx *Context) (Result, error) {
 	bagCfg := ensemble.DefaultConfig()
 	bagCfg.Trees = 10
 	bagCfg.Tree = treeCfg
+	bagCfg.Jobs = ctx.Cfg.Jobs
 	bagged := eval.LearnerFunc{N: "bagged M5' x10", F: func(d *dataset.Dataset) (eval.Regressor, error) {
 		return ensemble.Train(d, bagCfg)
 	}}
 
 	// 5 folds keep the 10-tree ensemble affordable.
 	folds := 5
-	rs, err := eval.CrossValidate(single, col.Data, folds, ctx.Cfg.Seed)
+	rs, err := eval.CrossValidate(single, col.Data, folds, ctx.Cfg.Seed, ctx.Cfg.Par())
 	if err != nil {
 		return Result{}, err
 	}
-	rb, err := eval.CrossValidate(bagged, col.Data, folds, ctx.Cfg.Seed)
+	rb, err := eval.CrossValidate(bagged, col.Data, folds, ctx.Cfg.Seed, ctx.Cfg.Par())
 	if err != nil {
 		return Result{}, err
 	}

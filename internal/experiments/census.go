@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -52,11 +53,18 @@ func LeafCensusExp(ctx *Context) (Result, error) {
 			lcpAttr = i
 		}
 	}
+	// Sum in leaf-ID order so the floating-point accumulation does not
+	// depend on map iteration order.
+	gccIDs := make([]int, 0, len(census.Benchmarks["403.gcc"]))
+	for id := range census.Benchmarks["403.gcc"] {
+		gccIDs = append(gccIDs, id)
+	}
+	sort.Ints(gccIDs)
 	gccLCP := 0.0
-	for id, share := range census.Benchmarks["403.gcc"] {
+	for _, id := range gccIDs {
 		leaf := tree.Leaf(id)
 		if leaf != nil && leaf.Model.Uses(lcpAttr) && leaf.Model.Coef(lcpAttr) > 0 {
-			gccLCP += share
+			gccLCP += census.Benchmarks["403.gcc"][id]
 		}
 	}
 	fmt.Fprintf(&b, "403.gcc sections in classes whose model prices LCP stalls: %.0f%%\n", 100*gccLCP)

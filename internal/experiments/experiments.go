@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/counters"
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -42,6 +43,10 @@ type Config struct {
 	Seed int64
 	// SectionLen is the retired-instruction count per section.
 	SectionLen uint64
+	// Jobs bounds the concurrency of every parallel stage — suite
+	// simulation, CV folds, bagged trees, split scoring (0 = GOMAXPROCS,
+	// 1 = serial). Results are identical for every value.
+	Jobs int
 }
 
 // DefaultConfig returns the paper-scale setup.
@@ -58,6 +63,9 @@ func (c Config) ScaledMinLeaf() int {
 	}
 	return m
 }
+
+// Par returns the parallelism configuration shared by the experiments.
+func (c Config) Par() parallel.Config { return parallel.Config{Jobs: c.Jobs} }
 
 // Context carries the lazily collected dataset shared by the experiments.
 type Context struct {
@@ -77,6 +85,7 @@ func (ctx *Context) Collection() (*counters.Collection, error) {
 		ccfg := counters.DefaultCollectConfig()
 		ccfg.Seed = ctx.Cfg.Seed
 		ccfg.SectionLen = ctx.Cfg.SectionLen
+		ccfg.Jobs = ctx.Cfg.Jobs
 		ctx.col, ctx.err = counters.CollectSuite(workload.SuiteScaled(ctx.Cfg.Scale), ccfg)
 	})
 	return ctx.col, ctx.err

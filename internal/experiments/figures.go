@@ -138,10 +138,11 @@ func Figure3(ctx *Context) (Result, error) {
 	}
 	cfg := mtree.DefaultConfig()
 	cfg.MinLeaf = ctx.Cfg.ScaledMinLeaf()
+	cfg.Jobs = ctx.Cfg.Jobs
 	learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
 		return mtree.Build(d, cfg)
 	}}
-	res, err := eval.CrossValidate(learner, col.Data, ctx.Cfg.Folds, ctx.Cfg.Seed)
+	res, err := eval.CrossValidate(learner, col.Data, ctx.Cfg.Folds, ctx.Cfg.Seed, ctx.Cfg.Par())
 	if err != nil {
 		return Result{}, err
 	}

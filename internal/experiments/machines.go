@@ -93,6 +93,7 @@ func InOrderExp(ctx *Context) (Result, error) {
 	oooCfg := counters.DefaultCollectConfig()
 	oooCfg.Seed = ctx.Cfg.Seed
 	oooCfg.SectionLen = ctx.Cfg.SectionLen
+	oooCfg.Jobs = ctx.Cfg.Jobs
 	inoCfg := oooCfg
 	inoCfg.CPU = cpu.InOrderConfig()
 
@@ -130,6 +131,7 @@ func machineShare(suite []workload.Benchmark, ctx *Context, netburst bool, minLe
 	ccfg := counters.DefaultCollectConfig()
 	ccfg.Seed = ctx.Cfg.Seed
 	ccfg.SectionLen = ctx.Cfg.SectionLen
+	ccfg.Jobs = ctx.Cfg.Jobs
 	if netburst {
 		ccfg.CPU = cpu.NetBurstConfig()
 	}

@@ -47,6 +47,15 @@ type Config struct {
 	// When false (the default, matching Weka's M5'), node models may draw
 	// on all features, and greedy elimination trims them back.
 	SubtreeAttributesOnly bool
+
+	// Jobs is the number of workers used to score candidate split
+	// attributes at large nodes (0 = GOMAXPROCS, 1 = serial). Attribute
+	// scores are reduced in ascending attribute order with a strict
+	// greater-than comparison, so the chosen split — and therefore the
+	// whole tree — is identical for every value of Jobs. An execution
+	// knob, not a hyper-parameter: excluded from JSON persistence so
+	// saved trees are byte-identical for every value.
+	Jobs int `json:"-"`
 }
 
 // DefaultConfig returns Weka-like defaults: pruning and smoothing on,

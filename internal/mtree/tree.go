@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/linreg"
+	"repro/internal/parallel"
 )
 
 // Node is one node of a model tree. Interior nodes route instances by
@@ -133,6 +134,22 @@ func (b *builder) grow(d *dataset.Dataset) *Node {
 	return n
 }
 
+// splitParallelMinRows is the node size below which bestSplit always uses
+// the serial scan: at small nodes goroutine fan-out costs more than the
+// O(n log n) per-attribute sweeps it parallelizes. Determinism does not
+// depend on this cutoff — both paths produce identical splits.
+const splitParallelMinRows = 2048
+
+// pair is one (attribute value, target) observation in a split sweep.
+type pair struct{ x, y float64 }
+
+// attrSplit is the best split found for a single attribute.
+type attrSplit struct {
+	sdr       float64 // standard-deviation reduction
+	threshold float64
+	ok        bool
+}
+
 // bestSplit searches all attributes and thresholds for the split that
 // maximizes the standard deviation reduction
 //
@@ -140,47 +157,46 @@ func (b *builder) grow(d *dataset.Dataset) *Node {
 //
 // subject to both children having at least MinLeaf instances. The search
 // per attribute is O(n log n): sort by the attribute once and sweep with
-// running sums.
+// running sums. Attributes are scored independently — concurrently at
+// large nodes — and reduced in ascending attribute order with a strict
+// greater-than comparison, so exact SDR ties break toward the lowest
+// attribute index regardless of goroutine scheduling.
 func (b *builder) bestSplit(d *dataset.Dataset) (attr int, threshold float64, ok bool) {
 	n := d.Len()
 	sdT := d.TargetStdDev()
+
+	// The total target sum and sum of squares feed every attribute's
+	// suffix computation; they are constant across attributes, so compute
+	// them once (in row order, making them identical for all attributes
+	// and all worker counts).
+	var totalSum, totalSq float64
+	for i := 0; i < n; i++ {
+		y := d.Target(i)
+		totalSum += y
+		totalSq += y * y
+	}
+
+	par := parallel.Config{Jobs: b.cfg.Jobs}
+	var scores []attrSplit
+	if par.Workers() > 1 && n >= splitParallelMinRows {
+		scores, _ = parallel.Map(par, b.features, func(_ int, a int) (attrSplit, error) {
+			return scoreAttribute(d, a, make([]pair, n), sdT, totalSum, totalSq, b.cfg.MinLeaf), nil
+		})
+	} else {
+		scores = make([]attrSplit, len(b.features))
+		pairs := make([]pair, n) // one buffer, reused across attributes
+		for i, a := range b.features {
+			scores[i] = scoreAttribute(d, a, pairs, sdT, totalSum, totalSq, b.cfg.MinLeaf)
+		}
+	}
+
 	bestSDR := 0.0
-
-	type pair struct{ x, y float64 }
-	pairs := make([]pair, n)
-	for _, a := range b.features {
-		for i := 0; i < n; i++ {
-			pairs[i] = pair{d.Value(i, a), d.Target(i)}
-		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
-
-		// Suffix sums for the right side; prefix accumulates the left.
-		var totalSum, totalSq float64
-		for _, p := range pairs {
-			totalSum += p.y
-			totalSq += p.y * p.y
-		}
-		var leftSum, leftSq float64
-		for i := 0; i < n-1; i++ {
-			leftSum += pairs[i].y
-			leftSq += pairs[i].y * pairs[i].y
-			// A split between i and i+1 requires distinct attribute values.
-			if pairs[i].x == pairs[i+1].x {
-				continue
-			}
-			nl, nr := i+1, n-i-1
-			if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
-				continue
-			}
-			sdl := sdFromSums(leftSum, leftSq, nl)
-			sdr := sdFromSums(totalSum-leftSum, totalSq-leftSq, nr)
-			red := sdT - (float64(nl)*sdl+float64(nr)*sdr)/float64(n)
-			if red > bestSDR {
-				bestSDR = red
-				attr = a
-				threshold = (pairs[i].x + pairs[i+1].x) / 2
-				ok = true
-			}
+	for i, s := range scores {
+		if s.ok && s.sdr > bestSDR {
+			bestSDR = s.sdr
+			attr = b.features[i]
+			threshold = s.threshold
+			ok = true
 		}
 	}
 	// Require a meaningful reduction; an SDR of zero means no split helps.
@@ -188,6 +204,50 @@ func (b *builder) bestSplit(d *dataset.Dataset) (attr int, threshold float64, ok
 		return 0, 0, false
 	}
 	return attr, threshold, ok
+}
+
+// scoreAttribute finds attribute a's best threshold by SDR. pairs is a
+// caller-provided scratch buffer of length d.Len().
+func scoreAttribute(d *dataset.Dataset, a int, pairs []pair, sdT, totalSum, totalSq float64, minLeaf int) (best attrSplit) {
+	n := d.Len()
+	lo, hi := d.Value(0, a), d.Value(0, a)
+	for i := 0; i < n; i++ {
+		v := d.Value(i, a)
+		pairs[i] = pair{v, d.Target(i)}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// A constant attribute admits no split; skip the sort and sweep.
+	if lo == hi {
+		return attrSplit{}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
+
+	// Suffix sums for the right side; prefix accumulates the left.
+	var leftSum, leftSq float64
+	for i := 0; i < n-1; i++ {
+		leftSum += pairs[i].y
+		leftSq += pairs[i].y * pairs[i].y
+		// A split between i and i+1 requires distinct attribute values.
+		if pairs[i].x == pairs[i+1].x {
+			continue
+		}
+		nl, nr := i+1, n-i-1
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		sdl := sdFromSums(leftSum, leftSq, nl)
+		sdr := sdFromSums(totalSum-leftSum, totalSq-leftSq, nr)
+		red := sdT - (float64(nl)*sdl+float64(nr)*sdr)/float64(n)
+		if red > best.sdr {
+			best = attrSplit{sdr: red, threshold: (pairs[i].x + pairs[i+1].x) / 2, ok: true}
+		}
+	}
+	return best
 }
 
 func sdFromSums(sum, sq float64, n int) float64 {
