@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench bench-parallel experiments
+.PHONY: build test check vet race bench bench-parallel bench-serve experiments serve-smoke
 
 build:
 	$(GO) build ./...
@@ -31,5 +31,38 @@ bench-parallel:
 bench:
 	$(GO) test -run '^$$' -bench . .
 
+# Served-prediction latency, cached vs uncached (see DESIGN.md §8).
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServePredict' -benchtime 50x ./internal/serve/
+
 experiments:
 	$(GO) run ./cmd/experiments
+
+# End-to-end smoke test of the prediction service: build cmd/serve, start
+# it with a self-trained demo model, wait for /healthz, POST the same
+# prediction twice (the second must hit the LRU cache), assert HTTP 200,
+# and print the /metrics report (request counts, latency quantiles, cache
+# hit rate). Always kills the server on exit.
+SMOKE_ADDR ?= 127.0.0.1:18466
+SMOKE_BIN  ?= /tmp/repro-serve-smoke
+
+serve-smoke:
+	@set -e; \
+	$(GO) build -o $(SMOKE_BIN) ./cmd/serve; \
+	$(SMOKE_BIN) -demo -demo-scale 0.05 -addr $(SMOKE_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT INT TERM; \
+	ok=0; for i in $$(seq 1 150); do \
+	  curl -sf http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; \
+	  sleep 0.2; \
+	done; \
+	test $$ok -eq 1 || { echo "serve-smoke: server never became healthy"; exit 1; }; \
+	for i in 1 2; do \
+	  code=$$(curl -s -o $(SMOKE_BIN).predict.json -w '%{http_code}' \
+	    -X POST -H 'Content-Type: application/json' \
+	    -d '{"model":"demo","events":[{"L2M":0.004,"L1IM":0.002}],"contributions":true}' \
+	    http://$(SMOKE_ADDR)/v1/predict); \
+	  test "$$code" = 200 || { echo "serve-smoke: predict returned HTTP $$code"; cat $(SMOKE_BIN).predict.json; exit 1; }; \
+	done; \
+	echo "serve-smoke: predict OK (2x HTTP 200):"; cat $(SMOKE_BIN).predict.json; \
+	echo "serve-smoke: metrics:"; curl -s http://$(SMOKE_ADDR)/metrics; \
+	echo "serve-smoke: PASS"

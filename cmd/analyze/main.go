@@ -1,7 +1,12 @@
 // Command analyze answers the paper's "what" and "how much" questions for
-// a workload: it classifies each section through a trained model tree,
-// ranks the micro-architectural events by their predicted contribution to
-// CPI, and reports the split-variable impacts.
+// a workload: it classifies each section through a trained model, ranks
+// the micro-architectural events by their predicted contribution to CPI,
+// and reports the split-variable impacts.
+//
+// It loads any persisted model — a single M5' tree from cmd/train or a
+// saved bagged ensemble — through the shared Model interface. The
+// tree-structure views (-section decision path, -impacts) need a single
+// tree; the ranked contribution report works for every model kind.
 //
 // Typical pipeline:
 //
@@ -20,6 +25,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/counters"
 	"repro/internal/dataset"
+	"repro/internal/modelio"
 	"repro/internal/mtree"
 	"repro/internal/workload"
 )
@@ -28,12 +34,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyze: ")
 	var (
-		treePath = flag.String("tree", "", "trained tree JSON (from train -out) (required)")
+		treePath = flag.String("tree", "", "trained model JSON (tree from train -out, or a saved ensemble) (required)")
 		in       = flag.String("in", "", "section CSV to analyze")
 		bench    = flag.String("bench", "", "or: simulate and analyze one suite benchmark")
 		scale    = flag.Float64("scale", 0.25, "suite scale when using -bench")
 		seed     = flag.Int64("seed", 99, "simulation seed when using -bench")
-		impacts  = flag.Bool("impacts", false, "also print split-variable impact table")
+		impacts  = flag.Bool("impacts", false, "also print split-variable impact table (single trees only)")
 		section  = flag.Int("section", -1, "print a full Eq.4-style decomposition of this section index")
 	)
 	flag.Parse()
@@ -42,15 +48,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*treePath)
+	m, err := modelio.LoadFile(*treePath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := mtree.ReadJSON(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
+	desc := m.Describe()
+	fmt.Printf("loaded %s: %d leaves, target %s, trained on %d sections\n\n",
+		desc.Kind, desc.NumLeaves, desc.Target, desc.TrainN)
 
 	var d *dataset.Dataset
 	switch {
@@ -59,7 +63,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		d, err = dataset.ReadCSV(f, tree.TargetName)
+		d, err = dataset.ReadCSV(f, desc.Target)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
@@ -79,29 +83,47 @@ func main() {
 		fmt.Printf("simulated %s: %d sections\n\n", *bench, d.Len())
 	}
 
-	report := analysis.AnalyzeWorkload(tree, d)
+	report := analysis.AnalyzeWorkload(m, d)
 	fmt.Print(report.Render())
+
+	tree, isTree := m.(*mtree.Tree)
 
 	if *section >= 0 {
 		if *section >= d.Len() {
 			log.Fatalf("section %d out of range (%d sections)", *section, d.Len())
 		}
-		sr := analysis.AnalyzeSection(tree, d.Row(*section))
-		fmt.Printf("\nsection %d: class LM%d, predicted CPI %.3f (actual %.3f)\n",
-			*section, sr.LeafID, sr.PredictedCPI, d.Target(*section))
-		fmt.Println("decision path:")
-		for _, step := range sr.Path {
-			fmt.Printf("  %s\n", step)
-		}
-		fmt.Printf("baseline (intercept): %.4f\n", sr.Baseline)
-		fmt.Printf("%-10s %12s %12s %12s %10s\n", "event", "coef", "rate", "CPI share", "gain")
-		for _, c := range sr.Contributions {
-			fmt.Printf("%-10s %12.4g %12.6f %12.4f %9.1f%%\n", c.Name, c.Coef, c.Rate, c.Cycles, 100*c.Fraction)
+		row := d.Row(*section)
+		if isTree {
+			sr := analysis.AnalyzeSection(tree, row)
+			fmt.Printf("\nsection %d: class LM%d, predicted %s %.3f (actual %.3f)\n",
+				*section, sr.LeafID, desc.Target, sr.PredictedCPI, d.Target(*section))
+			fmt.Println("decision path:")
+			for _, step := range sr.Path {
+				fmt.Printf("  %s\n", step)
+			}
+			fmt.Printf("baseline (intercept): %.4f\n", sr.Baseline)
+			printContributions(sr.Contributions)
+		} else {
+			// No single decision path for an ensemble; report the
+			// member-averaged decomposition instead.
+			fmt.Printf("\nsection %d: predicted %s %.3f (actual %.3f), %s decomposition:\n",
+				*section, desc.Target, m.Predict(row), d.Target(*section), desc.Kind)
+			printContributions(m.Contributions(row))
 		}
 	}
 
 	if *impacts {
+		if !isTree {
+			log.Fatalf("-impacts requires a single tree; %s has no shared split structure", desc.Kind)
+		}
 		fmt.Println("\nsplit-variable impacts over this dataset:")
 		fmt.Print(analysis.RenderSplitImpacts(analysis.SplitImpacts(tree, d)))
+	}
+}
+
+func printContributions(cs []analysis.Contribution) {
+	fmt.Printf("%-10s %12s %12s %12s %10s\n", "event", "coef", "rate", "CPI share", "gain")
+	for _, c := range cs {
+		fmt.Printf("%-10s %12.4g %12.6f %12.4f %9.1f%%\n", c.Name, c.Coef, c.Rate, c.Cycles, 100*c.Fraction)
 	}
 }

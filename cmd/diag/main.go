@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/counters"
+	"repro/internal/model"
 	"repro/internal/mtree"
 	"repro/internal/workload"
 )
@@ -35,6 +36,10 @@ func main() {
 	}
 	fmt.Println(tree.Summary())
 
+	// Residuals are computed through the shared Model interface — the
+	// same surface the serving registry uses — so this diagnostic is the
+	// reference for what a served model reports.
+	var m model.Model = tree
 	type agg struct {
 		n      int
 		absErr float64
@@ -43,7 +48,7 @@ func main() {
 	per := map[string]*agg{}
 	for i := 0; i < col.Data.Len(); i++ {
 		row := col.Data.Row(i)
-		pred := tree.Predict(row)
+		pred := m.Predict(row)
 		act := col.Data.Target(i)
 		a := per[col.Labels[i].Benchmark]
 		if a == nil {

@@ -1,0 +1,159 @@
+// Command serve exposes trained CPI models over HTTP: the paper's
+// train-once / analyze-many oracle as an online service. Models persisted
+// by cmd/train (single M5' trees) or saved as bagged ensembles are loaded
+// into a named, versioned registry and served at /v1/predict (single +
+// batch, optional per-event contribution breakdown), /v1/classify (leaf
+// id + decision path), /v1/models, /healthz and /metrics.
+//
+// Usage:
+//
+//	serve -model cpi=tree.json [-model cpi@v2=tree2.json] [-addr :8080]
+//	      [-jobs N] [-cache 4096] [-cache-quantum 0] [-timeout 10s]
+//	      [-max-body 1048576] [-max-batch 4096]
+//	serve -demo                 # no files: trains a small tree in-process
+//
+// Model flags take name=path or name@version=path; an unversioned name
+// registers as v1, and a bare reference in requests resolves to the most
+// recently registered version of that name.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/mtree"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// modelFlags collects repeated -model name[@version]=path arguments.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+
+func (m *modelFlags) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	var models modelFlags
+	flag.Var(&models, "model", "model to serve, as name=path or name@version=path (repeatable)")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		jobs      = flag.Int("jobs", 0, "batch-prediction workers (0 = all cores, 1 = serial; responses are identical)")
+		cacheSize = flag.Int("cache", 4096, "LRU prediction cache entries (0 disables)")
+		quantum   = flag.Float64("cache-quantum", 0, "cache key quantization step (0 = exact bits, hits cannot change responses)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request handler timeout (0 disables)")
+		maxBody   = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+		maxBatch  = flag.Int("max-batch", 4096, "maximum rows per request")
+		demo      = flag.Bool("demo", false, "train a small tree on the built-in simulator and serve it as \"demo\"")
+		demoScale = flag.Float64("demo-scale", 0.05, "suite scale for -demo training")
+	)
+	flag.Parse()
+	if len(models) == 0 && !*demo {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := serve.NewRegistry()
+	for _, spec := range models {
+		ref, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("-model %q: want name=path or name@version=path", spec)
+		}
+		name, version, pinned := strings.Cut(ref, "@")
+		if !pinned {
+			version = "v1"
+		}
+		if err := reg.LoadFile(name, version, path); err != nil {
+			log.Fatal(err)
+		}
+		e, _ := reg.Get(name + "@" + version)
+		d := e.Model.Describe()
+		log.Printf("loaded %s@%s from %s: %s, %d leaves, target %s, trained on %d sections",
+			name, version, path, d.Kind, d.NumLeaves, d.Target, d.TrainN)
+	}
+	if *demo {
+		tree, err := trainDemo(*demoScale, *jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.Register("demo", "v1", tree, ""); err != nil {
+			log.Fatal(err)
+		}
+		d := tree.Describe()
+		log.Printf("trained demo@v1 in-process: %d leaves over %d sections", d.NumLeaves, d.TrainN)
+	}
+
+	cfg := serve.DefaultConfig()
+	cfg.Jobs = *jobs
+	cfg.CacheSize = *cacheSize
+	cfg.CacheQuantum = *quantum
+	cfg.MaxBodyBytes = *maxBody
+	cfg.MaxBatch = *maxBatch
+	cfg.RequestTimeout = *timeout
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(reg, cfg).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then let
+	// in-flight requests drain within a deadline.
+	done := make(chan error, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	log.Printf("serving %d model(s) on %s", reg.Len(), *addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+}
+
+// trainDemo collects a reduced-scale suite on the built-in simulator and
+// fits a paper-style tree — a self-contained model for smoke tests and
+// first contact with the API.
+func trainDemo(scale float64, jobs int) (*mtree.Tree, error) {
+	ccfg := counters.DefaultCollectConfig()
+	ccfg.Jobs = jobs
+	col, err := counters.CollectSuite(workload.SuiteScaled(scale), ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("demo collection: %w", err)
+	}
+	tcfg := mtree.DefaultConfig()
+	// Scale the paper's 430-instance leaf floor with the reduced suite.
+	tcfg.MinLeaf = col.Data.Len() / 20
+	if tcfg.MinLeaf < 4 {
+		tcfg.MinLeaf = 4
+	}
+	tcfg.Jobs = jobs
+	tree, err := mtree.Build(col.Data, tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("demo training: %w", err)
+	}
+	return tree, nil
+}

@@ -18,26 +18,15 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/model"
 	"repro/internal/mtree"
 )
 
-// Contribution is one event's share of a section's predicted CPI.
-type Contribution struct {
-	// Attr is the dataset column of the event.
-	Attr int
-	// Name is the event name, e.g. "L1IM".
-	Name string
-	// Coef is the leaf-model coefficient (cycles per event per
-	// instruction).
-	Coef float64
-	// Rate is the section's per-instruction event rate.
-	Rate float64
-	// Cycles is Coef*Rate, the event's CPI contribution.
-	Cycles float64
-	// Fraction is Cycles/predicted CPI — the potential relative gain from
-	// eliminating the event.
-	Fraction float64
-}
+// Contribution is one event's share of a section's predicted CPI. It is
+// the shared model.Contribution type: the decomposition is computed by
+// the model itself (Tree.Contributions / Bagger.Contributions), and this
+// package aggregates and renders it.
+type Contribution = model.Contribution
 
 // SectionReport analyzes one section (dataset row).
 type SectionReport struct {
@@ -61,36 +50,13 @@ type SectionReport struct {
 // into per-event contributions (the "what" and "how much" answers).
 func AnalyzeSection(t *mtree.Tree, row dataset.Instance) SectionReport {
 	leaf, path := t.Classify(row)
-	pred := leaf.Model.Predict(row)
-	rep := SectionReport{
-		LeafID:       leaf.LeafID,
-		Path:         path,
-		PredictedCPI: pred,
-		Baseline:     leaf.Model.Intercept,
+	return SectionReport{
+		LeafID:        leaf.LeafID,
+		Path:          path,
+		PredictedCPI:  leaf.Model.Predict(row),
+		Baseline:      leaf.Model.Intercept,
+		Contributions: t.Contributions(row),
 	}
-	for i, a := range leaf.Model.Attrs {
-		coef := leaf.Model.Coefs[i]
-		if coef == 0 {
-			continue
-		}
-		rate := row[a]
-		cyc := coef * rate
-		var frac float64
-		if pred != 0 {
-			frac = cyc / pred
-		}
-		name := fmt.Sprintf("x%d", a)
-		if a >= 0 && a < len(t.AttrNames) {
-			name = t.AttrNames[a]
-		}
-		rep.Contributions = append(rep.Contributions, Contribution{
-			Attr: a, Name: name, Coef: coef, Rate: rate, Cycles: cyc, Fraction: frac,
-		})
-	}
-	sort.SliceStable(rep.Contributions, func(i, j int) bool {
-		return rep.Contributions[i].Cycles > rep.Contributions[j].Cycles
-	})
-	return rep
 }
 
 // Issue is one ranked performance problem aggregated over a workload.
@@ -120,16 +86,31 @@ type WorkloadReport struct {
 	Issues []Issue
 }
 
-// AnalyzeWorkload runs AnalyzeSection over every row of d and aggregates
-// the ranked issue list.
-func AnalyzeWorkload(t *mtree.Tree, d *dataset.Dataset) WorkloadReport {
+// AnalyzeWorkload runs the per-section decomposition over every row of d
+// and aggregates the ranked issue list. It accepts any model.Model: a
+// single tree is analyzed exactly as before (unsmoothed leaf predictions,
+// per-leaf class membership); other models — e.g. the bagged ensemble —
+// fall back to Predict and Contributions, and report no class shares
+// because their sections do not land in a single leaf.
+func AnalyzeWorkload(m model.Model, d *dataset.Dataset) WorkloadReport {
+	tree, isTree := m.(*mtree.Tree)
 	rep := WorkloadReport{LeafShare: map[int]float64{}}
 	sums := map[string]*Issue{}
 	for i := 0; i < d.Len(); i++ {
-		sr := AnalyzeSection(t, d.Row(i))
+		var sr SectionReport
+		if isTree {
+			sr = AnalyzeSection(tree, d.Row(i))
+		} else {
+			sr = SectionReport{
+				PredictedCPI:  m.Predict(d.Row(i)),
+				Contributions: m.Contributions(d.Row(i)),
+			}
+		}
 		rep.N++
 		rep.MeanCPI += sr.PredictedCPI
-		rep.LeafShare[sr.LeafID]++
+		if sr.LeafID > 0 {
+			rep.LeafShare[sr.LeafID]++
+		}
 		for _, c := range sr.Contributions {
 			if c.Cycles <= 0 {
 				continue
@@ -181,11 +162,14 @@ func (r WorkloadReport) Render() string {
 		}
 		return shares[i].id < shares[j].id
 	})
-	b.WriteString("class membership:")
-	for _, s := range shares {
-		fmt.Fprintf(&b, " LM%d:%.1f%%", s.id, 100*s.f)
+	if len(shares) > 0 {
+		b.WriteString("class membership:")
+		for _, s := range shares {
+			fmt.Fprintf(&b, " LM%d:%.1f%%", s.id, 100*s.f)
+		}
+		b.WriteString("\n")
 	}
-	b.WriteString("\n\nranked performance issues (what / how much):\n")
+	b.WriteString("\nranked performance issues (what / how much):\n")
 	fmt.Fprintf(&b, "%-12s %14s %12s %10s\n", "event", "gain if fixed", "CPI cycles", "sections")
 	for _, is := range r.Issues {
 		fmt.Fprintf(&b, "%-12s %13.1f%% %12.4f %10d\n",

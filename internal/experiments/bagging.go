@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ensemble"
 	"repro/internal/eval"
+	"repro/internal/model"
 	"repro/internal/mtree"
 )
 
@@ -49,10 +50,16 @@ func BaggingExp(ctx *Context) (Result, error) {
 		return Result{}, err
 	}
 
+	// Describe the trained ensemble through the shared Model interface —
+	// the same view GET /v1/models serves from the registry.
+	var fm model.Model = full
+	desc := fm.Describe()
 	report := fmt.Sprintf(
 		"single M5'  (%d-fold CV): %s\nbagged x10  (%d-fold CV): %s\n"+
-			"OOB MAE %.4f (coverage %.0f%%), mean member size %.1f leaves\n",
-		folds, rs.Pooled, folds, rb.Pooled, full.OOBError, 100*full.OOBCoverage, full.MeanLeaves())
+			"OOB MAE %.4f (coverage %.0f%%), mean member size %.1f leaves\n"+
+			"%s: %d members, %d leaves total\n",
+		folds, rs.Pooled, folds, rb.Pooled, full.OOBError, 100*full.OOBCoverage, full.MeanLeaves(),
+		desc.Kind, desc.Trees, fm.NumLeaves())
 	gain := 0.0
 	if rs.Pooled.RAE > 0 {
 		gain = 1 - rb.Pooled.RAE/rs.Pooled.RAE

@@ -1,0 +1,72 @@
+// Package model defines the learner-agnostic prediction interface shared
+// by the single M5' tree and the bagged ensemble. It is the contract the
+// serving layer (internal/serve), the CLIs and the analysis code program
+// against, so that a registry or report can hold "a trained CPI model"
+// without caring whether it is one interpretable tree or ten bagged ones.
+//
+// The package sits below the learners: it depends only on
+// internal/dataset, and internal/mtree / internal/ensemble import it to
+// declare conformance. Loading persisted models back as Model values is
+// the job of internal/modelio (which must know every concrete format and
+// therefore cannot live here without an import cycle).
+package model
+
+import "repro/internal/dataset"
+
+// Contribution is one event's share of a prediction: the paper's Eq. 4
+// decomposition coef*X/CPI, the unit of the "how much" answer.
+type Contribution struct {
+	// Attr is the dataset column of the event.
+	Attr int `json:"attr"`
+	// Name is the event name, e.g. "L1IM".
+	Name string `json:"name"`
+	// Coef is the model coefficient (cycles per event per instruction).
+	Coef float64 `json:"coef"`
+	// Rate is the instance's per-instruction event rate.
+	Rate float64 `json:"rate"`
+	// Cycles is Coef*Rate, the event's CPI contribution.
+	Cycles float64 `json:"cycles"`
+	// Fraction is Cycles / predicted CPI — the potential relative gain
+	// from eliminating the event.
+	Fraction float64 `json:"fraction"`
+}
+
+// Description summarizes a trained model for registries, reports and the
+// GET /v1/models endpoint.
+type Description struct {
+	// Kind identifies the learner, e.g. "m5-model-tree" or "bagged-m5".
+	Kind string `json:"kind"`
+	// Target is the predicted column name (e.g. "CPI").
+	Target string `json:"target"`
+	// AttrNames is the full column schema the model was trained on,
+	// including the target column; instances handed to Predict must be
+	// this wide, with values positionally aligned.
+	AttrNames []string `json:"attrs"`
+	// TrainN is the number of training instances.
+	TrainN int `json:"train_n"`
+	// NumLeaves is the total number of leaves (performance classes); for
+	// ensembles it is summed over the members.
+	NumLeaves int `json:"num_leaves"`
+	// Trees is the number of trees behind the model (1 for a single tree).
+	Trees int `json:"trees"`
+}
+
+// Model is a trained CPI predictor. *mtree.Tree and *ensemble.Bagger
+// implement it.
+type Model interface {
+	// Predict returns the model's estimate of the target for one
+	// full-width instance (smoothed, for models that smooth).
+	Predict(row dataset.Instance) float64
+
+	// Contributions decomposes the (unsmoothed) prediction into per-event
+	// shares, largest CPI contribution first. The sum of Cycles plus the
+	// model baseline reproduces the decomposed prediction exactly for a
+	// single tree; ensembles report member-averaged shares.
+	Contributions(row dataset.Instance) []Contribution
+
+	// NumLeaves reports the number of leaves (performance classes).
+	NumLeaves() int
+
+	// Describe summarizes the model.
+	Describe() Description
+}

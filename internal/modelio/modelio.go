@@ -1,0 +1,54 @@
+// Package modelio loads persisted models — single M5' trees or bagged
+// ensembles — behind the shared model.Model interface. It is the one
+// place that knows every concrete on-disk format; callers (cmd/analyze,
+// cmd/serve, the registry) just ask for "the model in this file".
+//
+// The format is sniffed from the JSON "kind" discriminator: ensemble
+// files declare kind "bagged-m5"; anything else is treated as a
+// single-tree file (trees written before the discriminator existed carry
+// no kind at all).
+package modelio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ensemble"
+	"repro/internal/model"
+	"repro/internal/mtree"
+)
+
+// Load reads one persisted model from r, dispatching on the format.
+func Load(r io.Reader) (model.Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("modelio: reading model: %w", err)
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("modelio: not a JSON model file: %w", err)
+	}
+	if probe.Kind == ensemble.Kind {
+		return ensemble.ReadJSON(bytes.NewReader(data))
+	}
+	return mtree.ReadJSON(bytes.NewReader(data))
+}
+
+// LoadFile loads one persisted model from a file path.
+func LoadFile(path string) (model.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("modelio: %w", err)
+	}
+	defer f.Close()
+	m, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("modelio: loading %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,93 @@
+package modelio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ensemble"
+	"repro/internal/mtree"
+)
+
+func trainData(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.MustNew([]dataset.Attribute{{Name: "CPI"}, {Name: "L1IM"}, {Name: "L2M"}}, 0)
+	for i := 0; i < n; i++ {
+		a := rng.Float64()
+		b := rng.Float64()
+		y := 0.5 + 2*a
+		if b > 0.5 {
+			y = 1.5 + 4*a
+		}
+		d.MustAppend(dataset.Instance{y + 0.05*rng.NormFloat64(), a, b})
+	}
+	return d
+}
+
+// TestLoadDispatch: Load must hand tree files to the tree reader and
+// ensemble files to the ensemble reader, both behind model.Model.
+func TestLoadDispatch(t *testing.T) {
+	d := trainData(600, 3)
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 50
+	tree, err := mtree.Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb bytes.Buffer
+	if err := tree.WriteJSON(&tb); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(&tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Describe().Kind != "m5-model-tree" {
+		t.Errorf("tree file loaded as %q", m.Describe().Kind)
+	}
+	if got, want := m.Predict(d.Row(0)), tree.Predict(d.Row(0)); got != want {
+		t.Errorf("loaded tree predicts %v, want %v", got, want)
+	}
+
+	ecfg := ensemble.DefaultConfig()
+	ecfg.Trees = 3
+	ecfg.Tree = cfg
+	bag, err := ensemble.Train(d, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb bytes.Buffer
+	if err := bag.WriteJSON(&eb); err != nil {
+		t.Fatal(err)
+	}
+	m, err = Load(&eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Describe().Kind != "bagged-m5" {
+		t.Errorf("ensemble file loaded as %q", m.Describe().Kind)
+	}
+	if m.Describe().Trees != 3 {
+		t.Errorf("ensemble description reports %d trees, want 3", m.Describe().Trees)
+	}
+	if got, want := m.Predict(d.Row(1)), bag.Predict(d.Row(1)); got != want {
+		t.Errorf("loaded ensemble predicts %v, want %v", got, want)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("non-JSON input accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"kind":"bagged-m5","schema_version":99,"trees":[{}]}`)); err == nil {
+		t.Error("future ensemble accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/model.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

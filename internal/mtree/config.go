@@ -13,6 +13,8 @@
 // micro-architectural events for that class.
 package mtree
 
+import "fmt"
+
 // Config holds the M5' hyper-parameters.
 type Config struct {
 	// MinLeaf is the minimum number of training instances allowed in a
@@ -81,15 +83,25 @@ func PaperConfig() Config {
 	return c
 }
 
-func (c Config) validated() Config {
+// Validate checks the hyper-parameters and returns a descriptive error
+// for the first out-of-range value. Build (and everything layered on it:
+// ensembles, cross validation, the serving registry) calls Validate up
+// front, so a bad configuration fails at construction with a clear
+// message instead of deep inside training. The zero value of unrelated
+// knobs stays legal: SmoothingK is only required when Smooth is on, and
+// Jobs accepts any value (non-positive means "all cores").
+func (c Config) Validate() error {
 	if c.MinLeaf < 1 {
-		c.MinLeaf = 1
+		return fmt.Errorf("mtree: MinLeaf %d out of range (must be >= 1)", c.MinLeaf)
 	}
+	// Values above 1 are legal — they stop splitting entirely (a node's SD
+	// can never exceed a multiple >1 of the global SD by much), which
+	// tests and ablations use on purpose. Only negatives are nonsense.
 	if c.SDThresholdFraction < 0 {
-		c.SDThresholdFraction = 0
+		return fmt.Errorf("mtree: SDThresholdFraction %v out of range (must be >= 0)", c.SDThresholdFraction)
 	}
-	if c.SmoothingK <= 0 {
-		c.SmoothingK = 15
+	if c.Smooth && c.SmoothingK <= 0 {
+		return fmt.Errorf("mtree: SmoothingK %v out of range (must be > 0 when Smooth is enabled)", c.SmoothingK)
 	}
-	return c
+	return nil
 }

@@ -1,0 +1,54 @@
+package mtree
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+// Tree implements model.Model. The analysis layer and the serving layer
+// both consume trees through that interface; the assertion keeps the
+// conformance from silently rotting.
+var _ model.Model = (*Tree)(nil)
+
+// Contributions decomposes the leaf model's (unsmoothed) prediction for an
+// instance into per-event CPI shares, largest first — the paper's Eq. 4
+// arithmetic (e.g. 6.69*L1IM/CPI ≈ 20%). The unsmoothed leaf prediction is
+// used so that intercept + sum(Cycles) reproduces it exactly.
+func (t *Tree) Contributions(row dataset.Instance) []model.Contribution {
+	leaf, _ := t.Classify(row)
+	pred := leaf.Model.Predict(row)
+	var out []model.Contribution
+	for i, a := range leaf.Model.Attrs {
+		coef := leaf.Model.Coefs[i]
+		if coef == 0 {
+			continue
+		}
+		rate := row[a]
+		cyc := coef * rate
+		var frac float64
+		if pred != 0 {
+			frac = cyc / pred
+		}
+		out = append(out, model.Contribution{
+			Attr: a, Name: t.attrName(a), Coef: coef, Rate: rate, Cycles: cyc, Fraction: frac,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Cycles > out[j].Cycles
+	})
+	return out
+}
+
+// Describe implements model.Model.
+func (t *Tree) Describe() model.Description {
+	return model.Description{
+		Kind:      "m5-model-tree",
+		Target:    t.TargetName,
+		AttrNames: t.AttrNames,
+		TrainN:    t.TrainN,
+		NumLeaves: t.NumLeaves(),
+		Trees:     1,
+	}
+}

@@ -306,14 +306,34 @@ func TestStringRendering(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	d := piecewise(100, 0.1, 13)
-	cfg := Config{MinLeaf: -5, SDThresholdFraction: -1, SmoothingK: -2}
-	tree, err := Build(d, cfg)
-	if err != nil {
-		t.Fatalf("validated config rejected: %v", err)
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
 	}
-	if tree.Config.MinLeaf < 1 || tree.Config.SmoothingK <= 0 {
-		t.Error("config not sanitized")
+	if err := PaperConfig().Validate(); err != nil {
+		t.Errorf("PaperConfig invalid: %v", err)
+	}
+	// Smoothing off leaves SmoothingK unconstrained (zero value is legal).
+	ok := Config{MinLeaf: 4, SDThresholdFraction: 0.05}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("unsmoothed zero-K config rejected: %v", err)
+	}
+
+	bad := []Config{
+		{MinLeaf: -5, SDThresholdFraction: 0.05},
+		{MinLeaf: 0, SDThresholdFraction: 0.05},
+		{MinLeaf: 4, SDThresholdFraction: -1},
+		{MinLeaf: 4, SDThresholdFraction: 0.05, Smooth: true, SmoothingK: -2},
+	}
+	d := piecewise(100, 0.1, 13)
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d passed Validate: %+v", i, cfg)
+		}
+		// Build must fail up front with the Validate error, not deep in
+		// training.
+		if _, err := Build(d, cfg); err == nil {
+			t.Errorf("Build accepted invalid config %d: %+v", i, cfg)
+		}
 	}
 }
 

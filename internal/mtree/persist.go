@@ -9,15 +9,23 @@ import (
 )
 
 // The JSON persistence layer lets cmd/train save a tree that cmd/analyze
-// loads later, mirroring the paper's train-once / analyze-many workflow.
+// and cmd/serve load later, mirroring the paper's train-once /
+// analyze-many workflow.
+
+// SchemaVersion is the current persisted-tree format version. Files
+// written before versioning was introduced carry no schema_version field
+// and decode as version 0, which remains readable; files from a future
+// format are rejected with a clear error instead of being misparsed.
+const SchemaVersion = 1
 
 type treeJSON struct {
-	Config     Config    `json:"config"`
-	TargetName string    `json:"target"`
-	AttrNames  []string  `json:"attrs"`
-	TrainN     int       `json:"train_n"`
-	GlobalSD   float64   `json:"global_sd"`
-	Root       *nodeJSON `json:"root"`
+	SchemaVersion int       `json:"schema_version"`
+	Config        Config    `json:"config"`
+	TargetName    string    `json:"target"`
+	AttrNames     []string  `json:"attrs"`
+	TrainN        int       `json:"train_n"`
+	GlobalSD      float64   `json:"global_sd"`
+	Root          *nodeJSON `json:"root"`
 }
 
 type nodeJSON struct {
@@ -55,6 +63,12 @@ func ReadJSON(r io.Reader) (*Tree, error) {
 	if err := json.NewDecoder(r).Decode(&tj); err != nil {
 		return nil, fmt.Errorf("mtree: decoding tree: %w", err)
 	}
+	// Version 0 is the pre-versioning format (no schema_version field);
+	// its payload is identical, so it stays loadable forever.
+	if tj.SchemaVersion < 0 || tj.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("mtree: persisted tree has schema_version %d; this build reads versions 0..%d",
+			tj.SchemaVersion, SchemaVersion)
+	}
 	if tj.Root == nil {
 		return nil, fmt.Errorf("mtree: decoded tree has no root")
 	}
@@ -71,12 +85,13 @@ func ReadJSON(r io.Reader) (*Tree, error) {
 
 func toTreeJSON(t *Tree) *treeJSON {
 	return &treeJSON{
-		Config:     t.Config,
-		TargetName: t.TargetName,
-		AttrNames:  t.AttrNames,
-		TrainN:     t.TrainN,
-		GlobalSD:   t.GlobalSD,
-		Root:       toNodeJSON(t.Root),
+		SchemaVersion: SchemaVersion,
+		Config:        t.Config,
+		TargetName:    t.TargetName,
+		AttrNames:     t.AttrNames,
+		TrainN:        t.TrainN,
+		GlobalSD:      t.GlobalSD,
+		Root:          toNodeJSON(t.Root),
 	}
 }
 

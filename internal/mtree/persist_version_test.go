@@ -1,0 +1,68 @@
+package mtree
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPersistSchemaVersion checks the version envelope: written files
+// carry the current schema_version, legacy files without the field (v0)
+// stay loadable, and files from a future format are rejected with an
+// explanatory error rather than misparsed.
+func TestPersistSchemaVersion(t *testing.T) {
+	d := piecewise(500, 0.1, 41)
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 50
+	tree, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if err := json.Unmarshal(raw["schema_version"], &v); err != nil || v != SchemaVersion {
+		t.Fatalf("written schema_version = %s, want %d", raw["schema_version"], SchemaVersion)
+	}
+
+	// Current version round-trips.
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("current version rejected: %v", err)
+	}
+	if got, want := back.Predict(d.Row(0)), tree.Predict(d.Row(0)); got != want {
+		t.Errorf("round-trip prediction %v != %v", got, want)
+	}
+
+	// Legacy v0: the same payload without the schema_version field.
+	delete(raw, "schema_version")
+	legacy, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(bytes.NewReader(legacy)); err != nil {
+		t.Errorf("legacy v0 file rejected: %v", err)
+	}
+
+	// Future version: rejected with a clear error.
+	raw["schema_version"] = json.RawMessage("99")
+	future, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadJSON(bytes.NewReader(future))
+	if err == nil {
+		t.Fatal("future schema_version accepted")
+	}
+	if !strings.Contains(err.Error(), "schema_version 99") {
+		t.Errorf("unhelpful version error: %v", err)
+	}
+}

@@ -63,7 +63,9 @@ type Tree struct {
 
 // Build grows and (optionally) prunes an M5' tree on the dataset.
 func Build(d *dataset.Dataset, cfg Config) (*Tree, error) {
-	cfg = cfg.validated()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if d.Len() == 0 {
 		return nil, errors.New("mtree: cannot build tree on empty dataset")
 	}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/ensemble"
+	"repro/internal/model"
+	"repro/internal/mtree"
+)
+
+// BenchmarkServePredict measures the full request path — JSON decode,
+// registry lookup, prediction, JSON encode — for a 64-row batch, with the
+// LRU cache cold-off and warm-on. A single small tree predicts in a few
+// hundred nanoseconds, so for it the cache is overhead; the bagged
+// ensemble shows where a warm hit pays: it skips all member predictions.
+func BenchmarkServePredict(b *testing.B) {
+	d := perfData(2000, 17)
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 60
+	tree, err := mtree.Build(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ecfg := ensemble.DefaultConfig()
+	ecfg.Trees = 10
+	ecfg.Tree = cfg
+	bag, err := ensemble.Train(d, ecfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	body := fmt.Sprintf(`{"model":"cpi","rows":%s}`, rowsJSON(d, 0, 64))
+
+	run := func(b *testing.B, m model.Model, scfg Config) {
+		reg := NewRegistry()
+		if err := reg.Register("cpi", "v1", m, ""); err != nil {
+			b.Fatal(err)
+		}
+		h := New(reg, scfg).Handler()
+		// One warm-up request fills the cache where enabled.
+		if rec := post(h, "/v1/predict", body); rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := post(h, "/v1/predict", body)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	}
+
+	serial := func(cache int) Config {
+		return Config{Jobs: 1, CacheSize: cache, MaxBodyBytes: 1 << 22, MaxBatch: 4096}
+	}
+	b.Run("tree-uncached", func(b *testing.B) { run(b, tree, serial(0)) })
+	b.Run("tree-cached", func(b *testing.B) { run(b, tree, serial(4096)) })
+	b.Run("ensemble-uncached", func(b *testing.B) { run(b, bag, serial(0)) })
+	b.Run("ensemble-cached", func(b *testing.B) { run(b, bag, serial(4096)) })
+	b.Run("ensemble-uncached-parallel", func(b *testing.B) {
+		run(b, bag, Config{Jobs: 0, CacheSize: 0, MaxBodyBytes: 1 << 22, MaxBatch: 4096})
+	})
+}
+
+// BenchmarkPredictionCache isolates the cache itself.
+func BenchmarkPredictionCache(b *testing.B) {
+	c := NewPredictionCache(1024)
+	d := perfData(256, 23)
+	keys := make([]string, d.Len())
+	for i := range keys {
+		keys[i] = CacheKey("cpi@v1", d.Row(i), 0)
+		c.Put(keys[i], float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

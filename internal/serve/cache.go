@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// PredictionCache is a bounded LRU cache from (model ref, feature vector)
+// to a predicted value. Tree prediction is already cheap — a handful of
+// comparisons plus a dot product — but under heavy traffic the same
+// sections recur (phases repeat, dashboards re-ask), and a hit skips the
+// smoothing walk entirely.
+//
+// Keys are built by CacheKey from the bit patterns of the (optionally
+// quantized) feature values, so with quantum 0 a hit is only possible for
+// a bit-identical input and caching can never change a response. A
+// positive quantum trades that guarantee for a higher hit rate by
+// snapping each value to the nearest multiple before keying.
+type PredictionCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recent
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	val float64
+}
+
+// NewPredictionCache creates a cache bounded to capacity entries.
+// Capacity must be positive; callers disable caching by not constructing
+// one (a nil *PredictionCache is inert).
+func NewPredictionCache(capacity int) *PredictionCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PredictionCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get looks up a key, marking it most recently used on a hit. A nil
+// cache always misses without counting.
+func (c *PredictionCache) Get(key string) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return 0, false
+}
+
+// Put inserts or refreshes a key, evicting the least recently used entry
+// when full. A nil cache ignores the call.
+func (c *PredictionCache) Put(key string, val float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns the hit/miss counters and the current size.
+func (c *PredictionCache) Stats() (hits, misses uint64, size int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// Cap returns the configured capacity.
+func (c *PredictionCache) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
+}
+
+// Quantize snaps v to the nearest multiple of quantum; quantum <= 0
+// returns v unchanged (exact keying).
+func Quantize(v, quantum float64) float64 {
+	if quantum <= 0 {
+		return v
+	}
+	return math.Round(v/quantum) * quantum
+}
+
+// CacheKey builds the cache key for one instance under one model: the
+// model reference, a NUL separator, then the 8-byte bit pattern of each
+// (quantized) value. Bit patterns — not formatted decimals — keep the key
+// exact, compact, and collision-free at quantum 0.
+func CacheKey(modelRef string, row dataset.Instance, quantum float64) string {
+	buf := make([]byte, 0, len(modelRef)+1+8*len(row))
+	buf = append(buf, modelRef...)
+	buf = append(buf, 0)
+	var scratch [8]byte
+	for _, v := range row {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(Quantize(v, quantum)))
+		buf = append(buf, scratch[:]...)
+	}
+	return string(buf)
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Observability counters for the prediction service, expvar-style: plain
+// in-process counters and fixed-bucket latency histograms, rendered as
+// one JSON document at GET /metrics. No external metrics dependency; the
+// histograms give the latency quantiles a scrape would want (p50/p90/p99)
+// at a few hundred bytes of state per endpoint.
+
+// latencyBucketsMs are the histogram upper bounds in milliseconds,
+// log-spaced from 10µs to 10s. Samples above the last bound land in a
+// +Inf overflow bucket.
+var latencyBucketsMs = []float64{
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// histogram is a fixed-bucket latency histogram. It is small enough to
+// lock per observation without showing up next to request handling.
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // len(latencyBucketsMs)+1, last is overflow
+	total  uint64
+	sumMs  float64
+	maxMs  float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBucketsMs)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(latencyBucketsMs, ms)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sumMs += ms
+	if ms > h.maxMs {
+		h.maxMs = ms
+	}
+	h.mu.Unlock()
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the q-th observation — an overestimate by at most
+// one bucket width, which is what fixed buckets buy.
+func (h *histogram) snapshot() latencySnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := latencySnapshot{MaxMs: h.maxMs}
+	if h.total == 0 {
+		return s
+	}
+	s.MeanMs = h.sumMs / float64(h.total)
+	quantile := func(q float64) float64 {
+		rank := uint64(q * float64(h.total))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum uint64
+		for i, c := range h.counts {
+			cum += c
+			if cum >= rank {
+				if i < len(latencyBucketsMs) {
+					return latencyBucketsMs[i]
+				}
+				return h.maxMs
+			}
+		}
+		return h.maxMs
+	}
+	s.P50Ms = quantile(0.50)
+	s.P90Ms = quantile(0.90)
+	s.P99Ms = quantile(0.99)
+	return s
+}
+
+type latencySnapshot struct {
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// endpointMetrics tracks one route.
+type endpointMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+	inFlight atomic.Int64
+	latency  *histogram
+}
+
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{latency: newHistogram()}
+}
+
+type endpointSnapshot struct {
+	Requests  uint64          `json:"requests"`
+	Errors    uint64          `json:"errors"`
+	InFlight  int64           `json:"in_flight"`
+	LatencyMs latencySnapshot `json:"latency_ms"`
+}
+
+// metricsRegistry holds every endpoint's counters plus service-level
+// gauges. Endpoints are registered up front, so reads are lock-free map
+// lookups.
+type metricsRegistry struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+	cache     *PredictionCache // nil when caching is disabled
+	models    func() int
+}
+
+func newMetricsRegistry(routes []string, cache *PredictionCache, models func() int) *metricsRegistry {
+	m := &metricsRegistry{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointMetrics, len(routes)),
+		cache:     cache,
+		models:    models,
+	}
+	for _, r := range routes {
+		m.endpoints[r] = newEndpointMetrics()
+	}
+	return m
+}
+
+type cacheSnapshot struct {
+	Enabled bool    `json:"enabled"`
+	Size    int     `json:"size"`
+	Cap     int     `json:"cap"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type metricsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Models        int                         `json:"models"`
+	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
+	Cache         cacheSnapshot               `json:"cache"`
+}
+
+func (m *metricsRegistry) snapshot() metricsSnapshot {
+	s := metricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Models:        m.models(),
+		Endpoints:     make(map[string]endpointSnapshot, len(m.endpoints)),
+	}
+	for route, em := range m.endpoints {
+		s.Endpoints[route] = endpointSnapshot{
+			Requests:  em.requests.Load(),
+			Errors:    em.errors.Load(),
+			InFlight:  em.inFlight.Load(),
+			LatencyMs: em.latency.snapshot(),
+		}
+	}
+	if m.cache != nil {
+		hits, misses, size := m.cache.Stats()
+		s.Cache = cacheSnapshot{Enabled: true, Size: size, Cap: m.cache.Cap(), Hits: hits, Misses: misses}
+		if total := hits + misses; total > 0 {
+			s.Cache.HitRate = float64(hits) / float64(total)
+		}
+	}
+	return s
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/modelio"
+)
+
+// Registry is the named, versioned model store behind the service. Every
+// entry holds a model.Model — a single M5' tree or a bagged ensemble —
+// under a (name, version) pair; requests address models as "name" (latest
+// registered version) or "name@version".
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]map[string]*Entry // name -> version -> entry
+	latest  map[string]string            // name -> most recently registered version
+}
+
+// Entry is one registered model.
+type Entry struct {
+	Name    string
+	Version string
+	// Path is the source file, empty for models registered in-process.
+	Path  string
+	Model model.Model
+}
+
+// Ref is the entry's canonical reference, "name@version".
+func (e *Entry) Ref() string { return e.Name + "@" + e.Version }
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		entries: map[string]map[string]*Entry{},
+		latest:  map[string]string{},
+	}
+}
+
+// Register adds a model under (name, version). Re-registering an existing
+// (name, version) is an error — versions are immutable once served; ship
+// a new version instead.
+func (r *Registry) Register(name, version string, m model.Model, path string) error {
+	if name == "" || strings.ContainsAny(name, "@ \t\n") {
+		return fmt.Errorf("serve: invalid model name %q", name)
+	}
+	if version == "" || strings.ContainsAny(version, "@ \t\n") {
+		return fmt.Errorf("serve: invalid model version %q", version)
+	}
+	if m == nil {
+		return fmt.Errorf("serve: nil model for %s@%s", name, version)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := r.entries[name]
+	if vs == nil {
+		vs = map[string]*Entry{}
+		r.entries[name] = vs
+	}
+	if _, dup := vs[version]; dup {
+		return fmt.Errorf("serve: model %s@%s already registered", name, version)
+	}
+	vs[version] = &Entry{Name: name, Version: version, Path: path, Model: m}
+	r.latest[name] = version
+	return nil
+}
+
+// LoadFile loads a persisted model (tree or ensemble) and registers it.
+func (r *Registry) LoadFile(name, version, path string) error {
+	m, err := modelio.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	return r.Register(name, version, m, path)
+}
+
+// Get resolves a reference: "name" (latest registered version) or
+// "name@version".
+func (r *Registry) Get(ref string) (*Entry, error) {
+	name, version, pinned := strings.Cut(ref, "@")
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	vs := r.entries[name]
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	if !pinned {
+		version = r.latest[name]
+	}
+	e := vs[version]
+	if e == nil {
+		return nil, fmt.Errorf("serve: unknown version %q of model %q", version, name)
+	}
+	return e, nil
+}
+
+// Len returns the number of registered (name, version) entries.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, vs := range r.entries {
+		n += len(vs)
+	}
+	return n
+}
+
+// EntryInfo is the listing view of one entry, as served by GET /v1/models.
+type EntryInfo struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	Latest  bool   `json:"latest"`
+	Path    string `json:"path,omitempty"`
+	model.Description
+}
+
+// List returns every entry's description, sorted by name then version,
+// so the listing (and anything diffing it) is deterministic.
+func (r *Registry) List() []EntryInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]EntryInfo, 0, 8)
+	for name, vs := range r.entries {
+		for version, e := range vs {
+			out = append(out, EntryInfo{
+				Name:        name,
+				Version:     version,
+				Latest:      r.latest[name] == version,
+				Path:        e.Path,
+				Description: e.Model.Describe(),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}

@@ -1,0 +1,529 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ensemble"
+	"repro/internal/mtree"
+)
+
+// perfData builds a small CPI-like dataset: two event-rate features with
+// a piecewise-linear target, enough for a tree with several leaves.
+func perfData(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.MustNew([]dataset.Attribute{
+		{Name: "CPI"}, {Name: "L1IM"}, {Name: "L2M"}, {Name: "DtlbLdM"},
+	}, 0)
+	for i := 0; i < n; i++ {
+		l1 := rng.Float64() * 0.02
+		l2 := rng.Float64() * 0.005
+		dt := rng.Float64() * 0.001
+		y := 0.6 + 7*l1 + 0.02*rng.NormFloat64()
+		if l2 > 0.002 {
+			y = 1.1 + 90*l2 + 40*dt + 0.02*rng.NormFloat64()
+		}
+		d.MustAppend(dataset.Instance{y, l1, l2, dt})
+	}
+	return d
+}
+
+func buildTree(t *testing.T, d *dataset.Dataset) *mtree.Tree {
+	t.Helper()
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 60
+	tree, err := mtree.Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// newTestServer registers a tree as cpi@v1 and returns the server plus
+// the tree and dataset behind it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *mtree.Tree, *dataset.Dataset) {
+	t.Helper()
+	d := perfData(1200, 5)
+	tree := buildTree(t, d)
+	reg := NewRegistry()
+	if err := reg.Register("cpi", "v1", tree, ""); err != nil {
+		t.Fatal(err)
+	}
+	return New(reg, cfg), tree, d
+}
+
+// post runs one POST through the handler and returns the recorder.
+func post(h http.Handler, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func rowsJSON(d *dataset.Dataset, from, to int) string {
+	var b bytes.Buffer
+	b.WriteString("[")
+	for i := from; i < to; i++ {
+		if i > from {
+			b.WriteString(",")
+		}
+		rb, _ := json.Marshal(d.Row(i))
+		b.Write(rb)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func TestPredictSingleRow(t *testing.T) {
+	s, tree, d := newTestServer(t, DefaultConfig())
+	h := s.Handler()
+	row, _ := json.Marshal(d.Row(3))
+	rec := post(h, "/v1/predict", fmt.Sprintf(`{"model":"cpi","row":%s}`, row))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Model       string    `json:"model"`
+		N           int       `json:"n"`
+		Predictions []float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "cpi@v1" || resp.N != 1 || len(resp.Predictions) != 1 {
+		t.Fatalf("unexpected response: %s", rec.Body)
+	}
+	if want := tree.Predict(d.Row(3)); resp.Predictions[0] != want {
+		t.Errorf("served %v, serial Predict %v", resp.Predictions[0], want)
+	}
+}
+
+func TestPredictNamedEvents(t *testing.T) {
+	s, tree, d := newTestServer(t, DefaultConfig())
+	h := s.Handler()
+	r := d.Row(7)
+	body := fmt.Sprintf(`{"model":"cpi","events":[{"L1IM":%g,"L2M":%g,"DtlbLdM":%g}]}`, r[1], r[2], r[3])
+	rec := post(h, "/v1/predict", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Predictions []float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// The expanded instance has target=0, which Predict never reads.
+	expanded := dataset.Instance{0, r[1], r[2], r[3]}
+	if want := tree.Predict(expanded); resp.Predictions[0] != want {
+		t.Errorf("served %v, want %v", resp.Predictions[0], want)
+	}
+
+	rec = post(h, "/v1/predict", `{"model":"cpi","events":[{"NoSuchEvent":1}]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown event name: status %d, want 400", rec.Code)
+	}
+}
+
+// TestBatchDeterminism is the acceptance check: batch responses must be
+// byte-identical to serial Tree.Predict at any worker count, cache on or
+// off, warm or cold.
+func TestBatchDeterminism(t *testing.T) {
+	d := perfData(1200, 5)
+	tree := buildTree(t, d)
+	body := fmt.Sprintf(`{"model":"cpi","rows":%s}`, rowsJSON(d, 0, 400))
+
+	var bodies [][]byte
+	for _, cfg := range []Config{
+		{Jobs: 1, CacheSize: 0, MaxBodyBytes: 1 << 22, MaxBatch: 4096},
+		{Jobs: 8, CacheSize: 0, MaxBodyBytes: 1 << 22, MaxBatch: 4096},
+		{Jobs: 8, CacheSize: 1024, MaxBodyBytes: 1 << 22, MaxBatch: 4096},
+	} {
+		reg := NewRegistry()
+		if err := reg.Register("cpi", "v1", tree, ""); err != nil {
+			t.Fatal(err)
+		}
+		h := New(reg, cfg).Handler()
+		// Twice per config: the second pass hits a warm cache where enabled.
+		for pass := 0; pass < 2; pass++ {
+			rec := post(h, "/v1/predict", body)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("cfg %+v pass %d: status %d: %s", cfg, pass, rec.Code, rec.Body)
+			}
+			bodies = append(bodies, rec.Body.Bytes())
+		}
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+
+	var resp struct {
+		Predictions []float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(bodies[0], &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Predictions) != 400 {
+		t.Fatalf("%d predictions, want 400", len(resp.Predictions))
+	}
+	for i, p := range resp.Predictions {
+		if want := tree.Predict(d.Row(i)); p != want {
+			t.Fatalf("row %d: served %v, serial Predict %v", i, p, want)
+		}
+	}
+}
+
+func TestPredictContributions(t *testing.T) {
+	s, tree, d := newTestServer(t, DefaultConfig())
+	h := s.Handler()
+	row, _ := json.Marshal(d.Row(11))
+	rec := post(h, "/v1/predict", fmt.Sprintf(`{"model":"cpi","row":%s,"contributions":true}`, row))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Contributions [][]struct {
+			Name     string  `json:"name"`
+			Cycles   float64 `json:"cycles"`
+			Fraction float64 `json:"fraction"`
+		} `json:"contributions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Contributions) != 1 {
+		t.Fatalf("contribution sets: %d, want 1", len(resp.Contributions))
+	}
+	want := tree.Contributions(d.Row(11))
+	if len(resp.Contributions[0]) != len(want) {
+		t.Fatalf("contribution terms: %d, want %d", len(resp.Contributions[0]), len(want))
+	}
+	for i, c := range resp.Contributions[0] {
+		if c.Name != want[i].Name || c.Cycles != want[i].Cycles {
+			t.Errorf("term %d: %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBatch = 8
+	cfg.MaxBodyBytes = 1 << 14
+	s, _, d := newTestServer(t, cfg)
+	h := s.Handler()
+
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"malformed JSON", "/v1/predict", `{"model":`, http.StatusBadRequest},
+		{"unknown field", "/v1/predict", `{"model":"cpi","bogus":1}`, http.StatusBadRequest},
+		{"missing model", "/v1/predict", `{"row":[0,0,0,0]}`, http.StatusBadRequest},
+		{"unknown model", "/v1/predict", `{"model":"nope","row":[0,0,0,0]}`, http.StatusNotFound},
+		{"unknown version", "/v1/predict", `{"model":"cpi@v9","row":[0,0,0,0]}`, http.StatusNotFound},
+		{"no instances", "/v1/predict", `{"model":"cpi"}`, http.StatusBadRequest},
+		{"empty rows", "/v1/predict", `{"model":"cpi","rows":[]}`, http.StatusBadRequest},
+		{"two forms", "/v1/predict", `{"model":"cpi","row":[0,0,0,0],"rows":[[0,0,0,0]]}`, http.StatusBadRequest},
+		{"bad width", "/v1/predict", `{"model":"cpi","row":[1,2]}`, http.StatusBadRequest},
+		{"oversized batch", "/v1/predict", fmt.Sprintf(`{"model":"cpi","rows":%s}`, rowsJSON(d, 0, 9)), http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		if rec := post(h, tc.path, tc.body); rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body)
+		}
+	}
+
+	// Oversized body: a payload bigger than MaxBodyBytes.
+	big := fmt.Sprintf(`{"model":"cpi","rows":%s}`, rowsJSON(d, 0, 300))
+	if len(big) <= int(cfg.MaxBodyBytes) {
+		t.Fatalf("test payload too small to trip the limit")
+	}
+	if rec := post(h, "/v1/predict", big); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", rec.Code)
+	}
+
+	// Wrong method.
+	if rec := get(h, "/v1/predict"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/predict: status %d, want 405", rec.Code)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	s, tree, d := newTestServer(t, DefaultConfig())
+	h := s.Handler()
+	rec := post(h, "/v1/classify", fmt.Sprintf(`{"model":"cpi","rows":%s}`, rowsJSON(d, 0, 5)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Classes []struct {
+			LeafID int `json:"leaf_id"`
+			Path   []struct {
+				Event string  `json:"event"`
+				Above bool    `json:"above"`
+				Thr   float64 `json:"threshold"`
+			} `json:"path"`
+			Prediction float64 `json:"prediction"`
+		} `json:"classes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Classes) != 5 {
+		t.Fatalf("%d classes, want 5", len(resp.Classes))
+	}
+	for i, c := range resp.Classes {
+		leaf, path := tree.Classify(d.Row(i))
+		if c.LeafID != leaf.LeafID {
+			t.Errorf("row %d: leaf %d, want %d", i, c.LeafID, leaf.LeafID)
+		}
+		if len(c.Path) != len(path) {
+			t.Errorf("row %d: path length %d, want %d", i, len(c.Path), len(path))
+		}
+		if want := leaf.Model.Predict(d.Row(i)); c.Prediction != want {
+			t.Errorf("row %d: leaf prediction %v, want %v", i, c.Prediction, want)
+		}
+	}
+}
+
+func TestClassifyEnsembleUnsupported(t *testing.T) {
+	d := perfData(800, 9)
+	ecfg := ensemble.DefaultConfig()
+	ecfg.Trees = 3
+	ecfg.Tree.MinLeaf = 60
+	bag, err := ensemble.Train(d, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.Register("bag", "v1", bag, ""); err != nil {
+		t.Fatal(err)
+	}
+	h := New(reg, DefaultConfig()).Handler()
+
+	row, _ := json.Marshal(d.Row(0))
+	if rec := post(h, "/v1/classify", fmt.Sprintf(`{"model":"bag","row":%s}`, row)); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("ensemble classify: status %d, want 422", rec.Code)
+	}
+	// Prediction works fine through the same interface.
+	rec := post(h, "/v1/predict", fmt.Sprintf(`{"model":"bag","row":%s}`, row))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ensemble predict: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Predictions []float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if want := bag.Predict(d.Row(0)); resp.Predictions[0] != want {
+		t.Errorf("served %v, want %v", resp.Predictions[0], want)
+	}
+}
+
+func TestModelsAndVersions(t *testing.T) {
+	d := perfData(1200, 5)
+	tree := buildTree(t, d)
+	d2 := perfData(1200, 6)
+	tree2 := buildTree(t, d2)
+	reg := NewRegistry()
+	if err := reg.Register("cpi", "v1", tree, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("cpi", "v2", tree2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("cpi", "v2", tree2, ""); err == nil {
+		t.Error("duplicate (name, version) accepted")
+	}
+	h := New(reg, DefaultConfig()).Handler()
+
+	rec := get(h, "/v1/models")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var listing struct {
+		Models []struct {
+			Name    string `json:"name"`
+			Version string `json:"version"`
+			Latest  bool   `json:"latest"`
+			Kind    string `json:"kind"`
+			Leaves  int    `json:"num_leaves"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Models) != 2 {
+		t.Fatalf("%d models listed, want 2: %s", len(listing.Models), rec.Body)
+	}
+	if listing.Models[0].Version != "v1" || listing.Models[0].Latest {
+		t.Errorf("v1 entry wrong: %+v", listing.Models[0])
+	}
+	if listing.Models[1].Version != "v2" || !listing.Models[1].Latest {
+		t.Errorf("v2 entry wrong: %+v", listing.Models[1])
+	}
+	if listing.Models[0].Kind != "m5-model-tree" || listing.Models[0].Leaves < 1 {
+		t.Errorf("description not populated: %+v", listing.Models[0])
+	}
+
+	// A bare name must resolve to the latest version.
+	row, _ := json.Marshal(d.Row(0))
+	rec = post(h, "/v1/predict", fmt.Sprintf(`{"model":"cpi","row":%s}`, row))
+	var resp struct {
+		Model       string    `json:"model"`
+		Predictions []float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "cpi@v2" {
+		t.Errorf("bare name resolved to %s, want cpi@v2", resp.Model)
+	}
+	if want := tree2.Predict(d.Row(0)); resp.Predictions[0] != want {
+		t.Errorf("latest-version prediction %v, want %v", resp.Predictions[0], want)
+	}
+	// Pinned version still reachable.
+	rec = post(h, "/v1/predict", fmt.Sprintf(`{"model":"cpi@v1","row":%s}`, row))
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if want := tree.Predict(d.Row(0)); resp.Predictions[0] != want {
+		t.Errorf("pinned-version prediction %v, want %v", resp.Predictions[0], want)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, _, _ := newTestServer(t, DefaultConfig())
+	rec := get(s.Handler(), "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.Models != 1 {
+		t.Errorf("healthz: %s", rec.Body)
+	}
+}
+
+// TestMetricsEndpoint drives traffic (including a repeated request that
+// must hit the cache) and checks the /metrics report: request counts,
+// error counts, latency quantiles and the cache hit rate.
+func TestMetricsEndpoint(t *testing.T) {
+	s, _, d := newTestServer(t, DefaultConfig())
+	h := s.Handler()
+
+	body := fmt.Sprintf(`{"model":"cpi","rows":%s}`, rowsJSON(d, 0, 50))
+	for i := 0; i < 3; i++ { // passes 2 and 3 are pure cache hits
+		if rec := post(h, "/v1/predict", body); rec.Code != http.StatusOK {
+			t.Fatalf("predict pass %d: %d", i, rec.Code)
+		}
+	}
+	post(h, "/v1/predict", `{"model":"ghost","row":[0,0,0,0]}`) // one 404
+
+	rec := get(h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	var snap struct {
+		Models    int `json:"models"`
+		Endpoints map[string]struct {
+			Requests  uint64 `json:"requests"`
+			Errors    uint64 `json:"errors"`
+			InFlight  int64  `json:"in_flight"`
+			LatencyMs struct {
+				P50 float64 `json:"p50_ms"`
+				P90 float64 `json:"p90_ms"`
+				P99 float64 `json:"p99_ms"`
+			} `json:"latency_ms"`
+		} `json:"endpoints"`
+		Cache struct {
+			Enabled bool    `json:"enabled"`
+			Hits    uint64  `json:"hits"`
+			Misses  uint64  `json:"misses"`
+			HitRate float64 `json:"hit_rate"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	ep := snap.Endpoints["/v1/predict"]
+	if ep.Requests != 4 {
+		t.Errorf("predict requests = %d, want 4", ep.Requests)
+	}
+	if ep.Errors != 1 {
+		t.Errorf("predict errors = %d, want 1", ep.Errors)
+	}
+	if ep.InFlight != 0 {
+		t.Errorf("predict in_flight = %d, want 0", ep.InFlight)
+	}
+	if ep.LatencyMs.P50 <= 0 || ep.LatencyMs.P99 < ep.LatencyMs.P50 {
+		t.Errorf("implausible latency quantiles: %+v", ep.LatencyMs)
+	}
+	if !snap.Cache.Enabled {
+		t.Fatal("cache not reported enabled")
+	}
+	if snap.Cache.Hits != 100 || snap.Cache.Misses != 50 {
+		t.Errorf("cache hits/misses = %d/%d, want 100/50", snap.Cache.Hits, snap.Cache.Misses)
+	}
+	if snap.Cache.HitRate < 0.66 || snap.Cache.HitRate > 0.67 {
+		t.Errorf("hit rate %v, want ~2/3", snap.Cache.HitRate)
+	}
+	if snap.Models != 1 {
+		t.Errorf("models = %d, want 1", snap.Models)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewPredictionCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Error("a lost")
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Error("c lost")
+	}
+}
+
+func TestCacheKeyQuantization(t *testing.T) {
+	r1 := dataset.Instance{0, 1.00000001, 2}
+	r2 := dataset.Instance{0, 1.00000002, 2}
+	if CacheKey("m", r1, 0) == CacheKey("m", r2, 0) {
+		t.Error("exact keying collided for distinct inputs")
+	}
+	if CacheKey("m", r1, 1e-3) != CacheKey("m", r2, 1e-3) {
+		t.Error("quantized keying failed to merge near-identical inputs")
+	}
+	if CacheKey("m1", r1, 0) == CacheKey("m2", r1, 0) {
+		t.Error("different models share a key")
+	}
+}

@@ -1,0 +1,401 @@
+// Package serve exposes trained CPI models as an HTTP JSON service: the
+// paper's train-once / analyze-many oracle packaged behind a network API.
+// A Registry maps (name, version) to any model.Model; the Server answers
+//
+//	POST /v1/predict   single + batch CPI prediction, optional per-event
+//	                   contribution breakdown (coef*X/CPI, the paper's Eq. 4)
+//	POST /v1/classify  leaf id + decision path — the paper's performance
+//	                   classes (single-tree models only)
+//	GET  /v1/models    registry listing with model descriptions
+//	GET  /healthz      liveness + model count
+//	GET  /metrics      request counts, latency quantiles, cache hit rate
+//
+// Batch predictions fan out over internal/parallel, whose ordered Map
+// keeps responses byte-identical to serial Tree.Predict at any worker
+// count; the optional LRU cache keys on exact value bits by default, so
+// it can never change a response either. Request bodies are size-capped
+// and handlers time-limited, making the hot path safe to expose.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/mtree"
+	"repro/internal/parallel"
+)
+
+// Config holds the service knobs.
+type Config struct {
+	// Jobs is the worker count for batch prediction (0 = all cores,
+	// 1 = serial). Responses are identical at any value.
+	Jobs int
+	// CacheSize bounds the LRU prediction cache (entries); 0 disables
+	// caching.
+	CacheSize int
+	// CacheQuantum quantizes feature values before cache keying; 0 (the
+	// default) keys on exact bits so a hit can never change a response.
+	CacheQuantum float64
+	// MaxBodyBytes caps request body size.
+	MaxBodyBytes int64
+	// MaxBatch caps the number of rows per request.
+	MaxBatch int
+	// RequestTimeout bounds handler time per request; 0 disables.
+	RequestTimeout time.Duration
+}
+
+// DefaultConfig returns production-leaning defaults.
+func DefaultConfig() Config {
+	return Config{
+		Jobs:           0,
+		CacheSize:      4096,
+		CacheQuantum:   0,
+		MaxBodyBytes:   1 << 20, // 1 MiB
+		MaxBatch:       4096,
+		RequestTimeout: 10 * time.Second,
+	}
+}
+
+// Server serves the models in a Registry over HTTP.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *PredictionCache // nil when disabled
+	metrics *metricsRegistry
+}
+
+var routes = []string{"/v1/predict", "/v1/classify", "/v1/models", "/healthz", "/metrics"}
+
+// New creates a Server over a registry.
+func New(reg *Registry, cfg Config) *Server {
+	s := &Server{cfg: cfg, reg: reg}
+	if cfg.CacheSize > 0 {
+		s.cache = NewPredictionCache(cfg.CacheSize)
+	}
+	s.metrics = newMetricsRegistry(routes, s.cache, reg.Len)
+	return s
+}
+
+// Handler returns the service's HTTP handler: the routed endpoints, each
+// wrapped in per-endpoint instrumentation, all wrapped in the request
+// timeout.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	mux.Handle("POST /v1/classify", s.instrument("/v1/classify", s.handleClassify))
+	mux.Handle("GET /v1/models", s.instrument("/v1/models", s.handleModels))
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	if s.cfg.RequestTimeout > 0 {
+		return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	return mux
+}
+
+// statusRecorder captures the response status for error counting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the endpoint's request/error counters,
+// in-flight gauge and latency histogram.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	em := s.metrics.endpoints[route]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		em.requests.Add(1)
+		em.inFlight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			em.inFlight.Add(-1)
+			em.latency.observe(time.Since(start))
+			if rec.status >= 400 {
+				em.errors.Add(1)
+			}
+		}()
+		h(rec, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// predictRequest addresses a model and carries instances in one of three
+// forms: a single full-width row, a batch of rows, or named event maps
+// ("events") that the server expands against the model's schema.
+type predictRequest struct {
+	Model string `json:"model"`
+	// Row is one full-width instance (len == model attr count, target
+	// column ignored).
+	Row []float64 `json:"row,omitempty"`
+	// Rows is a batch of full-width instances.
+	Rows [][]float64 `json:"rows,omitempty"`
+	// Events is a batch of name->rate maps; absent events default to 0.
+	Events []map[string]float64 `json:"events,omitempty"`
+	// Contributions requests the per-event CPI breakdown per row.
+	Contributions bool `json:"contributions,omitempty"`
+}
+
+type predictResponse struct {
+	Model         string                 `json:"model"`
+	N             int                    `json:"n"`
+	Predictions   []float64              `json:"predictions"`
+	Contributions [][]model.Contribution `json:"contributions,omitempty"`
+}
+
+// decodeBody decodes a size-capped JSON body, distinguishing oversized
+// bodies (413) from malformed ones (400).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		} else {
+			writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// resolveRows turns whichever instance form the request used into
+// full-width dataset instances validated against the model's schema.
+func resolveRows(req *predictRequest, desc model.Description) ([]dataset.Instance, error) {
+	forms := 0
+	if req.Row != nil {
+		forms++
+	}
+	if req.Rows != nil {
+		forms++
+	}
+	if req.Events != nil {
+		forms++
+	}
+	if forms != 1 {
+		return nil, fmt.Errorf(`provide exactly one of "row", "rows" or "events"`)
+	}
+	width := len(desc.AttrNames)
+	var rows []dataset.Instance
+	switch {
+	case req.Row != nil:
+		rows = []dataset.Instance{req.Row}
+	case req.Rows != nil:
+		rows = make([]dataset.Instance, len(req.Rows))
+		for i, r := range req.Rows {
+			rows[i] = r
+		}
+	default:
+		idx := make(map[string]int, width)
+		for i, n := range desc.AttrNames {
+			idx[n] = i
+		}
+		rows = make([]dataset.Instance, len(req.Events))
+		for i, ev := range req.Events {
+			row := make(dataset.Instance, width)
+			for name, v := range ev {
+				j, ok := idx[name]
+				if !ok {
+					return nil, fmt.Errorf("row %d: unknown event %q", i, name)
+				}
+				row[j] = v
+			}
+			rows[i] = row
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("no instances in request")
+	}
+	for i, r := range rows {
+		if len(r) != width {
+			return nil, fmt.Errorf("row %d has %d values, model schema has %d columns (including target %q)",
+				i, len(r), width, desc.Target)
+		}
+	}
+	return rows, nil
+}
+
+// lookup resolves the request's model reference, writing the HTTP error
+// itself on failure.
+func (s *Server) lookup(w http.ResponseWriter, ref string) *Entry {
+	if ref == "" {
+		writeError(w, http.StatusBadRequest, `missing "model" reference`)
+		return nil
+	}
+	e, err := s.reg.Get(ref)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return nil
+	}
+	return e
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	e := s.lookup(w, req.Model)
+	if e == nil {
+		return
+	}
+	rows, err := resolveRows(&req, e.Model.Describe())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(rows) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d rows exceeds limit %d", len(rows), s.cfg.MaxBatch)
+		return
+	}
+
+	resp := predictResponse{Model: e.Ref(), N: len(rows)}
+	if req.Contributions {
+		resp.Contributions = make([][]model.Contribution, len(rows))
+	}
+	// Ordered fan-out: parallel.Map returns results in input order, so
+	// the response is byte-identical at any worker count. The cache is
+	// consulted per row; with the default exact-bits keying a hit returns
+	// the same float the model would produce.
+	resp.Predictions, _ = parallel.Map(parallel.Config{Jobs: s.cfg.Jobs}, rows,
+		func(i int, row dataset.Instance) (float64, error) {
+			if req.Contributions {
+				resp.Contributions[i] = e.Model.Contributions(row)
+			}
+			key := ""
+			if s.cache != nil {
+				key = CacheKey(e.Ref(), row, s.cfg.CacheQuantum)
+				if v, ok := s.cache.Get(key); ok {
+					return v, nil
+				}
+			}
+			v := e.Model.Predict(row)
+			s.cache.Put(key, v)
+			return v, nil
+		})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// classifier is the optional classification surface: single trees route
+// an instance to one leaf (the paper's performance class); ensembles do
+// not, and report 422 at /v1/classify.
+type classifier interface {
+	Classify(row dataset.Instance) (*mtree.Node, []mtree.PathStep)
+}
+
+type classifyStep struct {
+	Event     string  `json:"event"`
+	Threshold float64 `json:"threshold"`
+	Above     bool    `json:"above"`
+}
+
+type classification struct {
+	LeafID int `json:"leaf_id"`
+	// Path is the decision path from the root; steps with above=true mark
+	// the high-event-count tests that define the class.
+	Path []classifyStep `json:"path"`
+	// Prediction is the leaf model's (unsmoothed) estimate, the quantity
+	// the paper's Eq. 4 decomposes.
+	Prediction float64 `json:"prediction"`
+	// TrainN and TrainMean describe the leaf's training population.
+	TrainN    int     `json:"train_n"`
+	TrainMean float64 `json:"train_mean"`
+}
+
+type classifyResponse struct {
+	Model   string           `json:"model"`
+	N       int              `json:"n"`
+	Classes []classification `json:"classes"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Contributions {
+		writeError(w, http.StatusBadRequest, `"contributions" is a /v1/predict option`)
+		return
+	}
+	e := s.lookup(w, req.Model)
+	if e == nil {
+		return
+	}
+	cl, ok := e.Model.(classifier)
+	if !ok {
+		writeError(w, http.StatusUnprocessableEntity,
+			"model %s (%s) does not expose leaf classes; classify requires a single tree",
+			e.Ref(), e.Model.Describe().Kind)
+		return
+	}
+	rows, err := resolveRows(&req, e.Model.Describe())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(rows) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d rows exceeds limit %d", len(rows), s.cfg.MaxBatch)
+		return
+	}
+
+	resp := classifyResponse{Model: e.Ref(), N: len(rows)}
+	resp.Classes, _ = parallel.Map(parallel.Config{Jobs: s.cfg.Jobs}, rows,
+		func(i int, row dataset.Instance) (classification, error) {
+			leaf, path := cl.Classify(row)
+			c := classification{
+				LeafID:     leaf.LeafID,
+				Prediction: leaf.Model.Predict(row),
+				TrainN:     leaf.N,
+				TrainMean:  leaf.Mean,
+				Path:       make([]classifyStep, len(path)),
+			}
+			for j, st := range path {
+				c.Path[j] = classifyStep{Event: st.Name, Threshold: st.Threshold, Above: st.Above}
+			}
+			return c, nil
+		})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": s.reg.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.metrics.snapshot())
+}
