@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench bench-parallel bench-serve experiments serve-smoke
+.PHONY: build test check vet race bench bench-parallel bench-serve bench-json experiments serve-smoke monitor-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,26 @@ bench:
 # Served-prediction latency, cached vs uncached (see DESIGN.md §8).
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServePredict' -benchtime 50x ./internal/serve/
+
+# Machine-readable benchmark snapshot: the speedup, serving-latency and
+# stream-ingestion benchmarks in `go test -json` form, concatenated into
+# one dated file for regression diffing across commits.
+BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
+bench-json:
+	@set -e; : > $(BENCH_JSON); \
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 2x -json . >> $(BENCH_JSON); \
+	$(GO) test -run '^$$' -bench 'BenchmarkServePredict' -benchtime 50x -json ./internal/serve/ >> $(BENCH_JSON); \
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamIngest' -benchtime 20x -json ./internal/stream/ >> $(BENCH_JSON); \
+	echo "wrote $(BENCH_JSON)"
+
+# Brief runs of every fuzz target (NDJSON sample decoder, CSV dataset
+# parser) — long enough to catch parser regressions in CI, short enough
+# to not dominate it.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSample' -fuzztime $(FUZZTIME) ./internal/stream/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecoderStream' -fuzztime $(FUZZTIME) ./internal/stream/
+	$(GO) test -run '^$$' -fuzz 'FuzzReadCSV' -fuzztime $(FUZZTIME) ./internal/dataset/
 
 experiments:
 	$(GO) run ./cmd/experiments
@@ -66,3 +86,10 @@ serve-smoke:
 	echo "serve-smoke: predict OK (2x HTTP 200):"; cat $(SMOKE_BIN).predict.json; \
 	echo "serve-smoke: metrics:"; curl -s http://$(SMOKE_ADDR)/metrics; \
 	echo "serve-smoke: PASS"
+
+# End-to-end smoke test of the streaming monitor: cmd/monitor -demo
+# trains a model, streams a synthetic two-phase trace with an injected
+# CPI regression through the full ingest/score/monitor path, and exits
+# non-zero unless both the phase boundary and the drift alarm are caught.
+monitor-smoke:
+	$(GO) run ./cmd/monitor -demo -events ''

@@ -1,0 +1,272 @@
+// Command monitor is the online counterpart of cmd/analyze: it tails a
+// stream of per-section counter samples (NDJSON), scores each section
+// through a persisted model, and watches two things continuously —
+// execution-phase boundaries (incremental centroid tracking over the
+// counter vectors) and model drift (a Page–Hinkley test over the
+// predicted-vs-observed CPI residual, the paper's regression-detection
+// use case made continuous).
+//
+// Usage:
+//
+//	monitor -model tree.json [-in samples.ndjson] [-follow] [-jobs N]
+//	        [-window 32] [-buffer 256] [-policy block|drop-oldest|reject]
+//	        [-calibration 32] [-ph-delta 0.005] [-ph-lambda 0.25]
+//	        [-events out.ndjson] [-no-samples] [-render 32] [-quiet]
+//	monitor -demo [-jobs N]   # self-contained: trains a model, synthesizes
+//	                          # a two-phase trace with an injected CPI
+//	                          # regression, and verifies both are caught
+//
+// Samples are read from stdin by default, one JSON object per line:
+//
+//	{"bench":"mcf","section":12,"events":{"L2M":0.004,"L1IM":0.002},"cpi":1.41}
+//
+// Human-readable status goes to stderr; machine-readable events (NDJSON)
+// go to -events (default stdout). Output is byte-identical at any -jobs
+// value.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/modelio"
+	"repro/internal/mtree"
+	"repro/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("monitor: ")
+	var (
+		modelPath   = flag.String("model", "", "persisted model file (tree or ensemble)")
+		in          = flag.String("in", "-", "NDJSON sample stream (\"-\" = stdin)")
+		follow      = flag.Bool("follow", false, "keep reading as the input file grows (tail -f)")
+		jobs        = flag.Int("jobs", 0, "scoring workers (0 = all cores, 1 = serial; output is identical)")
+		window      = flag.Int("window", 32, "samples scored per parallel batch")
+		buffer      = flag.Int("buffer", 256, "sample ring capacity")
+		policy      = flag.String("policy", "block", "ring overflow policy: block, drop-oldest or reject")
+		calibration = flag.Int("calibration", 32, "sections used to calibrate phase-detector noise scales")
+		phDelta     = flag.Float64("ph-delta", stream.DefaultPHConfig().Delta, "Page-Hinkley per-sample drift allowance (CPI units)")
+		phLambda    = flag.Float64("ph-lambda", stream.DefaultPHConfig().Lambda, "Page-Hinkley alarm threshold (CPI units)")
+		phMin       = flag.Int("ph-min", stream.DefaultPHConfig().MinSamples, "Page-Hinkley grace period (samples)")
+		eventsOut   = flag.String("events", "-", "machine-readable event output (\"-\" = stdout, \"\" = none)")
+		noSamples   = flag.Bool("no-samples", false, "suppress per-section \"sample\" events (keep phase/drift)")
+		render      = flag.Int("render", 32, "print a rolling status line every N sections (0 = never)")
+		quiet       = flag.Bool("quiet", false, "suppress all human-readable output")
+		strict      = flag.Bool("strict", false, "abort on the first malformed sample instead of skipping")
+		demo        = flag.Bool("demo", false, "run the built-in two-phase drift demo and self-verify")
+		demoSeed    = flag.Int64("demo-seed", 99, "demo trace seed")
+	)
+	flag.Parse()
+
+	cfg := stream.DefaultMonitorConfig()
+	cfg.Jobs = *jobs
+	cfg.Window = *window
+	cfg.Buffer = *buffer
+	cfg.Calibration = *calibration
+	cfg.PH.Delta = *phDelta
+	cfg.PH.Lambda = *phLambda
+	cfg.PH.MinSamples = *phMin
+	cfg.EmitSamples = !*noSamples
+	cfg.RenderEvery = *render
+	cfg.SkipInvalid = !*strict
+	pol, err := stream.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Policy = pol
+	if *quiet {
+		cfg.RenderEvery = 0
+	}
+
+	textOut := io.Writer(os.Stderr)
+	if *quiet {
+		textOut = io.Discard
+	}
+	var events io.Writer
+	switch *eventsOut {
+	case "":
+		events = nil
+	case "-":
+		events = os.Stdout
+	default:
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		events = f
+	}
+
+	if *demo {
+		runDemo(cfg, *demoSeed, textOut, events)
+		return
+	}
+
+	if *modelPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	m, err := modelio.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := m.Describe()
+	fmt.Fprintf(textOut, "monitoring with %s (%d leaves, target %s, trained on %d sections)\n",
+		d.Kind, d.NumLeaves, d.Target, d.TrainN)
+
+	r, cleanup, err := openInput(*in, *follow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+
+	if _, err := stream.RunMonitor(m, cfg, r, textOut, events); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// openInput opens the sample source; with follow it keeps the reader
+// alive across EOF until SIGINT/SIGTERM.
+func openInput(path string, follow bool) (io.Reader, func(), error) {
+	if path == "-" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !follow {
+		return f, func() { f.Close() }, nil
+	}
+	t := &tailReader{f: f, stop: make(chan struct{})}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(t.stop)
+	}()
+	return t, func() { f.Close() }, nil
+}
+
+// tailReader turns EOF into "wait for more data", ending only when
+// stopped — enough to follow a growing NDJSON file.
+type tailReader struct {
+	f    *os.File
+	stop chan struct{}
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.f.Read(p)
+		if n > 0 || (err != nil && err != io.EOF) {
+			return n, err
+		}
+		select {
+		case <-t.stop:
+			return 0, io.EOF
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// runDemo trains a small tree on a synthetic two-regime CPI law, streams
+// a trace that changes phase at one third and suffers an unexplained
+// +0.5 CPI regression at two thirds, and verifies the monitor reports
+// both. It exits non-zero on any miss, so `monitor -demo` doubles as an
+// end-to-end smoke test.
+func runDemo(cfg stream.MonitorConfig, seed int64, textOut, events io.Writer) {
+	const (
+		total    = 150
+		boundary = 50
+		shiftAt  = 100
+	)
+	fmt.Fprintf(textOut, "demo: %d sections, phase change at %d, injected +0.5 CPI regression at %d\n",
+		total, boundary, shiftAt)
+	tree, err := demoModel(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(demoTrace(pw, total, boundary, shiftAt, 0.5, seed))
+	}()
+	st, err := stream.RunMonitor(tree, cfg, pr, textOut, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(textOut, "demo: phase boundaries %d, drift alarms %d\n", st.PhaseBoundaries, st.DriftAlarms)
+	if st.PhaseBoundaries != 1 {
+		log.Fatalf("demo FAILED: %d phase boundaries, want 1", st.PhaseBoundaries)
+	}
+	if st.DriftAlarms < 1 {
+		log.Fatal("demo FAILED: injected regression raised no drift alarm")
+	}
+	fmt.Fprintln(textOut, "demo: PASS")
+}
+
+// demoLaw is the generative CPI law shared by the demo's training set
+// and trace: two regimes keyed on L2M, piecewise linear in the rates.
+func demoLaw(l1, l2, dt float64) float64 {
+	if l2 > 0.002 {
+		return 1.1 + 90*l2 + 40*dt
+	}
+	return 0.6 + 7*l1
+}
+
+func demoModel(seed int64) (model.Model, error) {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.MustNew([]dataset.Attribute{
+		{Name: "CPI"}, {Name: "L1IM"}, {Name: "L2M"}, {Name: "DtlbLdM"},
+	}, 0)
+	for i := 0; i < 1200; i++ {
+		l1 := rng.Float64() * 0.02
+		l2 := rng.Float64() * 0.005
+		dt := rng.Float64() * 0.001
+		d.MustAppend(dataset.Instance{demoLaw(l1, l2, dt) + 0.01*rng.NormFloat64(), l1, l2, dt})
+	}
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 60
+	return mtree.Build(d, cfg)
+}
+
+func demoTrace(w io.Writer, total, boundary, shiftAt int, shift float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed + 1))
+	enc := json.NewEncoder(w)
+	for i := 0; i < total; i++ {
+		var l1, l2, dt float64
+		if i < boundary {
+			l1 = 0.012 + 0.0015*rng.Float64()
+			l2 = 0.0008 + 0.0002*rng.Float64()
+			dt = 0.0001 + 0.00005*rng.Float64()
+		} else {
+			l1 = 0.002 + 0.0008*rng.Float64()
+			l2 = 0.004 + 0.0003*rng.Float64()
+			dt = 0.0006 + 0.0001*rng.Float64()
+		}
+		cpi := demoLaw(l1, l2, dt) + 0.01*rng.NormFloat64()
+		if i >= shiftAt {
+			cpi += shift
+		}
+		s := stream.Sample{
+			Bench:   "demo",
+			Section: i,
+			Events:  map[string]float64{"L1IM": l1, "L2M": l2, "DtlbLdM": dt},
+			CPI:     &cpi,
+		}
+		if err := enc.Encode(&s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

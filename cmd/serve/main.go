@@ -3,13 +3,16 @@
 // by cmd/train (single M5' trees) or saved as bagged ensembles are loaded
 // into a named, versioned registry and served at /v1/predict (single +
 // batch, optional per-event contribution breakdown), /v1/classify (leaf
-// id + decision path), /v1/models, /healthz and /metrics.
+// id + decision path), /v1/stream (NDJSON ingestion into a persistent
+// per-model phase/drift monitor), /v1/models, /healthz and /metrics.
 //
 // Usage:
 //
 //	serve -model cpi=tree.json [-model cpi@v2=tree2.json] [-addr :8080]
 //	      [-jobs N] [-cache 4096] [-cache-quantum 0] [-timeout 10s]
 //	      [-max-body 1048576] [-max-batch 4096]
+//	      [-stream-window 32] [-stream-buffer 256]
+//	      [-stream-policy block|drop-oldest|reject]
 //	serve -demo                 # no files: trains a small tree in-process
 //
 // Model flags take name=path or name@version=path; an unversioned name
@@ -33,6 +36,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/mtree"
 	"repro/internal/serve"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -59,6 +63,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request handler timeout (0 disables)")
 		maxBody   = flag.Int64("max-body", 1<<20, "maximum request body bytes")
 		maxBatch  = flag.Int("max-batch", 4096, "maximum rows per request")
+		streamWin = flag.Int("stream-window", stream.DefaultConfig().Window, "/v1/stream samples scored per parallel batch")
+		streamBuf = flag.Int("stream-buffer", stream.DefaultConfig().Buffer, "/v1/stream sample ring capacity")
+		streamPol = flag.String("stream-policy", "block", "/v1/stream ring overflow policy: block, drop-oldest or reject")
 		demo      = flag.Bool("demo", false, "train a small tree on the built-in simulator and serve it as \"demo\"")
 		demoScale = flag.Float64("demo-scale", 0.05, "suite scale for -demo training")
 	)
@@ -105,6 +112,13 @@ func main() {
 	cfg.MaxBodyBytes = *maxBody
 	cfg.MaxBatch = *maxBatch
 	cfg.RequestTimeout = *timeout
+	cfg.Stream.Window = *streamWin
+	cfg.Stream.Buffer = *streamBuf
+	pol, err := stream.ParsePolicy(*streamPol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Stream.Policy = pol
 
 	srv := &http.Server{
 		Addr:              *addr,

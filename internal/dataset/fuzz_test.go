@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hammers the CSV dataset parser: it must never panic, and
+// any input it accepts must produce a well-formed dataset that survives
+// a WriteCSV/ReadCSV round trip unchanged in shape.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("CPI,L2M\n1.2,0.004\n0.8,0.001\n")
+	f.Add("CPI\n1\n")
+	f.Add("a,CPI,b\n1,2,3\n")
+	f.Add("CPI,x\n1,notanumber\n")
+	f.Add("CPI,x\n1\n")          // short row
+	f.Add("CPI,x\n1,2,3\n")      // long row
+	f.Add("CPI,CPI\n1,2\n")      // duplicate column
+	f.Add("x,y\n1,2\n")          // no target column
+	f.Add("CPI,x\n1,NaN\n")      // non-finite value
+	f.Add("CPI,\"x\ny\"\n1,2\n") // quoted header with newline
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		d, err := ReadCSV(strings.NewReader(data), "CPI")
+		if err != nil {
+			return
+		}
+		if d.NumAttrs() < 1 || d.TargetName() != "CPI" {
+			t.Fatalf("accepted dataset is malformed: %d attrs, target %q", d.NumAttrs(), d.TargetName())
+		}
+		for i := 0; i < d.Len(); i++ {
+			if len(d.Row(i)) != d.NumAttrs() {
+				t.Fatalf("row %d width %d != schema %d", i, len(d.Row(i)), d.NumAttrs())
+			}
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset does not write: %v", err)
+		}
+		d2, err := ReadCSV(&buf, "CPI")
+		if err != nil {
+			t.Fatalf("round trip read failed: %v\n%s", err, buf.String())
+		}
+		if d2.Len() != d.Len() || d2.NumAttrs() != d.NumAttrs() {
+			t.Fatalf("round trip changed shape: %dx%d != %dx%d",
+				d2.Len(), d2.NumAttrs(), d.Len(), d.NumAttrs())
+		}
+		for i := 0; i < d.Len(); i++ {
+			for j := 0; j < d.NumAttrs(); j++ {
+				if d2.Value(i, j) != d.Value(i, j) {
+					t.Fatalf("round trip changed value at (%d,%d): %v != %v",
+						i, j, d2.Value(i, j), d.Value(i, j))
+				}
+			}
+		}
+	})
+}

@@ -59,15 +59,8 @@ type Detector struct {
 	scale    []float64 // per-feature noise scale
 }
 
-// NewDetector prepares a detector for the dataset's feature columns. Each
-// feature is normalized by its *noise floor* — the median absolute
-// difference between successive sections — so "how far did this counter
-// move" is measured against how much it normally wobbles within a phase.
-// (Range- or variance-based normalization fails here: for a feature that
-// only carries noise, the range IS the noise, and for a feature carrying a
-// phase shift, the shift inflates the variance.) The median is robust to
-// the rare large jumps at true phase boundaries.
-func NewDetector(d *dataset.Dataset, cfg Config) *Detector {
+// sanitized clamps the config to usable values.
+func (cfg Config) sanitized() Config {
 	if cfg.Threshold <= 0 {
 		cfg.Threshold = DefaultConfig().Threshold
 	}
@@ -77,28 +70,77 @@ func NewDetector(d *dataset.Dataset, cfg Config) *Detector {
 	if cfg.MinPhaseLen < 1 {
 		cfg.MinPhaseLen = 1
 	}
+	return cfg
+}
+
+// NewDetector prepares a detector for the dataset's feature columns. Each
+// feature is normalized by its *noise floor* — the median absolute
+// difference between successive sections — so "how far did this counter
+// move" is measured against how much it normally wobbles within a phase.
+// (Range- or variance-based normalization fails here: for a feature that
+// only carries noise, the range IS the noise, and for a feature carrying a
+// phase shift, the shift inflates the variance.) The median is robust to
+// the rare large jumps at true phase boundaries.
+func NewDetector(d *dataset.Dataset, cfg Config) *Detector {
 	features := d.FeatureIndices()
-	det := &Detector{cfg: cfg, features: features, scale: make([]float64, len(features))}
 	n := d.Len()
-	diffs := make([]float64, 0, n)
-	for i, f := range features {
+	vectors := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, len(features))
+		for j, f := range features {
+			v[j] = d.Value(i, f)
+		}
+		vectors[i] = v
+	}
+	det := NewDetectorFromScales(NoiseScales(vectors), cfg)
+	det.features = features
+	return det
+}
+
+// NewDetectorFromScales builds a detector directly from per-feature noise
+// scales, for streaming callers that have no dataset to calibrate against
+// (the scales typically come from NoiseScales over a warmup prefix). The
+// returned detector supports Stream/Feed; Segment additionally needs a
+// dataset whose feature columns align positionally with the scales.
+func NewDetectorFromScales(scale []float64, cfg Config) *Detector {
+	return &Detector{cfg: cfg.sanitized(), scale: append([]float64(nil), scale...)}
+}
+
+// NoiseScales computes the per-feature noise floor of a vector sequence:
+// the median absolute difference between successive vectors, with the
+// same fallbacks as NewDetector (a sliver of the range for stepwise-
+// constant features, 1 for truly constant ones).
+func NoiseScales(vectors [][]float64) []float64 {
+	if len(vectors) == 0 {
+		return nil
+	}
+	k := len(vectors[0])
+	scale := make([]float64, k)
+	diffs := make([]float64, 0, len(vectors))
+	for j := 0; j < k; j++ {
 		diffs = diffs[:0]
-		for r := 1; r < n; r++ {
-			diffs = append(diffs, math.Abs(d.Value(r, f)-d.Value(r-1, f)))
+		lo, hi := vectors[0][j], vectors[0][j]
+		for r := 1; r < len(vectors); r++ {
+			diffs = append(diffs, math.Abs(vectors[r][j]-vectors[r-1][j]))
+			if vectors[r][j] < lo {
+				lo = vectors[r][j]
+			}
+			if vectors[r][j] > hi {
+				hi = vectors[r][j]
+			}
 		}
 		noise := median(diffs)
 		if noise <= 0 {
 			// A constant (or stepwise-constant) column: fall back to a
 			// sliver of its range so any movement at all registers.
-			lo, hi := d.ColumnMinMax(f)
 			noise = (hi - lo) / 100
 		}
 		if noise <= 0 {
 			noise = 1 // truly constant column: never triggers
 		}
-		det.scale[i] = noise
+		scale[j] = noise
 	}
-	return det
+	return scale
 }
 
 // median returns the median of v (0 for empty input); v is reordered.
@@ -114,13 +156,74 @@ func median(v []float64) float64 {
 	return (v[mid-1] + v[mid]) / 2
 }
 
-// vector extracts the normalized feature vector of row i.
-func (det *Detector) vector(d *dataset.Dataset, i int) []float64 {
-	v := make([]float64, len(det.features))
-	for j, f := range det.features {
-		v[j] = d.Value(i, f) / det.scale[j]
+// Online is a fully self-contained streaming detector for callers that
+// have no training dataset to calibrate against (e.g. a live counter
+// monitor holding only a persisted model). It buffers the first
+// Calibration raw vectors, computes the per-feature noise scales from
+// that prefix exactly as NewDetector would, then replays the buffer
+// through a Stream and continues incrementally.
+type Online struct {
+	cfg         Config
+	calibration int
+	buf         [][]float64
+	stream      *Stream
+}
+
+// NewOnline creates a self-calibrating streaming detector. calibration
+// is the number of leading sections used to estimate feature noise
+// (values below 2 are raised to 2: noise estimation needs at least one
+// successive difference).
+func NewOnline(cfg Config, calibration int) *Online {
+	if calibration < 2 {
+		calibration = 2
 	}
-	return v
+	return &Online{cfg: cfg.sanitized(), calibration: calibration}
+}
+
+// Feed consumes one raw feature vector and returns the start sections
+// of any newly confirmed phases. During calibration nothing is
+// reported; the call that completes calibration replays the whole
+// buffered prefix, so it can report several boundaries at once.
+func (o *Online) Feed(raw []float64) []int {
+	if o.stream == nil {
+		o.buf = append(o.buf, append([]float64(nil), raw...))
+		if len(o.buf) < o.calibration {
+			return nil
+		}
+		det := NewDetectorFromScales(NoiseScales(o.buf), o.cfg)
+		o.stream = det.Stream()
+		var starts []int
+		for _, v := range o.buf {
+			if st, ok := o.stream.Feed(v); ok {
+				starts = append(starts, st)
+			}
+		}
+		o.buf = nil
+		return starts
+	}
+	if st, ok := o.stream.Feed(raw); ok {
+		return []int{st}
+	}
+	return nil
+}
+
+// Phase returns the 1-based current phase index (1 during calibration).
+func (o *Online) Phase() int {
+	if o.stream == nil {
+		return 1
+	}
+	return o.stream.Phase()
+}
+
+// Calibrating reports whether the detector is still estimating scales.
+func (o *Online) Calibrating() bool { return o.stream == nil }
+
+// Segments returns the segmentation so far (nil during calibration).
+func (o *Online) Segments() []Segment {
+	if o.stream == nil {
+		return nil
+	}
+	return o.stream.Flush()
 }
 
 // distance is the mean of the top quartile of absolute normalized
@@ -147,43 +250,132 @@ func distance(a, b []float64) float64 {
 }
 
 // Segment splits the dataset's section sequence into phases. Rows are
-// assumed to be in execution order.
+// assumed to be in execution order. It is the batch driver over the
+// incremental Stream: every section is fed in order and the accumulated
+// segmentation is flushed at the end, so batch and streaming detection
+// share one code path (and one set of outputs).
 func (det *Detector) Segment(d *dataset.Dataset) []Segment {
-	n := d.Len()
-	if n == 0 {
+	s := det.Stream()
+	raw := make([]float64, len(det.features))
+	for i := 0; i < d.Len(); i++ {
+		for j, f := range det.features {
+			raw[j] = d.Value(i, f)
+		}
+		s.Feed(raw)
+	}
+	return s.Flush()
+}
+
+// Stream is the incremental phase tracker behind Segment: sections are
+// fed one at a time and phase-boundary events are reported as soon as
+// the MinRun debounce confirms them, which is what an online monitor
+// needs. The arithmetic is identical to the historical batch loop —
+// feeding a dataset row by row and flushing yields byte-identical
+// segments.
+type Stream struct {
+	det        *Detector
+	n          int // sections fed so far
+	cur        Segment
+	count      float64
+	outOfPhase int
+	recent     [][]float64 // ring of the last MinRun normalized vectors
+	pos        int         // ring write position
+	segs       []Segment
+}
+
+// Stream returns a fresh incremental tracker sharing the detector's
+// normalization scales.
+func (det *Detector) Stream() *Stream {
+	return &Stream{det: det, recent: make([][]float64, det.cfg.MinRun)}
+}
+
+// Feed consumes the next section's raw feature vector (one value per
+// scale, in calibration order). When the debounced tracker confirms a
+// phase change it returns the new phase's start section and true; the
+// report lags the true boundary by up to MinRun-1 sections (the
+// debounce window). The vector is copied; callers may reuse raw.
+func (s *Stream) Feed(raw []float64) (start int, boundary bool) {
+	if len(raw) != len(s.det.scale) {
+		panic(fmt.Sprintf("phases: Feed vector has %d features, detector calibrated for %d",
+			len(raw), len(s.det.scale)))
+	}
+	v := make([]float64, len(raw))
+	for j := range raw {
+		v[j] = raw[j] / s.det.scale[j]
+	}
+	i := s.n
+	s.n++
+	s.recent[s.pos%len(s.recent)] = v
+	s.pos++
+	if i == 0 {
+		s.cur = Segment{Start: 0, Centroid: append([]float64(nil), v...)}
+		s.count = 1
+		return 0, false
+	}
+	if distance(v, s.cur.Centroid) > s.det.cfg.Threshold {
+		s.outOfPhase++
+		if s.outOfPhase >= s.det.cfg.MinRun {
+			// Close the phase before the deviating run began and rebuild
+			// the centroid from the run's buffered vectors.
+			s.cur.End = i - s.outOfPhase + 1
+			s.segs = append(s.segs, s.cur)
+			start = s.cur.End
+			run := s.lastN(s.outOfPhase)
+			s.cur = Segment{Start: start, Centroid: append([]float64(nil), run[0]...)}
+			s.count = 1
+			for _, w := range run[1:] {
+				addToCentroid(s.cur.Centroid, w, &s.count)
+			}
+			s.outOfPhase = 0
+			return start, true
+		}
+		return 0, false
+	}
+	// A deviating run shorter than MinRun was an outlier burst: keep
+	// those sections in the phase but leave them out of the centroid,
+	// so one wild section cannot drag the reference point.
+	s.outOfPhase = 0
+	addToCentroid(s.cur.Centroid, v, &s.count)
+	return 0, false
+}
+
+// lastN returns the most recent k fed vectors, oldest first. k must be
+// at most MinRun (the ring capacity), which holds for every caller: the
+// deviating run is cut off the moment it reaches MinRun.
+func (s *Stream) lastN(k int) [][]float64 {
+	out := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		out[j] = s.recent[(s.pos-k+j)%len(s.recent)]
+	}
+	return out
+}
+
+// Phase returns the 1-based index of the phase currently being tracked
+// (0 before any section was fed).
+func (s *Stream) Phase() int {
+	if s.n == 0 {
+		return 0
+	}
+	return len(s.segs) + 1
+}
+
+// Sections returns the number of sections fed so far.
+func (s *Stream) Sections() int { return s.n }
+
+// Flush closes the open phase and returns the full segmentation with
+// short phases merged, exactly as the batch Segment reports it. The
+// stream remains usable; a later Flush reflects the additional sections.
+func (s *Stream) Flush() []Segment {
+	if s.n == 0 {
 		return nil
 	}
-	var segs []Segment
-	cur := Segment{Start: 0, Centroid: det.vector(d, 0)}
-	count := 1.0
-	outOfPhase := 0
-	for i := 1; i < n; i++ {
-		v := det.vector(d, i)
-		if distance(v, cur.Centroid) > det.cfg.Threshold {
-			outOfPhase++
-			if outOfPhase >= det.cfg.MinRun {
-				// Close the phase before the deviating run began.
-				cur.End = i - outOfPhase + 1
-				segs = append(segs, cur)
-				start := cur.End
-				cur = Segment{Start: start, Centroid: det.vector(d, start)}
-				count = 1
-				for j := start + 1; j <= i; j++ {
-					addToCentroid(cur.Centroid, det.vector(d, j), &count)
-				}
-				outOfPhase = 0
-			}
-			continue
-		}
-		// A deviating run shorter than MinRun was an outlier burst: keep
-		// those sections in the phase but leave them out of the centroid,
-		// so one wild section cannot drag the reference point.
-		outOfPhase = 0
-		addToCentroid(cur.Centroid, v, &count)
-	}
-	cur.End = n
-	segs = append(segs, cur)
-	return mergeShort(segs, det.cfg.MinPhaseLen)
+	cur := s.cur
+	cur.End = s.n
+	// The open phase's centroid is still being updated by Feed; hand the
+	// caller a snapshot so flushing mid-stream stays safe.
+	cur.Centroid = append([]float64(nil), s.cur.Centroid...)
+	segs := append(append([]Segment(nil), s.segs...), cur)
+	return mergeShort(segs, s.det.cfg.MinPhaseLen)
 }
 
 // addToCentroid folds v into the running mean.

@@ -117,14 +117,16 @@ type metricsRegistry struct {
 	endpoints map[string]*endpointMetrics
 	cache     *PredictionCache // nil when caching is disabled
 	models    func() int
+	streams   *streamSessions // nil when the server has no stream surface
 }
 
-func newMetricsRegistry(routes []string, cache *PredictionCache, models func() int) *metricsRegistry {
+func newMetricsRegistry(routes []string, cache *PredictionCache, models func() int, streams *streamSessions) *metricsRegistry {
 	m := &metricsRegistry{
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointMetrics, len(routes)),
 		cache:     cache,
 		models:    models,
+		streams:   streams,
 	}
 	for _, r := range routes {
 		m.endpoints[r] = newEndpointMetrics()
@@ -146,6 +148,7 @@ type metricsSnapshot struct {
 	Models        int                         `json:"models"`
 	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
 	Cache         cacheSnapshot               `json:"cache"`
+	Streams       streamsSnapshot             `json:"streams"`
 }
 
 func (m *metricsRegistry) snapshot() metricsSnapshot {
@@ -168,6 +171,9 @@ func (m *metricsRegistry) snapshot() metricsSnapshot {
 		if total := hits + misses; total > 0 {
 			s.Cache.HitRate = float64(hits) / float64(total)
 		}
+	}
+	if m.streams != nil {
+		s.Streams = m.streams.snapshot()
 	}
 	return s
 }

@@ -6,6 +6,8 @@
 //	                   contribution breakdown (coef*X/CPI, the paper's Eq. 4)
 //	POST /v1/classify  leaf id + decision path — the paper's performance
 //	                   classes (single-tree models only)
+//	POST /v1/stream    NDJSON sample ingestion into a persistent per-model
+//	                   monitor session (phase boundaries + drift alarms)
 //	GET  /v1/models    registry listing with model descriptions
 //	GET  /healthz      liveness + model count
 //	GET  /metrics      request counts, latency quantiles, cache hit rate
@@ -28,6 +30,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mtree"
 	"repro/internal/parallel"
+	"repro/internal/stream"
 )
 
 // Config holds the service knobs.
@@ -47,6 +50,10 @@ type Config struct {
 	MaxBatch int
 	// RequestTimeout bounds handler time per request; 0 disables.
 	RequestTimeout time.Duration
+	// Stream tunes the /v1/stream monitor sessions (window, buffer,
+	// backpressure policy, phase and drift detectors). Its Jobs field is
+	// ignored: stream scoring follows the service-wide Jobs setting.
+	Stream stream.Config
 }
 
 // DefaultConfig returns production-leaning defaults.
@@ -58,6 +65,7 @@ func DefaultConfig() Config {
 		MaxBodyBytes:   1 << 20, // 1 MiB
 		MaxBatch:       4096,
 		RequestTimeout: 10 * time.Second,
+		Stream:         stream.DefaultConfig(),
 	}
 }
 
@@ -67,17 +75,29 @@ type Server struct {
 	reg     *Registry
 	cache   *PredictionCache // nil when disabled
 	metrics *metricsRegistry
+	streams *streamSessions
 }
 
-var routes = []string{"/v1/predict", "/v1/classify", "/v1/models", "/healthz", "/metrics"}
+var routes = []string{"/v1/predict", "/v1/classify", "/v1/stream", "/v1/models", "/healthz", "/metrics"}
+
+// routeMethods maps each route to its Allow header value; requests with
+// any other method get a JSON 405 instead of a mux-level miss.
+var routeMethods = map[string]string{
+	"/v1/predict":  "POST",
+	"/v1/classify": "POST",
+	"/v1/stream":   "POST",
+	"/v1/models":   "GET, HEAD",
+	"/healthz":     "GET, HEAD",
+	"/metrics":     "GET, HEAD",
+}
 
 // New creates a Server over a registry.
 func New(reg *Registry, cfg Config) *Server {
-	s := &Server{cfg: cfg, reg: reg}
+	s := &Server{cfg: cfg, reg: reg, streams: newStreamSessions()}
 	if cfg.CacheSize > 0 {
 		s.cache = NewPredictionCache(cfg.CacheSize)
 	}
-	s.metrics = newMetricsRegistry(routes, s.cache, reg.Len)
+	s.metrics = newMetricsRegistry(routes, s.cache, reg.Len, s.streams)
 	return s
 }
 
@@ -88,13 +108,29 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
 	mux.Handle("POST /v1/classify", s.instrument("/v1/classify", s.handleClassify))
+	mux.Handle("POST /v1/stream", s.instrument("/v1/stream", s.handleStream))
 	mux.Handle("GET /v1/models", s.instrument("/v1/models", s.handleModels))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	// Method-generic fallbacks: the mux routes a wrong-method request
+	// here instead of its own text/plain 405, so the rejection carries
+	// the API's JSON error shape, an Allow header, and metrics.
+	for route, allow := range routeMethods {
+		mux.Handle(route, s.instrument(route, methodNotAllowed(allow)))
+	}
 	if s.cfg.RequestTimeout > 0 {
 		return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	}
 	return mux
+}
+
+// methodNotAllowed rejects with 405 and the route's Allow header.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed,
+			"method %s not allowed; allowed: %s", r.Method, allow)
+	}
 }
 
 // statusRecorder captures the response status for error counting.

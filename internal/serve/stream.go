@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// The /v1/stream endpoint is the service's online surface: clients POST
+// NDJSON counter samples and the server runs them through a persistent
+// per-model stream.Processor — the same scoring fan-out as /v1/predict
+// plus the phase and drift monitors. Monitor state (phase tracker,
+// Page–Hinkley accumulator, EWMA CPI) survives across requests, so a
+// producer can POST sections in whatever chunks its collection loop
+// yields and still get one coherent monitoring timeline.
+
+// streamSession is one model's live monitor. The processor is not safe
+// for concurrent use, so each session serializes its requests; different
+// models stream independently.
+type streamSession struct {
+	mu sync.Mutex
+	p  *stream.Processor
+}
+
+// streamSessions lazily creates one session per model reference.
+type streamSessions struct {
+	mu       sync.Mutex
+	sessions map[string]*streamSession
+}
+
+func newStreamSessions() *streamSessions {
+	return &streamSessions{sessions: map[string]*streamSession{}}
+}
+
+func (ss *streamSessions) get(ref string, mk func() (*stream.Processor, error)) (*streamSession, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if s, ok := ss.sessions[ref]; ok {
+		return s, nil
+	}
+	p, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	s := &streamSession{p: p}
+	ss.sessions[ref] = s
+	return s, nil
+}
+
+// streamsSnapshot aggregates every session's monitor counters for the
+// /metrics report.
+type streamsSnapshot struct {
+	Sessions        int    `json:"sessions"`
+	Depth           int    `json:"depth"`
+	Accepted        uint64 `json:"accepted"`
+	Scored          uint64 `json:"scored"`
+	Invalid         uint64 `json:"invalid"`
+	Dropped         uint64 `json:"dropped"`
+	Windows         uint64 `json:"windows"`
+	PhaseBoundaries uint64 `json:"phase_boundaries"`
+	DriftAlarms     uint64 `json:"drift_alarms"`
+}
+
+func (ss *streamSessions) snapshot() streamsSnapshot {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	snap := streamsSnapshot{Sessions: len(ss.sessions)}
+	for _, s := range ss.sessions {
+		s.mu.Lock()
+		st := s.p.Stats()
+		s.mu.Unlock()
+		snap.Depth += st.Depth
+		snap.Accepted += st.Accepted
+		snap.Scored += st.Scored
+		snap.Invalid += st.Invalid
+		snap.Dropped += st.Dropped
+		snap.Windows += st.Windows
+		snap.PhaseBoundaries += st.PhaseBoundaries
+		snap.DriftAlarms += st.DriftAlarms
+	}
+	return snap
+}
+
+// streamConfig derives the processor configuration from the service
+// knobs; scoring parallelism follows the service-wide Jobs setting.
+func (s *Server) streamConfig() stream.Config {
+	cfg := s.cfg.Stream
+	cfg.Jobs = s.cfg.Jobs
+	return cfg
+}
+
+// streamSummary is the final NDJSON line of every /v1/stream response.
+type streamSummary struct {
+	Type     string       `json:"type"`
+	Model    string       `json:"model"`
+	Ingested int          `json:"ingested"`
+	Stats    stream.Stats `json:"stats"`
+}
+
+// handleStream ingests a POSTed NDJSON sample batch into the model's
+// monitor session and streams back the resulting events, one JSON object
+// per line, ending with a "summary" line. The model is addressed with
+// the ?model= query parameter (the body is NDJSON, not an envelope).
+//
+// The whole batch is decoded and schema-checked before any sample
+// reaches the monitors, so a 400 response guarantees no state changed —
+// a malformed producer cannot half-poison the phase or drift trackers.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(w, r.URL.Query().Get("model"))
+	if e == nil {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := stream.NewDecoder(r.Body)
+	var samples []stream.Sample
+	for {
+		smp, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			} else {
+				writeError(w, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+		samples = append(samples, smp)
+		if len(samples) > s.cfg.MaxBatch {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch exceeds %d samples", s.cfg.MaxBatch)
+			return
+		}
+	}
+	if len(samples) == 0 {
+		writeError(w, http.StatusBadRequest, "no samples in request body")
+		return
+	}
+
+	sess, err := s.streams.get(e.Ref(), func() (*stream.Processor, error) {
+		return stream.NewProcessor(e.Model, s.streamConfig())
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	for i := range samples {
+		if err := sess.p.Check(samples[i]); err != nil {
+			writeError(w, http.StatusBadRequest, "sample %d: %v", i, err)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	emit := func(events []stream.Event) bool {
+		for i := range events {
+			if err := enc.Encode(&events[i]); err != nil {
+				return false // client gone; stop writing, state is consistent
+			}
+		}
+		return true
+	}
+	for i := range samples {
+		events, err := sess.p.Ingest(samples[i])
+		if err != nil {
+			// Checked above, so only ring errors can land here; report on
+			// the stream since the 200 header is already out.
+			_ = enc.Encode(map[string]string{"type": "error", "error": err.Error()})
+			return
+		}
+		if !emit(events) {
+			return
+		}
+	}
+	// Score the final partial window too: a batch endpoint should answer
+	// for every sample it accepted, not leave a remainder buffered.
+	events, err := sess.p.Flush()
+	if err != nil {
+		_ = enc.Encode(map[string]string{"type": "error", "error": err.Error()})
+		return
+	}
+	if !emit(events) {
+		return
+	}
+	_ = enc.Encode(streamSummary{
+		Type:     "summary",
+		Model:    e.Ref(),
+		Ingested: len(samples),
+		Stats:    sess.p.Stats(),
+	})
+}

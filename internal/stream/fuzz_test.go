@@ -1,0 +1,63 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeSample hammers the NDJSON sample decoder: it must never
+// panic, and anything it accepts must satisfy the Sample invariants and
+// survive a marshal/decode round trip.
+func FuzzDecodeSample(f *testing.F) {
+	f.Add([]byte(`{"bench":"mcf","section":12,"events":{"L2M":0.004,"L1IM":0.002},"cpi":1.41}`))
+	f.Add([]byte(`{"events":{"a":1}}`))
+	f.Add([]byte(`{"events":{}}`))
+	f.Add([]byte(`{"events":{"a":1e400}}`))
+	f.Add([]byte(`{"events":{"a":1},"cpi":null}`))
+	f.Add([]byte(`{"cpi":1.0}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"events":{"k":0}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		s, err := DecodeSample(line)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("DecodeSample accepted a sample Validate rejects: %v", err)
+		}
+		out, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatalf("accepted sample does not marshal: %v", err)
+		}
+		s2, err := DecodeSample(out)
+		if err != nil {
+			t.Fatalf("marshal/decode round trip failed: %v\n%s", err, out)
+		}
+		if len(s2.Events) != len(s.Events) {
+			t.Fatalf("round trip changed event count: %d != %d", len(s2.Events), len(s.Events))
+		}
+	})
+}
+
+// FuzzDecoderStream drives the line decoder over arbitrary multi-line
+// input: no panics, no infinite loops, and the decoder keeps its
+// skip-and-continue contract after malformed lines.
+func FuzzDecoderStream(f *testing.F) {
+	f.Add([]byte("{\"events\":{\"a\":1}}\n\n{\"events\":{\"b\":2}}\n"))
+	f.Add([]byte("junk\n{\"events\":{\"a\":1}}\n"))
+	f.Add([]byte("\r\n\t \n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 10000; i++ {
+			_, err := dec.Next()
+			if err == io.EOF {
+				return
+			}
+		}
+		t.Fatal("decoder did not reach EOF within the line budget")
+	})
+}

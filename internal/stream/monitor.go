@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+)
+
+// MonitorConfig drives RunMonitor.
+type MonitorConfig struct {
+	Config
+	// RenderEvery prints a rolling text line every N scored sections
+	// (0 disables text output entirely).
+	RenderEvery int
+	// SkipInvalid keeps going past malformed or schema-violating lines
+	// (counted in Stats.Invalid) instead of aborting the run.
+	SkipInvalid bool
+}
+
+// DefaultMonitorConfig returns CLI-leaning defaults.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{Config: DefaultConfig(), RenderEvery: 32, SkipInvalid: true}
+}
+
+// RunMonitor is the streaming driver: it decodes NDJSON samples from r,
+// feeds them through a Processor over m, writes machine-readable events
+// to eventsOut as NDJSON (one event per line, in order) and rolling
+// human-readable status lines to textOut. Either writer may be nil.
+// It returns when the input ends (a tailing reader simply never ends
+// until closed).
+//
+// For a fixed input byte stream the bytes written to eventsOut and
+// textOut are identical at any cfg.Jobs value.
+func RunMonitor(m model.Model, cfg MonitorConfig, r io.Reader, textOut, eventsOut io.Writer) (Stats, error) {
+	p, err := NewProcessor(m, cfg.Config)
+	if err != nil {
+		return Stats{}, err
+	}
+	if textOut == nil {
+		textOut = io.Discard
+	}
+	var enc *json.Encoder
+	if eventsOut != nil {
+		enc = json.NewEncoder(eventsOut)
+	}
+	dec := NewDecoder(r)
+	lastRendered := 0
+
+	emit := func(events []Event) error {
+		for i := range events {
+			ev := &events[i]
+			if enc != nil {
+				if err := enc.Encode(ev); err != nil {
+					return fmt.Errorf("stream: writing event: %w", err)
+				}
+			}
+			switch ev.Type {
+			case "phase":
+				fmt.Fprintf(textOut, "section %6d  PHASE %d begins at section %d\n",
+					ev.Section, ev.Phase, ev.PhaseStart)
+			case "drift":
+				fmt.Fprintf(textOut, "section %6d  DRIFT %s: observed CPI diverged %s from the model (stat %.3f after %d sections in regime, mean resid %+.3f)\n",
+					ev.Section, ev.Direction, ev.Direction, ev.Stat, ev.RunLength, ev.MeanResidual)
+			}
+		}
+		if cfg.RenderEvery > 0 {
+			if st := p.Stats(); int(st.Scored)-lastRendered >= cfg.RenderEvery {
+				lastRendered = int(st.Scored)
+				fmt.Fprintf(textOut, "section %6d  obs CPI %.3f  pred CPI %.3f  resid %+.3f  phase %d  alarms %d\n",
+					int(st.Scored)-1, st.EwmaObserved, st.EwmaPredicted,
+					st.EwmaObserved-st.EwmaPredicted, st.Phase, st.DriftAlarms)
+			}
+		}
+		return nil
+	}
+
+	for {
+		s, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if cfg.SkipInvalid {
+				p.invalid.Add(1)
+				fmt.Fprintf(textOut, "skipping %v\n", err)
+				continue
+			}
+			return p.Stats(), err
+		}
+		events, err := p.Ingest(s)
+		if err != nil {
+			if cfg.SkipInvalid {
+				fmt.Fprintf(textOut, "skipping line %d: %v\n", dec.Line(), err)
+				continue
+			}
+			return p.Stats(), fmt.Errorf("line %d: %w", dec.Line(), err)
+		}
+		if err := emit(events); err != nil {
+			return p.Stats(), err
+		}
+	}
+	events, err := p.Flush()
+	if err != nil {
+		return p.Stats(), err
+	}
+	if err := emit(events); err != nil {
+		return p.Stats(), err
+	}
+	st := p.Stats()
+	fmt.Fprintf(textOut, "done: %d sections scored (%d invalid skipped), %d phase boundaries, %d drift alarms\n",
+		st.Scored, st.Invalid, st.PhaseBoundaries, st.DriftAlarms)
+	return st, nil
+}

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPageHinkleyQuietOnNoise(t *testing.T) {
+	ph := NewPageHinkley(DefaultPHConfig())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		if _, ok := ph.Feed(0.01 * rng.NormFloat64()); ok {
+			t.Fatalf("alarm on zero-mean noise at sample %d", i)
+		}
+	}
+}
+
+func TestPageHinkleyDetectsUpShift(t *testing.T) {
+	cfg := DefaultPHConfig()
+	ph := NewPageHinkley(cfg)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		if _, ok := ph.Feed(0.01 * rng.NormFloat64()); ok {
+			t.Fatalf("premature alarm at %d", i)
+		}
+	}
+	fired := -1
+	var alarm PHAlarm
+	for i := 0; i < 50; i++ {
+		a, ok := ph.Feed(0.3 + 0.01*rng.NormFloat64())
+		if ok {
+			fired, alarm = i, a
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("no alarm on a +0.3 sustained shift")
+	}
+	if fired > 5 {
+		t.Errorf("alarm after %d shifted samples, want <= 5", fired)
+	}
+	if alarm.Direction != "up" {
+		t.Errorf("direction %q", alarm.Direction)
+	}
+	if alarm.Stat <= cfg.Lambda {
+		t.Errorf("alarm stat %v below lambda %v", alarm.Stat, cfg.Lambda)
+	}
+}
+
+func TestPageHinkleyDetectsDownShift(t *testing.T) {
+	ph := NewPageHinkley(DefaultPHConfig())
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		ph.Feed(0.01 * rng.NormFloat64())
+	}
+	for i := 0; i < 50; i++ {
+		if a, ok := ph.Feed(-0.3 + 0.01*rng.NormFloat64()); ok {
+			if a.Direction != "down" {
+				t.Errorf("direction %q, want down", a.Direction)
+			}
+			return
+		}
+	}
+	t.Fatal("no alarm on a -0.3 sustained shift")
+}
+
+// TestPageHinkleyResetsAfterAlarm verifies a second drift in a long
+// stream is caught independently of the first.
+func TestPageHinkleyResetsAfterAlarm(t *testing.T) {
+	ph := NewPageHinkley(DefaultPHConfig())
+	rng := rand.New(rand.NewSource(4))
+	alarms := 0
+	feedRegime := func(mean float64, n int) {
+		for i := 0; i < n; i++ {
+			if _, ok := ph.Feed(mean + 0.01*rng.NormFloat64()); ok {
+				alarms++
+			}
+		}
+	}
+	feedRegime(0, 100)
+	feedRegime(0.4, 20) // first drift
+	feedRegime(0.4, 100)
+	// Second drift relative to the new regime. After the first alarm the
+	// detector restarted, so the new baseline is 0.4 and this is an
+	// upward move from it.
+	feedRegime(0.9, 20)
+	if alarms < 2 {
+		t.Errorf("detected %d drifts, want >= 2", alarms)
+	}
+}
+
+func TestPageHinkleyMinSamplesGrace(t *testing.T) {
+	cfg := PHConfig{Delta: 0.005, Lambda: 0.05, MinSamples: 10}
+	ph := NewPageHinkley(cfg)
+	for i := 0; i < 9; i++ {
+		if _, ok := ph.Feed(1.0); ok {
+			t.Fatalf("alarm inside grace period at sample %d", i)
+		}
+	}
+}

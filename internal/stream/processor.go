@@ -1,0 +1,332 @@
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/phases"
+)
+
+// Config tunes a Processor.
+type Config struct {
+	// Jobs is the scoring worker count (0 = all cores, 1 = serial).
+	// Events are byte-identical at any value.
+	Jobs int
+	// Window is the number of buffered samples scored per parallel
+	// batch. Larger windows amortize fan-out overhead; the window never
+	// delays monitor state, which always advances in sample order.
+	Window int
+	// Buffer is the ring capacity; it is raised to Window if smaller,
+	// since a full window must fit to be scored.
+	Buffer int
+	// Policy is the ring's overflow policy.
+	Policy Policy
+	// Calibration is the number of leading sections the phase tracker
+	// uses to estimate counter noise before reporting boundaries.
+	Calibration int
+	// Phases tunes the phase detector (zero value = phases defaults).
+	Phases phases.Config
+	// PH tunes the drift detector (zero value = PH defaults).
+	PH PHConfig
+	// Contributions attaches the top CPI contributor (the paper's Eq. 4
+	// "how much" answer) to every sample event.
+	Contributions bool
+	// EmitSamples emits a "sample" event per scored section; phase and
+	// drift events are always emitted.
+	EmitSamples bool
+}
+
+// DefaultConfig returns monitoring-friendly defaults.
+func DefaultConfig() Config {
+	return Config{
+		Jobs:          0,
+		Window:        32,
+		Buffer:        256,
+		Policy:        Block,
+		Calibration:   32,
+		Phases:        phases.DefaultConfig(),
+		PH:            DefaultPHConfig(),
+		Contributions: true,
+		EmitSamples:   true,
+	}
+}
+
+func (c Config) sanitized() Config {
+	if c.Window < 1 {
+		c.Window = DefaultConfig().Window
+	}
+	if c.Buffer < c.Window {
+		c.Buffer = c.Window
+	}
+	if c.Calibration < 2 {
+		c.Calibration = DefaultConfig().Calibration
+	}
+	c.PH = c.PH.sanitized()
+	return c
+}
+
+// Event is one machine-readable monitor output, NDJSON-encoded by the
+// drivers. Type selects which optional fields are present.
+type Event struct {
+	// Type is "sample" (one scored section), "phase" (a confirmed phase
+	// boundary) or "drift" (a Page–Hinkley alarm).
+	Type string `json:"type"`
+	// Section is the zero-based arrival index the event refers to.
+	Section int `json:"section"`
+	// Bench echoes the producing sample's label.
+	Bench string `json:"bench,omitempty"`
+	// Phase is the current 1-based phase at this event.
+	Phase int `json:"phase,omitempty"`
+
+	// sample fields
+	Predicted   float64  `json:"predicted,omitempty"`
+	Observed    *float64 `json:"observed,omitempty"`
+	Residual    *float64 `json:"residual,omitempty"`
+	TopEvent    string   `json:"top_event,omitempty"`
+	TopFraction float64  `json:"top_fraction,omitempty"`
+
+	// phase fields: the new phase begins at PhaseStart; Section is where
+	// the debounce confirmed it (up to MinRun-1 later).
+	PhaseStart int `json:"phase_start,omitempty"`
+
+	// drift fields
+	Direction    string  `json:"direction,omitempty"`
+	Stat         float64 `json:"stat,omitempty"`
+	MeanResidual float64 `json:"mean_residual,omitempty"`
+	RunLength    int     `json:"run_length,omitempty"`
+}
+
+// Stats is a monitor state snapshot, exposed on /metrics and in CLI
+// summaries.
+type Stats struct {
+	Accepted        uint64  `json:"accepted"`
+	Scored          uint64  `json:"scored"`
+	Invalid         uint64  `json:"invalid"`
+	Depth           int     `json:"depth"`
+	Dropped         uint64  `json:"dropped"`
+	Windows         uint64  `json:"windows"`
+	PhaseBoundaries uint64  `json:"phase_boundaries"`
+	DriftAlarms     uint64  `json:"drift_alarms"`
+	Phase           int     `json:"phase"`
+	EwmaObserved    float64 `json:"ewma_observed"`
+	EwmaPredicted   float64 `json:"ewma_predicted"`
+}
+
+// Processor scores a sample stream through one model and runs the
+// online monitors. It is not safe for concurrent use; callers that
+// share one processor (the serve layer) serialize access.
+type Processor struct {
+	m      model.Model
+	sc     *schema
+	cfg    Config
+	ring   *Ring
+	online *phases.Online
+	ph     *PageHinkley
+
+	scored   uint64
+	invalid  atomic.Uint64
+	windows  uint64
+	bounds   uint64
+	alarms   uint64
+	haveEwma bool
+	ewmaObs  float64
+	ewmaPred float64
+}
+
+// ewmaAlpha is the smoothing factor of the rolling CPI means shown in
+// monitor summaries (~ a 2/alpha-section horizon).
+const ewmaAlpha = 0.1
+
+// NewProcessor builds a processor for one trained model.
+func NewProcessor(m model.Model, cfg Config) (*Processor, error) {
+	sc, err := newSchema(m.Describe())
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.sanitized()
+	return &Processor{
+		m:      m,
+		sc:     sc,
+		cfg:    cfg,
+		ring:   NewRing(cfg.Buffer, cfg.Policy),
+		online: phases.NewOnline(cfg.Phases, cfg.Calibration),
+		ph:     NewPageHinkley(cfg.PH),
+	}, nil
+}
+
+// Check validates a sample against the model schema without ingesting
+// it, so batch callers can reject a whole request before mutating any
+// monitor state.
+func (p *Processor) Check(s Sample) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	_, err := p.sc.instance(&s)
+	return err
+}
+
+// Ingest validates and buffers one sample, then scores every full
+// window. The returned events cover all sections scored by this call
+// (possibly none, while the window fills). Invalid samples are counted
+// and returned as an error without touching monitor state.
+func (p *Processor) Ingest(s Sample) ([]Event, error) {
+	if err := p.Check(s); err != nil {
+		p.invalid.Add(1)
+		return nil, err
+	}
+	if err := p.ring.Push(s); err != nil {
+		return nil, err
+	}
+	var events []Event
+	for p.ring.Depth() >= p.cfg.Window {
+		evs, err := p.scoreBatch(p.ring.PopN(p.cfg.Window))
+		if err != nil {
+			return events, err
+		}
+		events = append(events, evs...)
+	}
+	return events, nil
+}
+
+// Flush scores whatever remains in the ring regardless of window fill.
+func (p *Processor) Flush() ([]Event, error) {
+	var events []Event
+	for p.ring.Depth() > 0 {
+		evs, err := p.scoreBatch(p.ring.PopN(p.cfg.Window))
+		if err != nil {
+			return events, err
+		}
+		events = append(events, evs...)
+	}
+	return events, nil
+}
+
+// scored carries one sample's parallel scoring result into the serial
+// monitor fold.
+type scoredSample struct {
+	sample Sample
+	row    dataset.Instance
+	pred   float64
+	top    *model.Contribution
+}
+
+// scoreBatch fans the batch out through parallel.Map (ordered, so the
+// fold below sees sample order regardless of worker count), then
+// advances the monitors serially.
+func (p *Processor) scoreBatch(batch []Sample) ([]Event, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	scoredBatch, err := parallel.Map(parallel.Config{Jobs: p.cfg.Jobs}, batch,
+		func(_ int, s Sample) (scoredSample, error) {
+			row, err := p.sc.instance(&s)
+			if err != nil {
+				return scoredSample{}, err // unreachable: Check vetted it
+			}
+			out := scoredSample{sample: s, row: row, pred: p.m.Predict(row)}
+			if p.cfg.Contributions {
+				if contribs := p.m.Contributions(row); len(contribs) > 0 {
+					out.top = &contribs[0]
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("stream: scoring window: %w", err)
+	}
+	p.windows++
+
+	var events []Event
+	for i := range scoredBatch {
+		ss := &scoredBatch[i]
+		sec := int(p.scored)
+		p.scored++
+
+		// Phase tracking first, so a boundary confirmed by this section
+		// is reflected in the section's own phase number.
+		for _, start := range p.online.Feed(p.sc.featureVector(ss.row)) {
+			p.bounds++
+			events = append(events, Event{
+				Type:       "phase",
+				Section:    sec,
+				Bench:      ss.sample.Bench,
+				Phase:      p.online.Phase(),
+				PhaseStart: start,
+			})
+		}
+
+		if !p.haveEwma {
+			p.haveEwma = true
+			p.ewmaPred = ss.pred
+			if ss.sample.CPI != nil {
+				p.ewmaObs = *ss.sample.CPI
+			}
+		} else {
+			p.ewmaPred += ewmaAlpha * (ss.pred - p.ewmaPred)
+			if ss.sample.CPI != nil {
+				p.ewmaObs += ewmaAlpha * (*ss.sample.CPI - p.ewmaObs)
+			}
+		}
+
+		if p.cfg.EmitSamples {
+			ev := Event{
+				Type:      "sample",
+				Section:   sec,
+				Bench:     ss.sample.Bench,
+				Phase:     p.online.Phase(),
+				Predicted: ss.pred,
+			}
+			if ss.top != nil {
+				ev.TopEvent = ss.top.Name
+				ev.TopFraction = ss.top.Fraction
+			}
+			if ss.sample.CPI != nil {
+				obs := *ss.sample.CPI
+				res := obs - ss.pred
+				ev.Observed = &obs
+				ev.Residual = &res
+			}
+			events = append(events, ev)
+		}
+
+		if ss.sample.CPI != nil {
+			if alarm, ok := p.ph.Feed(*ss.sample.CPI - ss.pred); ok {
+				p.alarms++
+				events = append(events, Event{
+					Type:         "drift",
+					Section:      sec,
+					Bench:        ss.sample.Bench,
+					Phase:        p.online.Phase(),
+					Direction:    alarm.Direction,
+					Stat:         alarm.Stat,
+					MeanResidual: alarm.Mean,
+					RunLength:    alarm.Samples,
+				})
+			}
+		}
+	}
+	return events, nil
+}
+
+// Stats snapshots the monitor state.
+func (p *Processor) Stats() Stats {
+	return Stats{
+		Accepted:        p.scored + uint64(p.ring.Depth()),
+		Scored:          p.scored,
+		Invalid:         p.invalid.Load(),
+		Depth:           p.ring.Depth(),
+		Dropped:         p.ring.Dropped(),
+		Windows:         p.windows,
+		PhaseBoundaries: p.bounds,
+		DriftAlarms:     p.alarms,
+		Phase:           p.online.Phase(),
+		EwmaObserved:    p.ewmaObs,
+		EwmaPredicted:   p.ewmaPred,
+	}
+}
+
+// Describe exposes the underlying model's description.
+func (p *Processor) Describe() model.Description { return p.sc.desc }
