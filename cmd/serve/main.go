@@ -60,7 +60,7 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "batch-prediction workers (0 = all cores, 1 = serial; responses are identical)")
 		cacheSize = flag.Int("cache", 4096, "LRU prediction cache entries (0 disables)")
 		quantum   = flag.Float64("cache-quantum", 0, "cache key quantization step (0 = exact bits, hits cannot change responses)")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-request handler timeout (0 disables)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request handler timeout (0 disables; /v1/stream streams and is exempt)")
 		maxBody   = flag.Int64("max-body", 1<<20, "maximum request body bytes")
 		maxBatch  = flag.Int("max-batch", 4096, "maximum rows per request")
 		streamWin = flag.Int("stream-window", stream.DefaultConfig().Window, "/v1/stream samples scored per parallel batch")

@@ -16,7 +16,9 @@
 // keeps responses byte-identical to serial Tree.Predict at any worker
 // count; the optional LRU cache keys on exact value bits by default, so
 // it can never change a response either. Request bodies are size-capped
-// and handlers time-limited, making the hot path safe to expose.
+// and handlers time-limited (except the streaming /v1/stream route,
+// which flushes incrementally instead — see Handler), making the hot
+// path safe to expose.
 package serve
 
 import (
@@ -48,7 +50,10 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxBatch caps the number of rows per request.
 	MaxBatch int
-	// RequestTimeout bounds handler time per request; 0 disables.
+	// RequestTimeout bounds handler time per request; 0 disables. It is
+	// applied per route and does not cover /v1/stream, whose incremental
+	// NDJSON response and stateful ingestion make a buffered timeout
+	// wrapper wrong (see Handler).
 	RequestTimeout time.Duration
 	// Stream tunes the /v1/stream monitor sessions (window, buffer,
 	// backpressure policy, phase and drift detectors). Its Jobs field is
@@ -102,24 +107,35 @@ func New(reg *Registry, cfg Config) *Server {
 }
 
 // Handler returns the service's HTTP handler: the routed endpoints, each
-// wrapped in per-endpoint instrumentation, all wrapped in the request
-// timeout.
+// wrapped in per-endpoint instrumentation and (except /v1/stream) the
+// request timeout.
+//
+// /v1/stream is deliberately outside http.TimeoutHandler: that wrapper
+// buffers the entire response, which would defeat the endpoint's
+// incremental NDJSON delivery, and its 503 cannot undo monitor state the
+// ingested prefix already advanced — a client retrying the same batch
+// after a timeout would double-ingest into a non-idempotent session.
+// The route is still bounded by MaxBodyBytes, MaxBatch and the server's
+// read timeouts.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
-	mux.Handle("POST /v1/classify", s.instrument("/v1/classify", s.handleClassify))
+	withTimeout := func(h http.Handler) http.Handler {
+		if s.cfg.RequestTimeout > 0 {
+			return http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+		}
+		return h
+	}
+	mux.Handle("POST /v1/predict", withTimeout(s.instrument("/v1/predict", s.handlePredict)))
+	mux.Handle("POST /v1/classify", withTimeout(s.instrument("/v1/classify", s.handleClassify)))
 	mux.Handle("POST /v1/stream", s.instrument("/v1/stream", s.handleStream))
-	mux.Handle("GET /v1/models", s.instrument("/v1/models", s.handleModels))
-	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
-	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.Handle("GET /v1/models", withTimeout(s.instrument("/v1/models", s.handleModels)))
+	mux.Handle("GET /healthz", withTimeout(s.instrument("/healthz", s.handleHealthz)))
+	mux.Handle("GET /metrics", withTimeout(s.instrument("/metrics", s.handleMetrics)))
 	// Method-generic fallbacks: the mux routes a wrong-method request
 	// here instead of its own text/plain 405, so the rejection carries
 	// the API's JSON error shape, an Allow header, and metrics.
 	for route, allow := range routeMethods {
-		mux.Handle(route, s.instrument(route, methodNotAllowed(allow)))
-	}
-	if s.cfg.RequestTimeout > 0 {
-		return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+		mux.Handle(route, withTimeout(s.instrument(route, methodNotAllowed(allow))))
 	}
 	return mux
 }
@@ -142,6 +158,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers behind the
+// recorder can push partial NDJSON responses to the client.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with the endpoint's request/error counters,

@@ -163,19 +163,27 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
 	emit := func(events []stream.Event) bool {
 		for i := range events {
 			if err := enc.Encode(&events[i]); err != nil {
 				return false // client gone; stop writing, state is consistent
 			}
 		}
+		// Push completed events to the client now: this route is outside
+		// http.TimeoutHandler precisely so incremental delivery works.
+		if len(events) > 0 && flusher != nil {
+			flusher.Flush()
+		}
 		return true
 	}
 	for i := range samples {
-		events, err := sess.p.Ingest(samples[i])
+		// The whole batch passed Check above; IngestChecked skips the
+		// per-sample re-validation.
+		events, err := sess.p.IngestChecked(samples[i])
 		if err != nil {
-			// Checked above, so only ring errors can land here; report on
-			// the stream since the 200 header is already out.
+			// Only ring errors can land here; report on the stream since
+			// the 200 header is already out.
 			_ = enc.Encode(map[string]string{"type": "error", "error": err.Error()})
 			return
 		}

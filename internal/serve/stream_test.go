@@ -290,6 +290,23 @@ func TestMethodNotAllowed(t *testing.T) {
 	}
 }
 
+// TestStreamResponseFlushesIncrementally pins the /v1/stream timeout
+// exemption: http.TimeoutHandler's writer buffers everything and does
+// not implement http.Flusher, so a Flush reaching the recorder proves
+// the route streams its NDJSON directly while the default
+// RequestTimeout still guards every other endpoint.
+func TestStreamResponseFlushesIncrementally(t *testing.T) {
+	s, _, _ := newTestServer(t, streamConfig(1))
+	h := s.Handler()
+	rec := postNDJSON(h, "/v1/stream?model=cpi", streamTrace(40, 20, 100, 0, 7))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if !rec.Flushed {
+		t.Error("stream response was never flushed: is /v1/stream wrapped in a buffering handler?")
+	}
+}
+
 // TestStreamSessionsIndependent verifies two models monitor separately.
 func TestStreamSessionsIndependent(t *testing.T) {
 	d := perfData(1200, 5)

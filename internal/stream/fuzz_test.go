@@ -44,8 +44,9 @@ func FuzzDecodeSample(f *testing.F) {
 }
 
 // FuzzDecoderStream drives the line decoder over arbitrary multi-line
-// input: no panics, no infinite loops, and the decoder keeps its
-// skip-and-continue contract after malformed lines.
+// input: no panics, no infinite loops, the decoder keeps its
+// skip-and-continue contract after malformed lines, and a terminal
+// scanner failure is sticky (the same error on every later call).
 func FuzzDecoderStream(f *testing.F) {
 	f.Add([]byte("{\"events\":{\"a\":1}}\n\n{\"events\":{\"b\":2}}\n"))
 	f.Add([]byte("junk\n{\"events\":{\"a\":1}}\n"))
@@ -55,6 +56,15 @@ func FuzzDecoderStream(f *testing.F) {
 		for i := 0; i < 10000; i++ {
 			_, err := dec.Next()
 			if err == io.EOF {
+				if dec.Failed() {
+					t.Fatal("Failed() true at clean EOF")
+				}
+				return
+			}
+			if dec.Failed() {
+				if _, err2 := dec.Next(); err2 != err {
+					t.Fatalf("terminal error not sticky: %v then %v", err, err2)
+				}
 				return
 			}
 		}

@@ -16,6 +16,8 @@ type MonitorConfig struct {
 	RenderEvery int
 	// SkipInvalid keeps going past malformed or schema-violating lines
 	// (counted in Stats.Invalid) instead of aborting the run.
+	// Unrecoverable read errors (an over-long line, a broken transport —
+	// see Decoder.Failed) abort regardless: they would repeat forever.
 	SkipInvalid bool
 }
 
@@ -68,9 +70,16 @@ func RunMonitor(m model.Model, cfg MonitorConfig, r io.Reader, textOut, eventsOu
 		if cfg.RenderEvery > 0 {
 			if st := p.Stats(); int(st.Scored)-lastRendered >= cfg.RenderEvery {
 				lastRendered = int(st.Scored)
-				fmt.Fprintf(textOut, "section %6d  obs CPI %.3f  pred CPI %.3f  resid %+.3f  phase %d  alarms %d\n",
-					int(st.Scored)-1, st.EwmaObserved, st.EwmaPredicted,
-					st.EwmaObserved-st.EwmaPredicted, st.Phase, st.DriftAlarms)
+				if st.HaveObserved {
+					fmt.Fprintf(textOut, "section %6d  obs CPI %.3f  pred CPI %.3f  resid %+.3f  phase %d  alarms %d\n",
+						int(st.Scored)-1, st.EwmaObserved, st.EwmaPredicted,
+						st.EwmaObserved-st.EwmaPredicted, st.Phase, st.DriftAlarms)
+				} else {
+					// Prediction-only stream: no sample ever carried a cpi
+					// field, so there is no observation or residual to show.
+					fmt.Fprintf(textOut, "section %6d  obs CPI n/a  pred CPI %.3f  phase %d  alarms %d\n",
+						int(st.Scored)-1, st.EwmaPredicted, st.Phase, st.DriftAlarms)
+				}
 			}
 		}
 		return nil
@@ -82,7 +91,10 @@ func RunMonitor(m model.Model, cfg MonitorConfig, r io.Reader, textOut, eventsOu
 			break
 		}
 		if err != nil {
-			if cfg.SkipInvalid {
+			// A malformed line is skippable; a failed decoder is not —
+			// its error is sticky, so "skipping" it would spin forever
+			// on the same error.
+			if cfg.SkipInvalid && !dec.Failed() {
 				p.invalid.Add(1)
 				fmt.Fprintf(textOut, "skipping %v\n", err)
 				continue

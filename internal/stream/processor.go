@@ -102,17 +102,21 @@ type Event struct {
 // Stats is a monitor state snapshot, exposed on /metrics and in CLI
 // summaries.
 type Stats struct {
-	Accepted        uint64  `json:"accepted"`
-	Scored          uint64  `json:"scored"`
-	Invalid         uint64  `json:"invalid"`
-	Depth           int     `json:"depth"`
-	Dropped         uint64  `json:"dropped"`
-	Windows         uint64  `json:"windows"`
-	PhaseBoundaries uint64  `json:"phase_boundaries"`
-	DriftAlarms     uint64  `json:"drift_alarms"`
-	Phase           int     `json:"phase"`
-	EwmaObserved    float64 `json:"ewma_observed"`
-	EwmaPredicted   float64 `json:"ewma_predicted"`
+	Accepted        uint64 `json:"accepted"`
+	Scored          uint64 `json:"scored"`
+	Invalid         uint64 `json:"invalid"`
+	Depth           int    `json:"depth"`
+	Dropped         uint64 `json:"dropped"`
+	Windows         uint64 `json:"windows"`
+	PhaseBoundaries uint64 `json:"phase_boundaries"`
+	DriftAlarms     uint64 `json:"drift_alarms"`
+	Phase           int    `json:"phase"`
+	// HaveObserved is true once any scored sample carried an observed
+	// CPI; while false, EwmaObserved is meaningless (no observation ever
+	// arrived) and consumers should render it as absent.
+	HaveObserved  bool    `json:"have_observed"`
+	EwmaObserved  float64 `json:"ewma_observed"`
+	EwmaPredicted float64 `json:"ewma_predicted"`
 }
 
 // Processor scores a sample stream through one model and runs the
@@ -131,7 +135,8 @@ type Processor struct {
 	windows  uint64
 	bounds   uint64
 	alarms   uint64
-	haveEwma bool
+	havePred bool
+	haveObs  bool
 	ewmaObs  float64
 	ewmaPred float64
 }
@@ -164,8 +169,7 @@ func (p *Processor) Check(s Sample) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	_, err := p.sc.instance(&s)
-	return err
+	return p.sc.check(&s)
 }
 
 // Ingest validates and buffers one sample, then scores every full
@@ -177,6 +181,14 @@ func (p *Processor) Ingest(s Sample) ([]Event, error) {
 		p.invalid.Add(1)
 		return nil, err
 	}
+	return p.IngestChecked(s)
+}
+
+// IngestChecked is Ingest for a sample that already passed Check.
+// Callers that batch-validate up front (the serve layer's all-or-
+// nothing request check) use it to avoid validating every sample
+// twice; feeding it an unchecked sample makes scoring fail instead.
+func (p *Processor) IngestChecked(s Sample) ([]Event, error) {
 	if err := p.ring.Push(s); err != nil {
 		return nil, err
 	}
@@ -258,15 +270,20 @@ func (p *Processor) scoreBatch(batch []Sample) ([]Event, error) {
 			})
 		}
 
-		if !p.haveEwma {
-			p.haveEwma = true
+		if !p.havePred {
+			p.havePred = true
 			p.ewmaPred = ss.pred
-			if ss.sample.CPI != nil {
-				p.ewmaObs = *ss.sample.CPI
-			}
 		} else {
 			p.ewmaPred += ewmaAlpha * (ss.pred - p.ewmaPred)
-			if ss.sample.CPI != nil {
+		}
+		// The observed EWMA seeds on the first sample that actually
+		// carries a cpi field, however late it arrives; until then
+		// HaveObserved stays false and renderers must not show it.
+		if ss.sample.CPI != nil {
+			if !p.haveObs {
+				p.haveObs = true
+				p.ewmaObs = *ss.sample.CPI
+			} else {
 				p.ewmaObs += ewmaAlpha * (*ss.sample.CPI - p.ewmaObs)
 			}
 		}
@@ -323,6 +340,7 @@ func (p *Processor) Stats() Stats {
 		PhaseBoundaries: p.bounds,
 		DriftAlarms:     p.alarms,
 		Phase:           p.online.Phase(),
+		HaveObserved:    p.haveObs,
 		EwmaObserved:    p.ewmaObs,
 		EwmaPredicted:   p.ewmaPred,
 	}

@@ -79,10 +79,15 @@ func DecodeSample(line []byte) (Sample, error) {
 const MaxLineBytes = 1 << 20
 
 // Decoder reads newline-delimited samples, skipping blank lines and
-// reporting errors with 1-based line numbers.
+// reporting errors with 1-based line numbers. Malformed lines are
+// recoverable — the next Next call moves on — but scanner failures
+// (an over-long line, a transport error from the underlying reader)
+// are terminal: they stick, and every subsequent Next returns the same
+// error, reported by Failed.
 type Decoder struct {
 	sc   *bufio.Scanner
 	line int
+	err  error // sticky: io.EOF or a terminal read failure
 }
 
 // NewDecoder wraps r in an NDJSON sample decoder.
@@ -97,8 +102,13 @@ func (d *Decoder) Line() int { return d.line }
 
 // Next returns the next sample, io.EOF at end of stream, or a decode /
 // validation error tagged with the line number. After a malformed line
-// the decoder remains usable, so callers can choose to skip and go on.
+// the decoder remains usable, so callers can choose to skip and go on;
+// after a terminal read failure (Failed reports true) skipping cannot
+// make progress and Next keeps returning the same error.
 func (d *Decoder) Next() (Sample, error) {
+	if d.err != nil {
+		return Sample{}, d.err
+	}
 	for d.sc.Scan() {
 		d.line++
 		b := d.sc.Bytes()
@@ -112,10 +122,19 @@ func (d *Decoder) Next() (Sample, error) {
 		return s, nil
 	}
 	if err := d.sc.Err(); err != nil {
-		return Sample{}, fmt.Errorf("stream: reading samples: %w", err)
+		d.err = fmt.Errorf("stream: reading samples: %w", err)
+	} else {
+		d.err = io.EOF
 	}
-	return Sample{}, io.EOF
+	return Sample{}, d.err
 }
+
+// Failed reports whether the decoder has hit an unrecoverable read
+// error — a bufio.Scanner failure such as a line over MaxLineBytes or
+// an error from the underlying reader. Unlike a malformed line, this
+// state is permanent: drivers that skip bad lines must still abort on
+// it or they would spin on the same error forever.
+func (d *Decoder) Failed() bool { return d.err != nil && d.err != io.EOF }
 
 // trimSpace trims ASCII whitespace without allocating.
 func trimSpace(b []byte) []byte {
@@ -153,6 +172,22 @@ func newSchema(desc model.Description) (*schema, error) {
 		return nil, fmt.Errorf("stream: model schema has no target column %q", desc.Target)
 	}
 	return s, nil
+}
+
+// check validates a sample's event names against the schema without
+// allocating the full-width row — the cheap half of instance, for
+// callers that only need the verdict.
+func (sc *schema) check(s *Sample) error {
+	for name := range s.Events {
+		i, ok := sc.attrIdx[name]
+		if !ok {
+			return fmt.Errorf("stream: unknown event %q (model %s schema)", name, sc.desc.Kind)
+		}
+		if i == sc.targetIdx {
+			return fmt.Errorf("stream: event %q is the model target; report it as \"cpi\"", name)
+		}
+	}
+	return nil
 }
 
 // instance expands a sample's named events into a full-width instance.

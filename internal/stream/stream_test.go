@@ -243,6 +243,103 @@ func TestMonitorSkipsInvalidLines(t *testing.T) {
 	}
 }
 
+// TestMonitorAbortsOnUnrecoverableReadError pins the busy-loop fix: a
+// terminal scanner failure (here an over-long line) is sticky in the
+// decoder, so the monitor must abort even under SkipInvalid instead of
+// spinning on the same error forever.
+func TestMonitorAbortsOnUnrecoverableReadError(t *testing.T) {
+	tree := trainTree(t, perfData(1200, 5))
+	cfg := testConfig(1)
+	cfg.SkipInvalid = true
+	cfg.Window = 1
+	in := `{"events":{"L1IM":0.01,"L2M":0.001,"DtlbLdM":0.0001},"cpi":0.67}` + "\n" +
+		strings.Repeat("x", MaxLineBytes+1) + "\n"
+	st, err := RunMonitor(tree, cfg, strings.NewReader(in), io.Discard, nil)
+	if err == nil {
+		t.Fatal("monitor kept running past an unrecoverable scanner error")
+	}
+	if st.Scored != 1 {
+		t.Errorf("scored %d sections before the failure, want 1", st.Scored)
+	}
+}
+
+// TestDecoderFailureIsSticky pins the Decoder contract the monitor
+// relies on: after a scanner error, Failed reports true and every Next
+// call returns the same error.
+func TestDecoderFailureIsSticky(t *testing.T) {
+	dec := NewDecoder(strings.NewReader(strings.Repeat("x", MaxLineBytes+1)))
+	_, err1 := dec.Next()
+	if err1 == nil || err1 == io.EOF {
+		t.Fatalf("over-long line did not fail the decoder: %v", err1)
+	}
+	if !dec.Failed() {
+		t.Fatal("Failed() false after a scanner error")
+	}
+	if _, err2 := dec.Next(); err2 != err1 {
+		t.Fatalf("second Next returned %v, want the sticky %v", err2, err1)
+	}
+}
+
+// TestMonitorRendersNAWithoutObservedCPI guards the prediction-only
+// status line: with no cpi field in any sample there is no observation
+// or residual to show, so the rolling line must say "n/a" rather than
+// render a zero EWMA as a real measurement.
+func TestMonitorRendersNAWithoutObservedCPI(t *testing.T) {
+	tree := trainTree(t, perfData(1200, 5))
+	cfg := testConfig(1)
+	cfg.Window = 1
+	cfg.RenderEvery = 2
+	in := strings.Repeat(`{"events":{"L1IM":0.01,"L2M":0.001,"DtlbLdM":0.0001}}`+"\n", 6)
+	var text bytes.Buffer
+	st, err := RunMonitor(tree, cfg, strings.NewReader(in), &text, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HaveObserved {
+		t.Error("HaveObserved true on a prediction-only stream")
+	}
+	if !strings.Contains(text.String(), "obs CPI n/a") {
+		t.Errorf("no n/a marker in status output:\n%s", text.String())
+	}
+	if strings.Contains(text.String(), "resid") {
+		t.Errorf("residual rendered without any observation:\n%s", text.String())
+	}
+}
+
+// TestEwmaObservedSeedsOnFirstObservation: when observations start
+// arriving mid-stream, the EWMA must seed on the first real value, not
+// drag up from an arbitrary zero.
+func TestEwmaObservedSeedsOnFirstObservation(t *testing.T) {
+	tree := trainTree(t, perfData(1200, 5))
+	cfg := DefaultConfig()
+	cfg.Jobs = 1
+	cfg.Window = 1
+	p, err := NewProcessor(tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noObs := Sample{Events: map[string]float64{"L1IM": 0.01, "L2M": 0.001, "DtlbLdM": 0.0001}}
+	if _, err := p.Ingest(noObs); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().HaveObserved {
+		t.Fatal("HaveObserved before any observation")
+	}
+	cpi := 1.5
+	withObs := noObs
+	withObs.CPI = &cpi
+	if _, err := p.Ingest(withObs); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if !st.HaveObserved {
+		t.Fatal("HaveObserved false after an observed sample")
+	}
+	if st.EwmaObserved != cpi {
+		t.Errorf("EwmaObserved %.3f, want seeded at first observation %.3f", st.EwmaObserved, cpi)
+	}
+}
+
 func TestMonitorAbortsOnInvalidWhenStrict(t *testing.T) {
 	tree := trainTree(t, perfData(1200, 5))
 	cfg := testConfig(1)
