@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench bench-parallel bench-serve bench-json experiments serve-smoke monitor-smoke fuzz-short
+.PHONY: build test check vet race bench bench-parallel bench-serve bench-micro bench-json bench-compare experiments serve-smoke monitor-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -35,16 +35,39 @@ bench:
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServePredict' -benchtime 50x ./internal/serve/
 
-# Machine-readable benchmark snapshot: the speedup, serving-latency and
-# stream-ingestion benchmarks in `go test -json` form, concatenated into
-# one dated file for regression diffing across commits.
+# Simulator hot-loop micro-benchmarks (see DESIGN.md §10): cache/TLB
+# probes, hierarchy walks, single-core Step and the per-section collect
+# loop. All of them must report 0 allocs/op in steady state.
+bench-micro:
+	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/sim/... ./internal/counters/
+
+# Machine-readable benchmark snapshot: the speedup, serving-latency,
+# stream-ingestion and simulator micro-benchmarks in `go test -json`
+# form, concatenated into one dated file for regression diffing across
+# commits.
 BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 bench-json:
 	@set -e; : > $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 2x -json . >> $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench 'BenchmarkServePredict' -benchtime 50x -json ./internal/serve/ >> $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamIngest' -benchtime 20x -json ./internal/stream/ >> $(BENCH_JSON); \
+	$(GO) test -run '^$$' -bench . -benchtime 2s -json ./internal/sim/... ./internal/counters/ >> $(BENCH_JSON); \
 	echo "wrote $(BENCH_JSON)"
+
+# Informational benchmark regression check: re-run the snapshot suite into
+# a scratch file and diff it against the committed baseline with
+# cmd/benchdiff (a dependency-free benchstat stand-in). Never fails by
+# default — benchmark numbers on shared CI machines wobble by ±10-30% —
+# so treat the printed table as a signal, not a gate. Pass
+# BENCH_THRESHOLD=<percent> to make regressions beyond that fatal on a
+# quiet machine.
+BENCH_BASELINE  ?= BENCH_2026-08-06.json
+BENCH_THRESHOLD ?= 0
+bench-compare:
+	@set -e; tmp=$$(mktemp /tmp/bench-compare.XXXXXX.json); \
+	trap 'rm -f $$tmp' EXIT; \
+	$(MAKE) --no-print-directory bench-json BENCH_JSON=$$tmp; \
+	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $$tmp -threshold $(BENCH_THRESHOLD)
 
 # Brief runs of every fuzz target (NDJSON sample decoder, CSV dataset
 # parser) — long enough to catch parser regressions in CI, short enough

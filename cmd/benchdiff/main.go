@@ -1,0 +1,146 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// `make bench-json` (`go test -json` streams) and prints a per-benchmark
+// ns/op table with the relative change. It is a dependency-free stand-in
+// for benchstat, meant for the informational `make bench-compare` gate:
+// with -threshold 0 (the default) it never fails, so noisy CI machines
+// cannot turn a perf wobble into a red build; passing a positive
+// -threshold makes regressions beyond that percentage fatal for local,
+// quiet-machine use.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_2026-08-06.json -new /tmp/bench.json [-threshold 20]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the `go test -json` record benchdiff needs.
+type event struct {
+	Action  string
+	Package string
+	Output  string
+}
+
+// resultRe matches a benchmark result line. The -8 style GOMAXPROCS
+// suffix is stripped so snapshots from different machines compare.
+var resultRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// load returns benchmark name -> best (minimum) ns/op. Minimum, not mean:
+// the minimum of repeated runs is the least noise-contaminated estimate
+// of the code's cost.
+//
+// `go test -json` splits one text line across several Output events (the
+// padded benchmark name and its measurements arrive separately), so the
+// Output fragments are stitched back together per package and split on
+// real newlines before matching.
+func load(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	text := map[string]*strings.Builder{}
+	order := []string{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate plain-text lines
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b, ok := text[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			text[ev.Package] = b
+			order = append(order, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, pkg := range order {
+		for _, line := range strings.Split(text[pkg].String(), "\n") {
+			m := resultRe.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			key := pkg + " " + m[1]
+			if old, ok := out[key]; !ok || ns < old {
+				out[key] = ns
+			}
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	oldPath := flag.String("old", "", "baseline snapshot (go test -json)")
+	newPath := flag.String("new", "", "candidate snapshot (go test -json)")
+	threshold := flag.Float64("threshold", 0, "fail if any benchmark regresses by more than this percent (0 = never fail)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		log.Fatal("both -old and -new are required")
+	}
+
+	oldNs, err := load(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newNs, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	keys := make([]string, 0, len(oldNs))
+	for k := range oldNs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	worst := 0.0
+	for _, k := range keys {
+		o := oldNs[k]
+		n, ok := newNs[k]
+		if !ok {
+			fmt.Printf("%-64s %14.0f %14s %9s\n", k, o, "-", "gone")
+			continue
+		}
+		delta := (n - o) / o * 100
+		if delta > worst {
+			worst = delta
+		}
+		fmt.Printf("%-64s %14.0f %14.0f %+8.1f%%\n", k, o, n, delta)
+	}
+	for k, n := range newNs {
+		if _, ok := oldNs[k]; !ok {
+			fmt.Printf("%-64s %14s %14.0f %9s\n", k, "-", n, "new")
+		}
+	}
+
+	if *threshold > 0 && worst > *threshold {
+		log.Fatalf("worst regression %+.1f%% exceeds threshold %.1f%%", worst, *threshold)
+	}
+}

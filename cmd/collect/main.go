@@ -6,7 +6,7 @@
 //
 //	collect [-out data.csv] [-labels labels.csv] [-scale 1.0]
 //	        [-section 20000] [-seed 42] [-bench 429.mcf] [-summary]
-//	        [-jobs N]
+//	        [-jobs N] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/counters"
+	"repro/internal/profiling"
 	"repro/internal/workload"
 )
 
@@ -32,8 +33,21 @@ func main() {
 		bench   = flag.String("bench", "", "collect a single named benchmark (default: whole suite)")
 		summary = flag.Bool("summary", false, "print a per-column summary instead of CSV")
 		jobs    = flag.Int("jobs", 0, "benchmarks simulated concurrently (0 = all cores, 1 = serial; output is identical)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the collection to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	cfg := counters.DefaultCollectConfig()
 	cfg.SectionLen = *section

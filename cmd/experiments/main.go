@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -39,8 +40,21 @@ func main() {
 		folds   = flag.Int("cv", 10, "cross-validation folds")
 		seed    = flag.Int64("seed", 42, "random seed")
 		jobs    = flag.Int("jobs", 0, "worker count for experiments and all parallel stages (0 = all cores, 1 = serial; results are identical)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *list {
 		for _, e := range experiments.All() {

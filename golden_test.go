@@ -1,0 +1,72 @@
+// Golden-output regression test for the simulator hot path. The hash below
+// was recorded before the flat-cache / block-streaming / zero-alloc-Step
+// optimization campaign and pins the exact bits of every dataset value,
+// provenance label and cycle-breakdown entry the collection pipeline
+// produces. Any fast path that is not a provable no-op — a cache fast hit
+// that should have moved replacement state, an RNG that diverges from
+// math/rand by one draw, a prefetcher shortcut that skips a state change —
+// shows up here as a hash mismatch, at jobs=1 and jobs=8 alike.
+package repro_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/workload"
+)
+
+// goldenCollectHash is the SHA-256 of the canonical serialization (see
+// hashCollection) of CollectSuite(SuiteScaled(0.05), DefaultCollectConfig).
+// Recorded from the pre-optimization simulator; the optimized hot loops
+// must reproduce it bit for bit.
+const goldenCollectHash = "5357c68f18f11bb83ad02bf3b55e1f05e00430eee6669472a91d7fe8db78ac31"
+
+// hashCollection folds every row value (little-endian float bits), label
+// and breakdown value into one SHA-256.
+func hashCollection(col *counters.Collection) string {
+	h := sha256.New()
+	var b [8]byte
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	d := col.Data
+	for i := 0; i < d.Len(); i++ {
+		for _, v := range d.Row(i) {
+			putF(v)
+		}
+	}
+	for _, l := range col.Labels {
+		fmt.Fprintf(h, "%s/%d/%d\n", l.Benchmark, l.Phase, l.Section)
+	}
+	for _, bd := range col.Breakdowns {
+		for _, v := range bd {
+			putF(v)
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func TestGoldenCollectionHash(t *testing.T) {
+	suite := workload.SuiteScaled(0.05)
+	for _, jobs := range []int{1, 8} {
+		cfg := counters.DefaultCollectConfig()
+		cfg.Jobs = jobs
+		col, err := counters.CollectSuite(suite, cfg)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if got := hashCollection(col); got != goldenCollectHash {
+			t.Errorf("jobs=%d: collection hash %s, want %s — the simulator output changed; "+
+				"if the change is intentional, re-record the golden hash and document why",
+				jobs, got, goldenCollectHash)
+		}
+		if jobs == 1 && testing.Short() {
+			break // one full serial pass is enough under -short
+		}
+	}
+}

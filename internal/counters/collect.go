@@ -84,16 +84,26 @@ func CollectBenchmark(b workload.Benchmark, cfg CollectConfig) (*Collection, err
 	col := &Collection{Data: NewDataset()}
 	src := workload.NewSectionSource(b, cfg.Seed)
 	section := 0
+	// block is the reusable instruction buffer of the steady-state loop:
+	// the generator fills it in bulk and the core retires it in bulk, so
+	// the per-instruction path is two direct calls per block and allocates
+	// nothing. The generator emits the records in the same order a
+	// one-at-a-time pull would, so sections are byte-identical.
+	var block [trace.DefaultBlockLen]trace.Inst
 	for {
 		gen, phase := src.Next()
 		if gen == nil {
 			break
 		}
 		core.ResetSection()
-		var in trace.Inst
-		for i := uint64(0); i < cfg.SectionLen; i++ {
-			gen.Next(&in)
-			core.Step(&in)
+		for remaining := cfg.SectionLen; remaining > 0; {
+			n := uint64(len(block))
+			if remaining < n {
+				n = remaining
+			}
+			gen.NextBlock(block[:n])
+			core.StepBlock(block[:n])
+			remaining -= n
 		}
 		section++
 		if section <= cfg.WarmupSections {

@@ -1,0 +1,50 @@
+// Package profiling wires runtime/pprof into the command-line tools: a
+// -cpuprofile/-memprofile pair identical in spirit to `go test`'s flags, so
+// the hot simulator loops can be profiled on real workloads without
+// building a bench harness around them.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the function
+// that stops and flushes it. With an empty path it is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap captures an up-to-date allocation profile to path. With an
+// empty path it is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // flush recent frees so the numbers reflect live heap
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
+}

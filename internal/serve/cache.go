@@ -1,36 +1,40 @@
 package serve
 
 import (
-	"container/list"
 	"encoding/binary"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 )
 
-// PredictionCache is a bounded LRU cache from (model ref, feature vector)
-// to a predicted value. Tree prediction is already cheap — a handful of
-// comparisons plus a dot product — but under heavy traffic the same
-// sections recur (phases repeat, dashboards re-ask), and a hit skips the
-// smoothing walk entirely.
+// PredictionCache is a bounded cache from (model ref, feature vector) to a
+// predicted value with clock (second-chance) eviction. Tree prediction is
+// already cheap — a handful of comparisons plus a dot product — so the hit
+// path has to be cheaper still to be worth having: it takes a read lock,
+// one map probe and two atomic operations, with no per-hit list surgery or
+// allocation. Evictions approximate LRU: a clock hand sweeps the entry
+// ring and reclaims the first entry not referenced since its last pass.
 //
-// Keys are built by CacheKey from the bit patterns of the (optionally
+// Keys are built by AppendKey from the bit patterns of the (optionally
 // quantized) feature values, so with quantum 0 a hit is only possible for
 // a bit-identical input and caching can never change a response. A
 // positive quantum trades that guarantee for a higher hit rate by
 // snapping each value to the nearest multiple before keying.
 type PredictionCache struct {
-	mu           sync.Mutex
+	mu           sync.RWMutex
 	cap          int
-	ll           *list.List // front = most recent
-	items        map[string]*list.Element
-	hits, misses uint64
+	ring         []*cacheEntry // insertion ring the clock hand sweeps
+	hand         int
+	items        map[string]*cacheEntry
+	hits, misses atomic.Uint64
 }
 
 type cacheEntry struct {
-	key string
-	val float64
+	key  string
+	bits atomic.Uint64 // Float64bits of the cached prediction
+	ref  atomic.Bool   // referenced since the hand last passed
 }
 
 // NewPredictionCache creates a cache bounded to capacity entries.
@@ -42,29 +46,50 @@ func NewPredictionCache(capacity int) *PredictionCache {
 	}
 	return &PredictionCache{
 		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+		ring:  make([]*cacheEntry, 0, capacity),
+		items: make(map[string]*cacheEntry, capacity),
 	}
 }
 
-// Get looks up a key, marking it most recently used on a hit. A nil
-// cache always misses without counting.
+// Get looks up a key, marking it recently used on a hit. A nil cache
+// always misses without counting.
 func (c *PredictionCache) Get(key string) (float64, bool) {
 	if c == nil {
 		return 0, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		return el.Value.(*cacheEntry).val, true
+	c.mu.RLock()
+	e, ok := c.items[key]
+	c.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return 0, false
 	}
-	c.misses++
-	return 0, false
+	e.ref.Store(true)
+	c.hits.Add(1)
+	return math.Float64frombits(e.bits.Load()), true
 }
 
-// Put inserts or refreshes a key, evicting the least recently used entry
+// GetBytes is Get for a key still sitting in its scratch buffer (see
+// AppendKey). The string conversion happens inside the map index
+// expression, which the compiler performs without copying, so a lookup
+// allocates nothing.
+func (c *PredictionCache) GetBytes(key []byte) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.RLock()
+	e, ok := c.items[string(key)]
+	c.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return 0, false
+	}
+	e.ref.Store(true)
+	c.hits.Add(1)
+	return math.Float64frombits(e.bits.Load()), true
+}
+
+// Put inserts or refreshes a key, evicting an entry second-chance style
 // when full. A nil cache ignores the call.
 func (c *PredictionCache) Put(key string, val float64) {
 	if c == nil {
@@ -72,17 +97,55 @@ func (c *PredictionCache) Put(key string, val float64) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).val = val
+	if e, ok := c.items[key]; ok {
+		e.bits.Store(math.Float64bits(val))
+		e.ref.Store(true)
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, val: val})
-	c.items[key] = el
-	if c.ll.Len() > c.cap {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
+	c.insert(key, val)
+}
+
+// PutBytes is Put for a scratch-buffer key: the refresh path allocates
+// nothing, and only a genuine insert copies the key into an owned string.
+func (c *PredictionCache) PutBytes(key []byte, val float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[string(key)]; ok {
+		e.bits.Store(math.Float64bits(val))
+		e.ref.Store(true)
+		return
+	}
+	c.insert(string(key), val)
+}
+
+// insert adds a new entry (caller holds the write lock and has ruled out
+// a refresh), reclaiming a ring slot from the clock hand when full.
+func (c *PredictionCache) insert(key string, val float64) {
+	e := &cacheEntry{key: key}
+	e.bits.Store(math.Float64bits(val))
+	if len(c.ring) < c.cap {
+		c.ring = append(c.ring, e)
+		c.items[key] = e
+		return
+	}
+	// Second chance: skip (and strip the reference bit of) every entry
+	// used since the hand last came by; evict the first one that was not.
+	// Bounded: after one full sweep every bit is clear.
+	for {
+		v := c.ring[c.hand]
+		if v.ref.Load() {
+			v.ref.Store(false)
+			c.hand = (c.hand + 1) % c.cap
+			continue
+		}
+		delete(c.items, v.key)
+		c.ring[c.hand] = e
+		c.items[key] = e
+		c.hand = (c.hand + 1) % c.cap
+		return
 	}
 }
 
@@ -91,9 +154,10 @@ func (c *PredictionCache) Stats() (hits, misses uint64, size int) {
 	if c == nil {
 		return 0, 0, 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
+	c.mu.RLock()
+	size = len(c.items)
+	c.mu.RUnlock()
+	return c.hits.Load(), c.misses.Load(), size
 }
 
 // Cap returns the configured capacity.
@@ -113,18 +177,25 @@ func Quantize(v, quantum float64) float64 {
 	return math.Round(v/quantum) * quantum
 }
 
-// CacheKey builds the cache key for one instance under one model: the
-// model reference, a NUL separator, then the 8-byte bit pattern of each
-// (quantized) value. Bit patterns — not formatted decimals — keep the key
-// exact, compact, and collision-free at quantum 0.
-func CacheKey(modelRef string, row dataset.Instance, quantum float64) string {
-	buf := make([]byte, 0, len(modelRef)+1+8*len(row))
-	buf = append(buf, modelRef...)
-	buf = append(buf, 0)
+// AppendKey appends the cache key for one instance under one model to dst
+// and returns the extended slice: the model reference, a NUL separator,
+// then the 8-byte bit pattern of each (quantized) value. Bit patterns —
+// not formatted decimals — keep the key exact, compact, and collision-free
+// at quantum 0. Callers on the hot path hand in a stack scratch buffer and
+// pass the result straight to GetBytes/PutBytes, so keying a request
+// allocates nothing.
+func AppendKey(dst []byte, modelRef string, row dataset.Instance, quantum float64) []byte {
+	dst = append(dst, modelRef...)
+	dst = append(dst, 0)
 	var scratch [8]byte
 	for _, v := range row {
 		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(Quantize(v, quantum)))
-		buf = append(buf, scratch[:]...)
+		dst = append(dst, scratch[:]...)
 	}
-	return string(buf)
+	return dst
+}
+
+// CacheKey is AppendKey as an owned string, for callers that store keys.
+func CacheKey(modelRef string, row dataset.Instance, quantum float64) string {
+	return string(AppendKey(make([]byte, 0, len(modelRef)+1+8*len(row)), modelRef, row, quantum))
 }

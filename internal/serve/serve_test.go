@@ -495,7 +495,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
-func TestCacheLRUEviction(t *testing.T) {
+func TestCacheEviction(t *testing.T) {
 	c := NewPredictionCache(2)
 	c.Put("a", 1)
 	c.Put("b", 2)

@@ -339,21 +339,27 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// Ordered fan-out: parallel.Map returns results in input order, so
 	// the response is byte-identical at any worker count. The cache is
 	// consulted per row; with the default exact-bits keying a hit returns
-	// the same float the model would produce.
-	resp.Predictions, _ = parallel.Map(parallel.Config{Jobs: s.cfg.Jobs}, rows,
+	// the same float the model would produce. Keys are assembled in a
+	// per-row stack buffer (AppendKey) so a cache hit costs zero
+	// allocations; only inserting a fresh entry copies the key.
+	// Request-sized batches are usually far below the point where fan-out
+	// pays for itself; ForItems keeps them on the serial path.
+	ref := e.Ref()
+	resp.Predictions, _ = parallel.Map(parallel.Config{Jobs: s.cfg.Jobs}.ForItems(len(rows)), rows,
 		func(i int, row dataset.Instance) (float64, error) {
 			if req.Contributions {
 				resp.Contributions[i] = e.Model.Contributions(row)
 			}
-			key := ""
+			var kb [256]byte
+			var key []byte
 			if s.cache != nil {
-				key = CacheKey(e.Ref(), row, s.cfg.CacheQuantum)
-				if v, ok := s.cache.Get(key); ok {
+				key = AppendKey(kb[:0], ref, row, s.cfg.CacheQuantum)
+				if v, ok := s.cache.GetBytes(key); ok {
 					return v, nil
 				}
 			}
 			v := e.Model.Predict(row)
-			s.cache.Put(key, v)
+			s.cache.PutBytes(key, v)
 			return v, nil
 		})
 	writeJSON(w, http.StatusOK, resp)
@@ -423,7 +429,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := classifyResponse{Model: e.Ref(), N: len(rows)}
-	resp.Classes, _ = parallel.Map(parallel.Config{Jobs: s.cfg.Jobs}, rows,
+	resp.Classes, _ = parallel.Map(parallel.Config{Jobs: s.cfg.Jobs}.ForItems(len(rows)), rows,
 		func(i int, row dataset.Instance) (classification, error) {
 			leaf, path := cl.Classify(row)
 			c := classification{

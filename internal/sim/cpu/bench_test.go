@@ -1,0 +1,29 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/sim/branch"
+	"repro/internal/sim/mem"
+	"repro/internal/sim/trace"
+	"repro/internal/workload"
+)
+
+// BenchmarkStep retires realistic synthesized instruction blocks through a
+// full core model. This is the simulator's innermost loop: the per-block
+// path must not allocate (the harness reports allocs/op; steady state is
+// zero).
+func BenchmarkStep(b *testing.B) {
+	core := New(DefaultConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	bench := workload.Suite()[0]
+	gen, _ := workload.NewSectionSource(bench, 42).Next()
+	var block [trace.DefaultBlockLen]trace.Inst
+	gen.NextBlock(block[:])
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.StepBlock(block[:])
+	}
+	b.ReportMetric(float64(trace.DefaultBlockLen), "insts/op")
+}

@@ -39,16 +39,178 @@ func (c CacheConfig) Validate() error {
 	return nil
 }
 
+// lruSets is the flat storage shared by Cache and TLB: all tags live in
+// one contiguous array with a fixed per-set stride of ways entries, plus a
+// per-set occupancy count. Set s owns tags[s*ways : s*ways+occ[s]], kept in
+// MRU..LRU order by an inline move-to-front. Compared to a slice of
+// per-set slices this removes one pointer indirection per lookup, keeps
+// neighbouring sets on the same cache lines of the *host* machine, and
+// never allocates after construction (fills bump occ instead of append).
+type lruSets struct {
+	tags []uint64 // nsets*ways tags, set-major
+	occ  []int32  // resident ways per set
+	ways int
+	mask uint64 // nsets-1
+}
+
+func newLRUSets(nsets, ways int) lruSets {
+	return lruSets{
+		tags: make([]uint64, nsets*ways),
+		occ:  make([]int32, nsets),
+		ways: ways,
+		mask: uint64(nsets - 1),
+	}
+}
+
+// access looks key up in its set, moves it to front on a hit, installs it
+// as MRU (evicting the LRU tag if the set is full) on a miss, and reports
+// whether it hit. It is split into tryHit and install so both halves stay
+// within the inlining budget: the per-access call from the cache and TLB
+// slow paths then costs no extra call frame.
+func (a *lruSets) access(key uint64) bool {
+	if a.tryHit(key) {
+		return true
+	}
+	a.install(key)
+	return false
+}
+
+// tryHit scans key's set and moves it to front on a hit. The
+// move-to-front is a hand-rolled shift: with 4-16 resident ways the
+// element loop beats a memmove call. Warmed-up full sets (the steady
+// state of every demand-access benchmark) take a specialized scan over a
+// fixed-size array pointer, which lets the compiler drop all per-element
+// bounds checks and unroll.
+func (a *lruSets) tryHit(key uint64) bool {
+	s := key & a.mask
+	n := int(a.occ[s])
+	base := int(s) * a.ways
+	if n == 8 && a.ways == 8 {
+		return tryHitFull((*[8]uint64)(a.tags[base:base+8]), key)
+	}
+	if n == 16 && a.ways == 16 {
+		return tryHitFull16((*[16]uint64)(a.tags[base:base+16]), key)
+	}
+	tags := a.tags[base : base+a.ways]
+	if n > len(tags) {
+		// Never taken (occupancy is bounded by ways); stating it lets the
+		// compiler drop the per-element bounds checks below.
+		n = len(tags)
+	}
+	if n > 0 && tags[0] == key {
+		// Already MRU: hit with no movement. Prefetch re-fills of a line
+		// that is still the newest in its set land here constantly.
+		return true
+	}
+	for i := 1; i < n; i++ {
+		if tags[i] == key {
+			for ; i > 0; i-- {
+				tags[i] = tags[i-1]
+			}
+			tags[0] = key
+			return true
+		}
+	}
+	return false
+}
+
+func tryHitFull(tags *[8]uint64, key uint64) bool {
+	if tags[0] == key {
+		return true
+	}
+	for i := 1; i < 8; i++ {
+		if tags[i] == key {
+			for ; i > 0; i-- {
+				tags[i] = tags[i-1]
+			}
+			tags[0] = key
+			return true
+		}
+	}
+	return false
+}
+
+func tryHitFull16(tags *[16]uint64, key uint64) bool {
+	if tags[0] == key {
+		return true
+	}
+	for i := 1; i < 16; i++ {
+		if tags[i] == key {
+			for ; i > 0; i-- {
+				tags[i] = tags[i-1]
+			}
+			tags[0] = key
+			return true
+		}
+	}
+	return false
+}
+
+// install makes key the MRU tag of its set, evicting the LRU tag if the
+// set is full. It must only be called when key is absent from the set.
+func (a *lruSets) install(key uint64) {
+	s := key & a.mask
+	n := int(a.occ[s])
+	base := int(s) * a.ways
+	tags := a.tags[base : base+a.ways]
+	if n < a.ways {
+		a.occ[s] = int32(n + 1)
+	} else {
+		n--
+	}
+	if n > len(tags) {
+		n = len(tags)
+	}
+	for i := n; i > 0; i-- {
+		tags[i] = tags[i-1]
+	}
+	tags[0] = key
+}
+
+// probe reports presence without touching replacement order.
+func (a *lruSets) probe(key uint64) bool {
+	s := key & a.mask
+	base := int(s) * a.ways
+	tags := a.tags[base : base+int(a.occ[s])]
+	for _, tag := range tags {
+		if tag == key {
+			return true
+		}
+	}
+	return false
+}
+
+// reset empties every set.
+func (a *lruSets) reset() {
+	for i := range a.occ {
+		a.occ[i] = 0
+	}
+}
+
+// noLine is the "no cached fast-path line" sentinel for the repeated-
+// access fast paths below. It is unreachable as a real line or page
+// number for any geometry with lines/pages of at least two bytes (every
+// geometry modeled here); using a sentinel instead of a validity flag
+// keeps the fast-path wrappers under the compiler's inlining budget.
+const noLine = ^uint64(0)
+
 // Cache is a set-associative cache with true-LRU replacement.
 //
-// Implementation: each set is a small slice of tags ordered most- to
-// least-recently used; with the 8-16 way associativities modeled here a
-// move-to-front scan beats fancier structures.
+// Implementation: tags are stored flat (see lruSets) with each set a small
+// contiguous run ordered most- to least-recently used; with the 8-16 way
+// associativities modeled here a move-to-front scan beats fancier
+// structures.
 type Cache struct {
 	cfg       CacheConfig
-	sets      [][]uint64 // sets[s] = tags in MRU..LRU order
-	setMask   uint64
+	sets      lruSets
 	lineShift uint
+	// lastLine (noLine when invalid) is the line of the most recent
+	// Access. It is by construction at the MRU position of its set, so
+	// repeating the access is a guaranteed hit that changes no replacement
+	// state and can skip the set scan entirely. Sequential fetch streams
+	// hit this path ~15 times per 16 instructions. A Fill of a different
+	// line into the same set displaces it and must invalidate.
+	lastLine uint64
 	// Stats
 	Accesses uint64
 	Misses   uint64
@@ -61,43 +223,42 @@ func NewCache(cfg CacheConfig) *Cache {
 		panic(err)
 	}
 	nsets := cfg.SizeB / (int64(cfg.Ways) * cfg.LineB)
-	c := &Cache{
+	return &Cache{
 		cfg:       cfg,
-		sets:      make([][]uint64, nsets),
-		setMask:   uint64(nsets - 1),
+		sets:      newLRUSets(int(nsets), cfg.Ways),
 		lineShift: uint(bits.TrailingZeros64(uint64(cfg.LineB))),
+		lastLine:  noLine,
 	}
-	return c
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return len(c.sets.occ) }
 
 // Access looks up the line containing addr, fills it on a miss, and
 // reports whether the access hit.
 func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	line := addr >> c.lineShift
-	s := line & c.setMask
-	set := c.sets[s]
-	for i, tag := range set {
-		if tag == line {
-			// Move to front (MRU).
-			copy(set[1:i+1], set[:i])
-			set[0] = line
-			return true
-		}
+	if line == c.lastLine {
+		return true
 	}
+	return c.accessSlow(line)
+}
+
+// accessSlow is kept out of line so the Access wrapper stays within the
+// inlining budget; the set scan dominates this path anyway.
+//
+//go:noinline
+func (c *Cache) accessSlow(line uint64) bool {
+	c.lastLine = line
+	if c.sets.tryHit(line) {
+		return true
+	}
+	c.sets.install(line)
 	c.Misses++
-	if len(set) < c.cfg.Ways {
-		set = append(set, 0)
-	}
-	copy(set[1:], set)
-	set[0] = line
-	c.sets[s] = set
 	return false
 }
 
@@ -106,40 +267,23 @@ func (c *Cache) Access(addr uint64) bool {
 // the PMU's demand-miss events do not count.
 func (c *Cache) Fill(addr uint64) {
 	line := addr >> c.lineShift
-	s := line & c.setMask
-	set := c.sets[s]
-	for i, tag := range set {
-		if tag == line {
-			copy(set[1:i+1], set[:i])
-			set[0] = line
-			return
-		}
+	c.sets.access(line)
+	if line != c.lastLine && line&c.sets.mask == c.lastLine&c.sets.mask {
+		// The fill took over the MRU slot of lastLine's set.
+		c.lastLine = noLine
 	}
-	if len(set) < c.cfg.Ways {
-		set = append(set, 0)
-	}
-	copy(set[1:], set)
-	set[0] = line
-	c.sets[s] = set
 }
 
 // Probe reports whether the line containing addr is present without
 // updating replacement state or statistics.
 func (c *Cache) Probe(addr uint64) bool {
-	line := addr >> c.lineShift
-	for _, tag := range c.sets[line&c.setMask] {
-		if tag == line {
-			return true
-		}
-	}
-	return false
+	return c.sets.probe(addr >> c.lineShift)
 }
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		c.sets[i] = c.sets[i][:0]
-	}
+	c.sets.reset()
+	c.lastLine = noLine
 	c.Accesses, c.Misses = 0, 0
 }
 
@@ -185,10 +329,22 @@ func (c TLBConfig) Validate() error {
 }
 
 // TLB is a set-associative LRU translation buffer over page numbers. It
-// reuses the cache machinery with page-granular tags.
+// owns its flattened set storage directly (the same lruSets layout the
+// caches use) rather than delegating through an inner *Cache, so a
+// translation costs one shift and one flat-array scan with no second
+// pointer hop.
 type TLB struct {
-	inner     *Cache
+	cfg       TLBConfig
+	sets      lruSets
 	pageShift uint
+	// lastPage (noLine when invalid) is the same repeated-access fast
+	// path the caches use: after any Access the translated page sits at
+	// MRU of its set, so a back-to-back translation of the same page is a
+	// hit with no state change. Nothing but Access mutates TLB sets, so
+	// only Reset invalidates it.
+	lastPage uint64
+	accesses uint64
+	misses   uint64
 }
 
 // NewTLB builds a TLB; it panics on an invalid configuration.
@@ -196,31 +352,50 @@ func NewTLB(cfg TLBConfig) *TLB {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	// Model the TLB as a cache whose "line" is one page-number unit: use
-	// entry-count geometry with line size 1 over page numbers.
-	inner := NewCache(CacheConfig{
-		Name:  cfg.Name,
-		SizeB: int64(cfg.Entries),
-		Ways:  cfg.Ways,
-		LineB: 1,
-	})
-	return &TLB{inner: inner, pageShift: uint(bits.TrailingZeros64(uint64(cfg.PageB)))}
+	return &TLB{
+		cfg:       cfg,
+		sets:      newLRUSets(cfg.Entries/cfg.Ways, cfg.Ways),
+		pageShift: uint(bits.TrailingZeros64(uint64(cfg.PageB))),
+		lastPage:  noLine,
+	}
 }
 
 // Access translates addr, filling on a miss, and reports whether it hit.
-func (t *TLB) Access(addr uint64) bool { return t.inner.Access(addr >> t.pageShift) }
+func (t *TLB) Access(addr uint64) bool {
+	t.accesses++
+	page := addr >> t.pageShift
+	if page == t.lastPage {
+		return true
+	}
+	return t.accessSlow(page)
+}
+
+//go:noinline
+func (t *TLB) accessSlow(page uint64) bool {
+	t.lastPage = page
+	if t.sets.tryHit(page) {
+		return true
+	}
+	t.sets.install(page)
+	t.misses++
+	return false
+}
 
 // Probe reports presence without side effects.
-func (t *TLB) Probe(addr uint64) bool { return t.inner.Probe(addr >> t.pageShift) }
+func (t *TLB) Probe(addr uint64) bool { return t.sets.probe(addr >> t.pageShift) }
 
 // Reset clears contents and statistics.
-func (t *TLB) Reset() { t.inner.Reset() }
+func (t *TLB) Reset() {
+	t.sets.reset()
+	t.lastPage = noLine
+	t.accesses, t.misses = 0, 0
+}
 
 // ResetStats clears statistics only.
-func (t *TLB) ResetStats() { t.inner.ResetStats() }
+func (t *TLB) ResetStats() { t.accesses, t.misses = 0, 0 }
 
 // Accesses returns the access count.
-func (t *TLB) Accesses() uint64 { return t.inner.Accesses }
+func (t *TLB) Accesses() uint64 { return t.accesses }
 
 // Misses returns the miss count.
-func (t *TLB) Misses() uint64 { return t.inner.Misses }
+func (t *TLB) Misses() uint64 { return t.misses }

@@ -1,0 +1,283 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential tests: the flat-array structures with their repeated-access
+// fast paths are checked against straightforward reference implementations
+// (one slice per set, explicit validity flags — the shape the code had
+// before the flattening) on randomized operation sequences. Any fast path
+// that fails to be a behavioral no-op diverges from the reference within a
+// few thousand operations.
+//
+// Test addresses stay below 2^46 (lines below 2^40), comfortably inside
+// the domain argument for the noLine/trackerIdle sentinels.
+
+// refCache is the reference set-associative LRU cache: a slice per set in
+// MRU..LRU order, rebuilt with append on every access.
+type refCache struct {
+	sets      [][]uint64
+	ways      int
+	mask      uint64
+	lineShift uint
+	accesses  uint64
+	misses    uint64
+}
+
+func newRefCache(cfg CacheConfig) *refCache {
+	nsets := cfg.SizeB / (int64(cfg.Ways) * cfg.LineB)
+	r := &refCache{
+		sets: make([][]uint64, nsets),
+		ways: cfg.Ways,
+		mask: uint64(nsets - 1),
+	}
+	for s := int64(1); s < cfg.LineB; s <<= 1 {
+		r.lineShift++
+	}
+	return r
+}
+
+func (r *refCache) lookup(key uint64) (int, []uint64) {
+	set := r.sets[key&r.mask]
+	for i, tag := range set {
+		if tag == key {
+			return i, set
+		}
+	}
+	return -1, set
+}
+
+func (r *refCache) access(addr uint64) bool {
+	r.accesses++
+	key := addr >> r.lineShift
+	i, set := r.lookup(key)
+	if i >= 0 {
+		copy(set[1:i+1], set[:i])
+		set[0] = key
+		return true
+	}
+	r.misses++
+	r.insert(key)
+	return false
+}
+
+func (r *refCache) fill(addr uint64) {
+	key := addr >> r.lineShift
+	i, set := r.lookup(key)
+	if i >= 0 {
+		copy(set[1:i+1], set[:i])
+		set[0] = key
+		return
+	}
+	r.insert(key)
+}
+
+func (r *refCache) insert(key uint64) {
+	s := key & r.mask
+	set := r.sets[s]
+	if len(set) == r.ways {
+		set = set[:len(set)-1]
+	}
+	r.sets[s] = append([]uint64{key}, set...)
+}
+
+func (r *refCache) probe(addr uint64) bool {
+	i, _ := r.lookup(addr >> r.lineShift)
+	return i >= 0
+}
+
+func (r *refCache) reset() {
+	for i := range r.sets {
+		r.sets[i] = nil
+	}
+	r.accesses, r.misses = 0, 0
+}
+
+// addrStream generates a cache-hostile mixture: line repeats (fast path),
+// sequential walks, rotations wider than the associativity within one set,
+// and uniform noise up to 2^46.
+func addrStream(rng *rand.Rand) func() uint64 {
+	cur := uint64(0)
+	return func() uint64 {
+		switch rng.Intn(10) {
+		case 0, 1, 2: // repeat the current line (fast-path food)
+			return cur + uint64(rng.Intn(64))
+		case 3, 4, 5: // sequential walk
+			cur += 64
+			return cur
+		case 6, 7: // rotate within one set, wider than 8 ways
+			cur = uint64(rng.Intn(10)) << 18
+			return cur
+		case 8: // page-crossing jump
+			cur += 4096 * uint64(1+rng.Intn(8))
+			return cur
+		default: // uniform noise
+			cur = uint64(rng.Int63n(1 << 46))
+			return cur
+		}
+	}
+}
+
+func TestCacheDifferential(t *testing.T) {
+	geoms := []CacheConfig{
+		{Name: "L1D", SizeB: 32 << 10, Ways: 8, LineB: 64},
+		{Name: "L2small", SizeB: 64 << 10, Ways: 16, LineB: 64},
+		{Name: "direct", SizeB: 4 << 10, Ways: 1, LineB: 64},
+		{Name: "tiny", SizeB: 512, Ways: 4, LineB: 32},
+	}
+	for _, cfg := range geoms {
+		t.Run(cfg.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(cfg.Name)) * 7919))
+			c := NewCache(cfg)
+			ref := newRefCache(cfg)
+			next := addrStream(rng)
+			for op := 0; op < 50000; op++ {
+				addr := next()
+				switch rng.Intn(20) {
+				case 0:
+					c.Fill(addr)
+					ref.fill(addr)
+				case 1:
+					if got, want := c.Probe(addr), ref.probe(addr); got != want {
+						t.Fatalf("op %d: Probe(%#x) = %v, ref %v", op, addr, got, want)
+					}
+				case 2:
+					if rng.Intn(64) == 0 { // rare: full reset
+						c.Reset()
+						ref.reset()
+					}
+				default:
+					if got, want := c.Access(addr), ref.access(addr); got != want {
+						t.Fatalf("op %d: Access(%#x) = %v, ref %v", op, addr, got, want)
+					}
+				}
+				if c.Accesses != ref.accesses || c.Misses != ref.misses {
+					t.Fatalf("op %d: stats (%d,%d), ref (%d,%d)",
+						op, c.Accesses, c.Misses, ref.accesses, ref.misses)
+				}
+			}
+		})
+	}
+}
+
+func TestTLBDifferential(t *testing.T) {
+	cfgs := []TLBConfig{
+		{Name: "DTLB", Entries: 256, Ways: 4, PageB: 4 << 10},
+		{Name: "DTLB0", Entries: 16, Ways: 4, PageB: 4 << 10},
+	}
+	for _, cfg := range cfgs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(cfg.Entries)))
+			tlb := NewTLB(cfg)
+			ref := newRefCache(CacheConfig{
+				Name:  cfg.Name,
+				SizeB: int64(cfg.Entries) * cfg.PageB,
+				Ways:  cfg.Ways,
+				LineB: cfg.PageB,
+			})
+			next := addrStream(rng)
+			for op := 0; op < 50000; op++ {
+				addr := next()
+				if got, want := tlb.Access(addr), ref.access(addr); got != want {
+					t.Fatalf("op %d: Access(%#x) = %v, ref %v", op, addr, got, want)
+				}
+				if tlb.Accesses() != ref.accesses || tlb.Misses() != ref.misses {
+					t.Fatalf("op %d: stats (%d,%d), ref (%d,%d)",
+						op, tlb.Accesses(), tlb.Misses(), ref.accesses, ref.misses)
+				}
+			}
+		})
+	}
+}
+
+// refPrefetcher is the reference stream detector: explicit validity flags,
+// no sentinel lines, no no-op memo, no advance hint.
+type refPrefetcher struct {
+	degree int
+	lines  [16]uint64
+	scores [16]uint8
+	valid  [16]bool
+	next   int
+	issued uint64
+}
+
+func (p *refPrefetcher) observe(line uint64) []uint64 {
+	for i := range p.lines {
+		if !p.valid[i] {
+			continue
+		}
+		d := line - p.lines[i]
+		if d > 2 {
+			continue
+		}
+		if d == 0 {
+			return nil
+		}
+		p.lines[i] = line
+		if p.scores[i] < 4 {
+			p.scores[i]++
+		}
+		if p.scores[i] >= 2 {
+			const linesPerPage = 64
+			var out []uint64
+			for d := 1; d <= p.degree; d++ {
+				next := line + uint64(d)
+				if next/linesPerPage != line/linesPerPage {
+					break
+				}
+				out = append(out, next)
+			}
+			p.issued += uint64(len(out))
+			return out
+		}
+		return nil
+	}
+	p.lines[p.next] = line
+	p.scores[p.next] = 0
+	p.valid[p.next] = true
+	p.next = (p.next + 1) % len(p.lines)
+	return nil
+}
+
+func TestPrefetcherDifferential(t *testing.T) {
+	for _, degree := range []int{1, 2, 4} {
+		rng := rand.New(rand.NewSource(int64(degree) * 104729))
+		p := NewPrefetcher(degree)
+		ref := &refPrefetcher{degree: degree}
+		line := uint64(0)
+		for op := 0; op < 200000; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // advance a stream (the hint path's food)
+				line++
+			case 5, 6: // repeat (the no-op path's food)
+			case 7: // skip one line (distance-2 match)
+				line += 2
+			case 8: // new stream start
+				line = uint64(rng.Int63n(1 << 40))
+			default: // far jump, likely a claim
+				line = uint64(rng.Int63n(1 << 30))
+			}
+			got := p.Observe(line)
+			want := ref.observe(line)
+			if len(got) != len(want) {
+				t.Fatalf("degree %d op %d: Observe(%#x) len %d, ref %d",
+					degree, op, line, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("degree %d op %d: Observe(%#x)[%d] = %#x, ref %#x",
+						degree, op, line, i, got[i], want[i])
+				}
+			}
+			if p.Issued != ref.issued {
+				t.Fatalf("degree %d op %d: Issued %d, ref %d", degree, op, p.Issued, ref.issued)
+			}
+			if op%50021 == 0 {
+				p.Reset()
+				*ref = refPrefetcher{degree: degree}
+			}
+		}
+	}
+}

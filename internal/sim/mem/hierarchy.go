@@ -1,5 +1,7 @@
 package mem
 
+import "math/bits"
+
 // Core2Geometry returns the cache/TLB geometry of the paper's test machine,
 // a 2.4 GHz Core 2 Duo: per-core 32 KB L1I and 32 KB L1D (8-way, 64 B
 // lines), a shared 4 MB 16-way L2, a 16-entry L0 load DTLB in front of a
@@ -78,20 +80,37 @@ type Hierarchy struct {
 	// starve the front end) from data-driven ones.
 	L2DataMisses uint64
 	L2InstMisses uint64
+	// dataLineShift and instLineShift are log2 of the L2 and L1I line
+	// sizes, hoisted at construction so the per-access prefetcher
+	// line-number conversions are shifts instead of divisions.
+	dataLineShift uint
+	instLineShift uint
+	// fetchLine (noLine when invalid) is the instruction line whose
+	// repeat fetch is a proven whole-path no-op: the ITLB and L1I are in
+	// their same-page/same-line fast states and the prefetcher is in its
+	// noop state, so refetching the line touches nothing but the access
+	// counters. Sequential code fetches the same 64 B line ~16 times in a
+	// row, so this collapses most fetches to two increments. It is
+	// recomputed from component state at the end of every full Fetch;
+	// nothing else mutates I-side structures, so it cannot go stale.
+	fetchLine uint64
 }
 
 // NewHierarchy constructs the hierarchy for a geometry, with stream
 // prefetchers enabled on both sides.
 func NewHierarchy(g Core2Geometry) *Hierarchy {
 	return &Hierarchy{
-		L1I:    NewCache(g.L1I),
-		L1D:    NewCache(g.L1D),
-		L2:     NewCache(g.L2),
-		DTLB0:  NewTLB(g.DTLB0),
-		DTLB:   NewTLB(g.DTLB),
-		ITLB:   NewTLB(g.ITLB),
-		DataPF: NewPrefetcher(2),
-		InstPF: NewPrefetcher(2),
+		L1I:           NewCache(g.L1I),
+		L1D:           NewCache(g.L1D),
+		L2:            NewCache(g.L2),
+		DTLB0:         NewTLB(g.DTLB0),
+		DTLB:          NewTLB(g.DTLB),
+		ITLB:          NewTLB(g.ITLB),
+		DataPF:        NewPrefetcher(2),
+		InstPF:        NewPrefetcher(2),
+		dataLineShift: uint(bits.TrailingZeros64(uint64(g.L2.LineB))),
+		instLineShift: uint(bits.TrailingZeros64(uint64(g.L1I.LineB))),
+		fetchLine:     noLine,
 	}
 }
 
@@ -119,18 +138,46 @@ func (h *Hierarchy) Data(addr uint64, isLoad bool) DataResult {
 		}
 	}
 	if h.DataPF != nil {
-		line := uint64(h.L2.LineB())
-		for _, pl := range h.DataPF.Observe(addr / line) {
+		sh := h.dataLineShift
+		for _, pl := range h.DataPF.Observe(addr >> sh) {
 			// The DPL prefetches into the L2 only; L1D still takes the
 			// demand miss, so L1DM stays an honest event for streams.
-			h.L2.Fill(pl * line)
+			h.L2.Fill(pl << sh)
 		}
 	}
 	return r
 }
 
+// FetchFast attempts the repeat-line fetch fast path: when pc falls on
+// the same instruction line as the previous (fully simulated) fetch and
+// every I-side structure is in its proven no-op state, the fetch is an
+// all-hit that only moves the access counters. It reports whether it
+// handled the fetch (the result is then the zero FetchResult). It is
+// small enough to inline into a per-instruction simulation loop,
+// bypassing the call to Fetch entirely for sequential code.
+func (h *Hierarchy) FetchFast(pc uint64) bool {
+	if pc>>h.instLineShift == h.fetchLine {
+		h.ITLB.accesses++
+		h.L1I.Accesses++
+		return true
+	}
+	return false
+}
+
 // Fetch performs an instruction fetch at pc.
 func (h *Hierarchy) Fetch(pc uint64) FetchResult {
+	line := pc >> h.instLineShift
+	if line == h.fetchLine {
+		// Proven repeat: ITLB hit (same page, already MRU), L1I hit (same
+		// line, already MRU), prefetcher no-op. Only the counters move.
+		h.ITLB.accesses++
+		h.L1I.Accesses++
+		return FetchResult{}
+	}
+	return h.fetchSlow(pc, line)
+}
+
+func (h *Hierarchy) fetchSlow(pc, line uint64) FetchResult {
 	var r FetchResult
 	if !h.ITLB.Access(pc) {
 		r.ItlbMiss = true
@@ -143,13 +190,24 @@ func (h *Hierarchy) Fetch(pc uint64) FetchResult {
 		}
 	}
 	if h.InstPF != nil {
-		line := uint64(h.L1I.LineB())
-		for _, pl := range h.InstPF.Observe(pc / line) {
+		sh := h.instLineShift
+		for _, pl := range h.InstPF.Observe(line) {
 			// The instruction prefetcher fills both levels: sequential
 			// code runs ahead of the fetcher.
-			h.L1I.Fill(pl * line)
-			h.L2.Fill(pl * line)
+			h.L1I.Fill(pl << sh)
+			h.L2.Fill(pl << sh)
 		}
+	}
+	// Re-derive the repeat-fetch fast path from the components' own fast
+	// states (checked after the prefetch fills, which can displace the
+	// L1I MRU slot). On a repeat, each component would take its internal
+	// fast path and return a hit without changing state.
+	if h.L1I.lastLine == line &&
+		h.ITLB.lastPage == pc>>h.ITLB.pageShift &&
+		(h.InstPF == nil || (h.InstPF.noopOK && h.InstPF.noopLine == line)) {
+		h.fetchLine = line
+	} else {
+		h.fetchLine = noLine
 	}
 	return r
 }
@@ -168,6 +226,7 @@ func (h *Hierarchy) Reset() {
 	if h.InstPF != nil {
 		h.InstPF.Reset()
 	}
+	h.fetchLine = noLine
 	h.L2DataMisses, h.L2InstMisses = 0, 0
 }
 

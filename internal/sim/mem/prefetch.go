@@ -8,80 +8,173 @@ package mem
 // show modest MEM_LOAD_RETIRED.L2_LINE_MISS counts even though they touch
 // far more memory than pointer chasers like 429.mcf. Random and dependent
 // access patterns defeat the detector and pay full demand misses.
+//
+// The detector runs on every demand access, so its tracker state is kept
+// in dense parallel arrays: the scan loop touches two cache lines of line
+// numbers instead of sixteen padded structs, and the per-tracker match
+// test is a single unsigned subtract.
 type Prefetcher struct {
 	// Degree is how many lines ahead to prefetch once a stream locks.
 	Degree int
-	// trackers hold the most recent line per detected stream candidate.
-	trackers [16]streamTracker
-	next     int
+	// lines[i] is the most recent line of tracker i (trackerIdle when the
+	// slot has never been claimed); scores carries its training state.
+	// Parallel arrays keep the hot scan dense, and the idle sentinel keeps
+	// the scan free of a separate validity check: an idle slot can never
+	// be within matching distance of a real line number.
+	lines  [16]uint64
+	scores [16]uint8
+	next   int
 	// Issued counts prefetch requests, for diagnostics.
 	Issued uint64
+	// buf is the reused Observe return buffer; the result is only valid
+	// until the next Observe call, which is how the hierarchy consumes it.
+	// Reuse keeps the per-instruction simulator loop allocation-free.
+	buf []uint64
+	// noopLine caches the last line whose Observe took the re-access path
+	// (first matching tracker at distance 0): that path changes no state,
+	// so an immediately repeated observation of the same line must take it
+	// again and can return without scanning. Sequential code re-observes
+	// the same instruction line ~16 times in a row, making this the common
+	// case on the fetch side. Any state-changing path invalidates it.
+	noopLine uint64
+	noopOK   bool
+	// The advance hint skips the tracker scan for a locked stream. After
+	// a full scan advances tracker hintIdx to some line L, the scan has
+	// proven that no earlier tracker sits in [L-2, L+hintHorizon-1]; for
+	// the next hintLeft observations of exactly L+1, L+2, ... the first
+	// matching tracker is therefore still hintIdx (at distance 1), and
+	// the advance can run directly. Claims and scan-path advances move
+	// tracker state, so they invalidate the hint; distance-0 no-ops
+	// change nothing and keep it.
+	hintNext uint64
+	hintIdx  int
+	hintLeft int
+	hintOK   bool
 }
 
-type streamTracker struct {
-	lastLine uint64
-	score    uint8
-	valid    bool
-}
+// hintHorizon is how far ahead of an advancing stream the scan clears the
+// earlier trackers, bounding consecutive hinted advances.
+const hintHorizon = 16
+
+// trackerIdle marks a never-claimed tracker slot. Any observed line sits
+// more than the match distance (2) away from it: line numbers are
+// addresses shifted right by the line size, so they live far below 2^63.
+const trackerIdle uint64 = 1 << 63
 
 // NewPrefetcher returns a stream prefetcher with the given degree.
 func NewPrefetcher(degree int) *Prefetcher {
 	if degree < 1 {
 		degree = 1
 	}
-	return &Prefetcher{Degree: degree}
+	p := &Prefetcher{Degree: degree, buf: make([]uint64, 0, degree)}
+	for i := range p.lines {
+		p.lines[i] = trackerIdle
+	}
+	return p
 }
 
 // Observe feeds one demand access (by line number) to the detector and
 // returns the line numbers to prefetch (possibly none). A stream must
 // advance twice before prefetching begins, like the hardware's
-// train-then-issue behaviour.
+// train-then-issue behaviour. The returned slice aliases an internal
+// buffer and is only valid until the next Observe call.
 func (p *Prefetcher) Observe(line uint64) []uint64 {
-	for i := range p.trackers {
-		t := &p.trackers[i]
-		if !t.valid {
+	if p.noopOK && line == p.noopLine {
+		return nil
+	}
+	return p.observeSlow(line)
+}
+
+func (p *Prefetcher) observeSlow(line uint64) []uint64 {
+	if p.hintOK && line == p.hintNext {
+		// The last full scan proved no earlier tracker can match this
+		// line (see the hint fields): advance the locked tracker
+		// directly, exactly as the scan would.
+		p.hintNext++
+		if p.hintLeft--; p.hintLeft == 0 {
+			p.hintOK = false
+		}
+		return p.advance(p.hintIdx, line)
+	}
+	for i := range p.lines {
+		// d folds the three interesting cases (re-access, +1, +2) into one
+		// unsigned distance; regressions, far jumps and idle slots wrap
+		// to huge values.
+		d := line - p.lines[i]
+		if d > 2 {
 			continue
 		}
-		switch {
-		case t.lastLine == line:
-			// Re-access within the line; no new information.
-			return nil
-		case line == t.lastLine+1 || line == t.lastLine+2:
-			t.lastLine = line
-			if t.score < 4 {
-				t.score++
-			}
-			if t.score >= 2 {
-				// Like the hardware, the detector does not prefetch across
-				// a 4 KiB page boundary (64 lines of 64 B): the next page's
-				// physical frame is unknown. Streams therefore still take
-				// one demand miss per page.
-				const linesPerPage = 64
-				out := make([]uint64, 0, p.Degree)
-				for d := 1; d <= p.Degree; d++ {
-					next := line + uint64(d)
-					if next/linesPerPage != line/linesPerPage {
-						break
-					}
-					out = append(out, next)
-				}
-				p.Issued += uint64(len(out))
-				return out
-			}
+		if d == 0 {
+			// Re-access within the line; no new information, no state
+			// change: repeats can short-circuit.
+			p.noopLine, p.noopOK = line, true
 			return nil
 		}
+		// Arm the advance hint unless an earlier tracker is parked within
+		// hintHorizon ahead of this line: such a tracker could become the
+		// first match for an upcoming observation. Checking only on an
+		// advance keeps the no-match scan (the common case for irregular
+		// access patterns) tight.
+		ahead := true
+		for j := 0; j < i; j++ {
+			if p.lines[j]-line-1 < hintHorizon-1 {
+				ahead = false
+				break
+			}
+		}
+		p.hintIdx = i
+		p.hintNext = line + 1
+		p.hintLeft = hintHorizon - 2
+		p.hintOK = ahead
+		return p.advance(i, line)
 	}
-	// No tracker matched: claim the next slot round-robin.
-	p.trackers[p.next] = streamTracker{lastLine: line, score: 0, valid: true}
-	p.next = (p.next + 1) % len(p.trackers)
+	// No tracker matched: claim the next slot round-robin. The claimed
+	// slot may sit before a hinted tracker, so the hint dies with it.
+	p.noopOK = false
+	p.hintOK = false
+	p.lines[p.next] = line
+	p.scores[p.next] = 0
+	p.next = (p.next + 1) % len(p.lines)
+	return nil
+}
+
+// advance moves tracker i forward to line and issues prefetches once the
+// stream is trained: the state transition shared by the scan and hint
+// paths.
+func (p *Prefetcher) advance(i int, line uint64) []uint64 {
+	p.noopOK = false
+	p.lines[i] = line
+	if p.scores[i] < 4 {
+		p.scores[i]++
+	}
+	if p.scores[i] >= 2 {
+		// Like the hardware, the detector does not prefetch across
+		// a 4 KiB page boundary (64 lines of 64 B): the next page's
+		// physical frame is unknown. Streams therefore still take
+		// one demand miss per page.
+		const linesPerPage = 64
+		out := p.buf[:0]
+		for d := 1; d <= p.Degree; d++ {
+			next := line + uint64(d)
+			if next/linesPerPage != line/linesPerPage {
+				break
+			}
+			out = append(out, next)
+		}
+		p.Issued += uint64(len(out))
+		return out
+	}
 	return nil
 }
 
 // Reset clears all trackers and statistics.
 func (p *Prefetcher) Reset() {
-	for i := range p.trackers {
-		p.trackers[i] = streamTracker{}
+	for i := range p.lines {
+		p.lines[i] = trackerIdle
 	}
+	p.scores = [16]uint8{}
 	p.next = 0
 	p.Issued = 0
+	p.noopOK = false
+	p.hintOK = false
 }

@@ -81,6 +81,44 @@ type Stream interface {
 	Next(*Inst) bool
 }
 
+// DefaultBlockLen is the batch size used by block-driven consumers (the
+// CPU run loop and dataset collection): large enough to amortize one
+// dynamic dispatch over hundreds of records, small enough that a block of
+// Inst stays resident in the host's L1 data cache.
+const DefaultBlockLen = 256
+
+// BlockStream produces instruction records in batches. NextBlock fills a
+// prefix of buf and returns how many records were written; 0 reports
+// exhaustion. A producer may return short (non-zero) counts mid-stream;
+// consumers keep calling until 0. Filling a caller-owned buffer keeps the
+// consumer loop allocation-free and costs one dispatch per block instead
+// of one per instruction.
+type BlockStream interface {
+	NextBlock(buf []Inst) int
+}
+
+// Blocked adapts a Stream to BlockStream. Streams that already implement
+// BlockStream (e.g. workload generators) are returned as-is, so wrapping
+// is free for the fast producers and a thin per-record loop otherwise.
+func Blocked(s Stream) BlockStream {
+	if bs, ok := s.(BlockStream); ok {
+		return bs
+	}
+	return &blockedStream{s: s}
+}
+
+type blockedStream struct{ s Stream }
+
+// NextBlock implements BlockStream by pulling records one at a time from
+// the wrapped stream, preserving its exact record sequence.
+func (b *blockedStream) NextBlock(buf []Inst) int {
+	n := 0
+	for n < len(buf) && b.s.Next(&buf[n]) {
+		n++
+	}
+	return n
+}
+
 // SliceStream adapts a fixed instruction slice to Stream; used by tests.
 type SliceStream struct {
 	Insts []Inst
@@ -95,6 +133,13 @@ func (s *SliceStream) Next(in *Inst) bool {
 	*in = s.Insts[s.pos]
 	s.pos++
 	return true
+}
+
+// NextBlock implements BlockStream with one bulk copy per block.
+func (s *SliceStream) NextBlock(buf []Inst) int {
+	n := copy(buf, s.Insts[s.pos:])
+	s.pos += n
+	return n
 }
 
 // Reset rewinds the stream.

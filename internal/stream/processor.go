@@ -232,7 +232,7 @@ func (p *Processor) scoreBatch(batch []Sample) ([]Event, error) {
 	if len(batch) == 0 {
 		return nil, nil
 	}
-	scoredBatch, err := parallel.Map(parallel.Config{Jobs: p.cfg.Jobs}, batch,
+	scoredBatch, err := parallel.Map(parallel.Config{Jobs: p.cfg.Jobs}.ForItems(len(batch)), batch,
 		func(_ int, s Sample) (scoredSample, error) {
 			row, err := p.sc.instance(&s)
 			if err != nil {

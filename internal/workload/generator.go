@@ -1,17 +1,20 @@
 package workload
 
 import (
-	"math/rand"
-
 	"repro/internal/sim/trace"
+	"repro/internal/xrand"
 )
 
 // Generator synthesizes the instruction stream of one kernel. It implements
 // trace.Stream and runs forever; wrap with trace.Limit or drive it a
 // section at a time.
 type Generator struct {
-	p   Params
-	rng *rand.Rand
+	p Params
+	// rng is the lagged-Fibonacci generator (package xrand): a
+	// bit-exact math/rand clone whose draws avoid the Source interface
+	// dispatch the synthesizer would otherwise pay several times per
+	// instruction.
+	rng *xrand.Rand
 
 	// Address-space layout: code and data live in disjoint regions so
 	// I-side and D-side structures do not alias.
@@ -42,6 +45,40 @@ type Generator struct {
 	// freshPage is the next never-before-touched page index, for
 	// FreshPageFrac accesses (allocator growth).
 	freshPage uint64
+
+	// memo is a direct-mapped cache of the per-PC static hash values
+	// consulted on every instruction (kind, LCP, misalignment, split).
+	// They are pure functions of the PC, so memoized entries return the
+	// exact float64 bits the hashes would — the stream is byte-identical —
+	// while loops stop paying four avalanche mixes per revisited site.
+	memo []pcStatic
+}
+
+// pcStatic holds the memoized static properties of one instruction site.
+type pcStatic struct {
+	pc    uint64
+	kind  float64 // staticU01(pc, saltKind)
+	lcp   float64 // staticU01(pc, saltLCP)
+	mis   float64 // staticU01(pc, saltMisalign)
+	split float64 // staticU01(pc, saltSplit)
+}
+
+// pcMemoSize is the direct-mapped memo capacity; PCs advance in 4-byte
+// steps, so the table is indexed by pc>>2.
+const pcMemoSize = 4096
+
+// static returns the memo entry for pc, computing it on first touch or
+// after a conflict eviction.
+func (g *Generator) static(pc uint64) *pcStatic {
+	e := &g.memo[(pc>>2)&(pcMemoSize-1)]
+	if e.pc != pc {
+		e.pc = pc
+		e.kind = staticU01(pc, saltKind)
+		e.lcp = staticU01(pc, saltLCP)
+		e.mis = staticU01(pc, saltMisalign)
+		e.split = staticU01(pc, saltSplit)
+	}
+	return e
 }
 
 // NewGenerator builds a generator for the kernel. It panics on invalid
@@ -56,11 +93,12 @@ func NewGenerator(p Params, seed int64) *Generator {
 	}
 	return &Generator{
 		p:          p,
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        xrand.New(seed),
 		codeBase:   0x0000_4000_0000_0000,
 		dataBase:   0x0000_7000_0000_0000,
 		hotSize:    hot,
 		sinceStore: 1 << 20,
+		memo:       make([]pcStatic, pcMemoSize),
 	}
 }
 
@@ -103,17 +141,25 @@ func (g *Generator) SetParams(p Params) {
 // predictor train. Operand-level details (addresses, outcomes of
 // data-dependent branches) remain stochastic.
 func (g *Generator) Next(in *trace.Inst) bool {
-	p := &g.p
 	*in = trace.Inst{}
+	g.nextCleared(in)
+	return true
+}
+
+// nextCleared is Next's body, assuming *in is already zeroed. NextBlock
+// zeroes a whole block with one memclr instead of one record at a time.
+func (g *Generator) nextCleared(in *trace.Inst) {
+	p := &g.p
 	in.PC = g.codeBase + g.pc
 	g.advancePC(4)
 
-	r := staticU01(in.PC, saltKind)
+	st := g.static(in.PC)
+	r := st.kind
 	switch {
 	case r < p.LoadFrac:
-		g.genLoad(in)
+		g.genLoad(in, st)
 	case r < p.LoadFrac+p.StoreFrac:
-		g.genStore(in)
+		g.genStore(in, st)
 	case r < p.LoadFrac+p.StoreFrac+p.BranchFrac:
 		g.genBranch(in)
 	default:
@@ -124,11 +170,23 @@ func (g *Generator) Next(in *trace.Inst) bool {
 	}
 
 	// LCP encoding is a static property of the instruction at this PC.
-	if staticU01(in.PC, saltLCP) < p.LCPFrac {
+	if st.lcp < p.LCPFrac {
 		in.LCP = true
 	}
 	g.sinceStore++
-	return true
+}
+
+// NextBlock implements trace.BlockStream: it fills all of buf (the
+// generator is infinite) and returns len(buf). Each record is produced by
+// the same Next logic in the same order, so a block-driven consumer sees
+// the byte-identical instruction sequence of a record-at-a-time pull —
+// just without paying an interface dispatch per instruction.
+func (g *Generator) NextBlock(buf []trace.Inst) int {
+	clear(buf)
+	for i := range buf {
+		g.nextCleared(&buf[i])
+	}
+	return len(buf)
 }
 
 func (g *Generator) advancePC(bytes uint64) {
@@ -190,7 +248,7 @@ func (g *Generator) dataAddr() (addr uint64, isCold bool) {
 	return g.dataBase + g.dataPos, true
 }
 
-func (g *Generator) genLoad(in *trace.Inst) {
+func (g *Generator) genLoad(in *trace.Inst, st *pcStatic) {
 	p := &g.p
 	in.Kind = trace.Load
 	in.Size = 8
@@ -205,12 +263,12 @@ func (g *Generator) genLoad(in *trace.Inst) {
 	}
 
 	// Alignment hazards are static properties of the access site.
-	if staticU01(in.PC, saltMisalign) < p.MisalignFrac {
+	if st.mis < p.MisalignFrac {
 		// Misaligned within a line (offset 1), distinct from splits.
 		in.Misaligned = true
 		in.Addr = (in.Addr &^ 63) | 1
 	}
-	if staticU01(in.PC, saltSplit) < p.SplitFrac {
+	if st.split < p.SplitFrac {
 		// Place the access so it straddles a 64-byte boundary.
 		in.Addr = (in.Addr &^ 63) + 60
 	}
@@ -228,16 +286,16 @@ func (g *Generator) genLoad(in *trace.Inst) {
 	}
 }
 
-func (g *Generator) genStore(in *trace.Inst) {
+func (g *Generator) genStore(in *trace.Inst, st *pcStatic) {
 	p := &g.p
 	in.Kind = trace.Store
 	in.Size = 8
 	in.Addr, _ = g.dataAddr()
-	if staticU01(in.PC, saltMisalign) < p.MisalignFrac {
+	if st.mis < p.MisalignFrac {
 		in.Misaligned = true
 		in.Addr = (in.Addr &^ 63) | 1
 	}
-	if staticU01(in.PC, saltSplit) < p.SplitFrac {
+	if st.split < p.SplitFrac {
 		in.Addr = (in.Addr &^ 63) + 60
 	}
 	g.sinceStore = 0
@@ -356,7 +414,7 @@ func (g *Generator) skipForward(pc uint64) {
 // the continuous knobs. The model tree sees this as within-class spread;
 // without it every section in a phase would be an identical point and the
 // leaf regressions would be degenerate.
-func jitter(p Params, rng *rand.Rand) Params {
+func jitter(p Params, rng *xrand.Rand) Params {
 	mul := func(v float64, spread float64) float64 {
 		return v * (1 + spread*(2*rng.Float64()-1))
 	}
@@ -417,7 +475,7 @@ func jitter(p Params, rng *rand.Rand) Params {
 type SectionSource struct {
 	bench    Benchmark
 	seed     int64
-	jrng     *rand.Rand
+	jrng     *xrand.Rand
 	phase    int
 	inPhase  int
 	produced int
@@ -430,7 +488,7 @@ func NewSectionSource(b Benchmark, seed int64) *SectionSource {
 	return &SectionSource{
 		bench:    b,
 		seed:     seed,
-		jrng:     rand.New(rand.NewSource(seed ^ 0x5DEECE66D)),
+		jrng:     xrand.New(seed ^ 0x5DEECE66D),
 		genPhase: -1,
 	}
 }

@@ -2,7 +2,7 @@ package workload
 
 import (
 	"math"
-	"math/rand"
+	"repro/internal/xrand"
 	"testing"
 
 	"repro/internal/sim/trace"
@@ -277,7 +277,7 @@ func TestSetParamsClampsPositions(t *testing.T) {
 }
 
 func TestJitterBounded(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := xrand.New(11)
 	base := testParams()
 	for i := 0; i < 500; i++ {
 		q := jitter(base, rng)

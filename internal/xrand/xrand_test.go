@@ -1,0 +1,35 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatchesMathRand locks the generator to the standard library draw for
+// draw: the simulator's byte-identity guarantee rests on this equivalence.
+func TestMatchesMathRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40, -1 << 40, 89482311} {
+		r := New(seed)
+		std := rand.New(rand.NewSource(seed))
+		for i := 0; i < 10000; i++ {
+			switch i % 4 {
+			case 0:
+				if got, want := r.Float64(), std.Float64(); got != want {
+					t.Fatalf("seed %d draw %d: Float64 %v, want %v", seed, i, got, want)
+				}
+			case 1:
+				if got, want := r.Intn(64), std.Intn(64); got != want {
+					t.Fatalf("seed %d draw %d: Intn(64) %v, want %v", seed, i, got, want)
+				}
+			case 2:
+				if got, want := r.Intn(4097), std.Intn(4097); got != want {
+					t.Fatalf("seed %d draw %d: Intn(4097) %v, want %v", seed, i, got, want)
+				}
+			case 3:
+				if got, want := r.Int63n(1<<40+3), std.Int63n(1<<40+3); got != want {
+					t.Fatalf("seed %d draw %d: Int63n %v, want %v", seed, i, got, want)
+				}
+			}
+		}
+	}
+}
