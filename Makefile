@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench bench-parallel bench-serve bench-micro bench-json bench-compare experiments serve-smoke monitor-smoke fuzz-short
+.PHONY: build test check vet race cover bench bench-parallel bench-serve bench-micro bench-json bench-compare experiments serve-smoke monitor-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,28 @@ race:
 	$(GO) test -race -short ./...
 
 check: vet race
+
+# Per-package coverage gate for the library code. Every internal package
+# must stay at or above COVER_FLOOR percent statement coverage;
+# internal/experiments gets a lower floor because its bulk is end-to-end
+# reproduction drivers exercised through `make experiments` rather than
+# unit tests. Packages with no statements (pure interface/type packages)
+# are skipped.
+COVER_FLOOR            ?= 60
+COVER_FLOOR_EXPERIMENTS ?= 30
+cover:
+	@set -e; out=$$(mktemp /tmp/cover.XXXXXX.txt); \
+	trap 'rm -f $$out' EXIT; \
+	$(GO) test -cover ./internal/... | tee $$out; \
+	awk -v floor=$(COVER_FLOOR) -v expfloor=$(COVER_FLOOR_EXPERIMENTS) ' \
+	/^ok/ && /coverage:/ { \
+	  pkg=$$2; c=-1; \
+	  for (i=1;i<=NF;i++) if ($$i ~ /%$$/) { gsub(/%/,"",$$i); c=$$i+0 } \
+	  if (c < 0) next; \
+	  f = (pkg=="repro/internal/experiments") ? expfloor : floor; \
+	  if (c < f) { printf "cover: %s at %.1f%% is below the %d%% floor\n", pkg, c, f; bad=1 } \
+	} \
+	END { if (bad) exit 1; print "cover: all internal packages at or above the floor" }' $$out
 
 # Serial-vs-parallel speedup benchmarks (see EXPERIMENTS.md "Parallel
 # execution").
@@ -70,13 +92,15 @@ bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $$tmp -threshold $(BENCH_THRESHOLD)
 
 # Brief runs of every fuzz target (NDJSON sample decoder, CSV dataset
-# parser) — long enough to catch parser regressions in CI, short enough
-# to not dominate it.
+# parser, persisted-tree loader) — long enough to catch parser
+# regressions in CI, short enough to not dominate it. Each target has a
+# checked-in seed corpus under its package's testdata/fuzz/.
 FUZZTIME ?= 10s
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSample' -fuzztime $(FUZZTIME) ./internal/stream/
 	$(GO) test -run '^$$' -fuzz 'FuzzDecoderStream' -fuzztime $(FUZZTIME) ./internal/stream/
 	$(GO) test -run '^$$' -fuzz 'FuzzReadCSV' -fuzztime $(FUZZTIME) ./internal/dataset/
+	$(GO) test -run '^$$' -fuzz 'FuzzTreeReadJSON' -fuzztime $(FUZZTIME) ./internal/mtree/
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -17,8 +17,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -33,27 +35,37 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyze: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		treePath = flag.String("tree", "", "trained model JSON (tree from train -out, or a saved ensemble) (required)")
-		in       = flag.String("in", "", "section CSV to analyze")
-		bench    = flag.String("bench", "", "or: simulate and analyze one suite benchmark")
-		scale    = flag.Float64("scale", 0.25, "suite scale when using -bench")
-		seed     = flag.Int64("seed", 99, "simulation seed when using -bench")
-		impacts  = flag.Bool("impacts", false, "also print split-variable impact table (single trees only)")
-		section  = flag.Int("section", -1, "print a full Eq.4-style decomposition of this section index")
+		treePath = fs.String("tree", "", "trained model JSON (tree from train -out, or a saved ensemble) (required)")
+		in       = fs.String("in", "", "section CSV to analyze")
+		bench    = fs.String("bench", "", "or: simulate and analyze one suite benchmark")
+		scale    = fs.Float64("scale", 0.25, "suite scale when using -bench")
+		seed     = fs.Int64("seed", 99, "simulation seed when using -bench")
+		impacts  = fs.Bool("impacts", false, "also print split-variable impact table (single trees only)")
+		section  = fs.Int("section", -1, "print a full Eq.4-style decomposition of this section index")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *treePath == "" || (*in == "" && *bench == "") {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errors.New("-tree plus one of -in or -bench is required")
 	}
 
 	m, err := modelio.LoadFile(*treePath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	desc := m.Describe()
-	fmt.Printf("loaded %s: %d leaves, target %s, trained on %d sections\n\n",
+	fmt.Fprintf(stdout, "loaded %s: %d leaves, target %s, trained on %d sections\n\n",
 		desc.Kind, desc.NumLeaves, desc.Target, desc.TrainN)
 
 	var d *dataset.Dataset
@@ -61,69 +73,70 @@ func main() {
 	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		d, err = dataset.ReadCSV(f, desc.Target)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	default:
 		b, ok := workload.BenchmarkByName(*bench)
 		if !ok {
-			log.Fatalf("unknown benchmark %q", *bench)
+			return fmt.Errorf("unknown benchmark %q", *bench)
 		}
 		cfg := counters.DefaultCollectConfig()
 		cfg.Seed = *seed
 		col, err := counters.CollectBenchmark(b.Scale(*scale), cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		d = col.Data
-		fmt.Printf("simulated %s: %d sections\n\n", *bench, d.Len())
+		fmt.Fprintf(stdout, "simulated %s: %d sections\n\n", *bench, d.Len())
 	}
 
 	report := analysis.AnalyzeWorkload(m, d)
-	fmt.Print(report.Render())
+	fmt.Fprint(stdout, report.Render())
 
 	tree, isTree := m.(*mtree.Tree)
 
 	if *section >= 0 {
 		if *section >= d.Len() {
-			log.Fatalf("section %d out of range (%d sections)", *section, d.Len())
+			return fmt.Errorf("section %d out of range (%d sections)", *section, d.Len())
 		}
 		row := d.Row(*section)
 		if isTree {
 			sr := analysis.AnalyzeSection(tree, row)
-			fmt.Printf("\nsection %d: class LM%d, predicted %s %.3f (actual %.3f)\n",
+			fmt.Fprintf(stdout, "\nsection %d: class LM%d, predicted %s %.3f (actual %.3f)\n",
 				*section, sr.LeafID, desc.Target, sr.PredictedCPI, d.Target(*section))
-			fmt.Println("decision path:")
+			fmt.Fprintln(stdout, "decision path:")
 			for _, step := range sr.Path {
-				fmt.Printf("  %s\n", step)
+				fmt.Fprintf(stdout, "  %s\n", step)
 			}
-			fmt.Printf("baseline (intercept): %.4f\n", sr.Baseline)
-			printContributions(sr.Contributions)
+			fmt.Fprintf(stdout, "baseline (intercept): %.4f\n", sr.Baseline)
+			printContributions(stdout, sr.Contributions)
 		} else {
 			// No single decision path for an ensemble; report the
 			// member-averaged decomposition instead.
-			fmt.Printf("\nsection %d: predicted %s %.3f (actual %.3f), %s decomposition:\n",
+			fmt.Fprintf(stdout, "\nsection %d: predicted %s %.3f (actual %.3f), %s decomposition:\n",
 				*section, desc.Target, m.Predict(row), d.Target(*section), desc.Kind)
-			printContributions(m.Contributions(row))
+			printContributions(stdout, m.Contributions(row))
 		}
 	}
 
 	if *impacts {
 		if !isTree {
-			log.Fatalf("-impacts requires a single tree; %s has no shared split structure", desc.Kind)
+			return fmt.Errorf("-impacts requires a single tree; %s has no shared split structure", desc.Kind)
 		}
-		fmt.Println("\nsplit-variable impacts over this dataset:")
-		fmt.Print(analysis.RenderSplitImpacts(analysis.SplitImpacts(tree, d)))
+		fmt.Fprintln(stdout, "\nsplit-variable impacts over this dataset:")
+		fmt.Fprint(stdout, analysis.RenderSplitImpacts(analysis.SplitImpacts(tree, d)))
 	}
+	return nil
 }
 
-func printContributions(cs []analysis.Contribution) {
-	fmt.Printf("%-10s %12s %12s %12s %10s\n", "event", "coef", "rate", "CPI share", "gain")
+func printContributions(w io.Writer, cs []analysis.Contribution) {
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %10s\n", "event", "coef", "rate", "CPI share", "gain")
 	for _, c := range cs {
-		fmt.Printf("%-10s %12.4g %12.6f %12.4f %9.1f%%\n", c.Name, c.Coef, c.Rate, c.Cycles, 100*c.Fraction)
+		fmt.Fprintf(w, "%-10s %12.4g %12.6f %12.4f %9.1f%%\n", c.Name, c.Coef, c.Rate, c.Cycles, 100*c.Fraction)
 	}
 }

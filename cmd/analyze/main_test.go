@@ -1,0 +1,92 @@
+package main
+
+// Smoke tests for the analyze CLI against a persisted tree and a CSV:
+// the workload report, the per-section Eq.4 decomposition with its
+// decision path, and the split-impact table must all render.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mtree"
+	"repro/internal/proptest"
+)
+
+// trainFixture persists a small tree and its training CSV to disk and
+// returns both paths.
+func trainFixture(t *testing.T) (treePath, csvPath string, d *dataset.Dataset) {
+	t.Helper()
+	d = proptest.PerfDataset(proptest.NewRand(proptest.CaseSeed("analyze-smoke", 0)), 300)
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 40
+	tree, err := mtree.Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	treePath = filepath.Join(dir, "tree.json")
+	csvPath = filepath.Join(dir, "data.csv")
+	tf, err := os.Create(treePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if err := tree.WriteJSON(tf); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if err := d.WriteCSV(cf); err != nil {
+		t.Fatal(err)
+	}
+	return treePath, csvPath, d
+}
+
+func TestRunAnalyzesCSV(t *testing.T) {
+	treePath, csvPath, _ := trainFixture(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-tree", treePath, "-in", csvPath, "-section", "0", "-impacts",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"loaded m5-model-tree",
+		"section 0:",
+		"decision path:",
+		"baseline (intercept):",
+		"split-variable impacts",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsSectionOutOfRange(t *testing.T) {
+	treePath, csvPath, d := trainFixture(t)
+	var out bytes.Buffer
+	err := run([]string{"-tree", treePath, "-in", csvPath, "-section", "100000"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want out-of-range (dataset has %d sections)", err, d.Len())
+	}
+}
+
+func TestRunRequiresTreeAndInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("run without flags succeeded")
+	}
+	treePath, _, _ := trainFixture(t)
+	if err := run([]string{"-tree", treePath}, &out); err == nil {
+		t.Fatal("run without -in or -bench succeeded")
+	}
+}

@@ -15,8 +15,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"regexp"
@@ -96,21 +98,31 @@ func load(path string) (map[string]float64, error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
-	oldPath := flag.String("old", "", "baseline snapshot (go test -json)")
-	newPath := flag.String("new", "", "candidate snapshot (go test -json)")
-	threshold := flag.Float64("threshold", 0, "fail if any benchmark regresses by more than this percent (0 = never fail)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	oldPath := fs.String("old", "", "baseline snapshot (go test -json)")
+	newPath := fs.String("new", "", "candidate snapshot (go test -json)")
+	threshold := fs.Float64("threshold", 0, "fail if any benchmark regresses by more than this percent (0 = never fail)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *oldPath == "" || *newPath == "" {
-		log.Fatal("both -old and -new are required")
+		return errors.New("both -old and -new are required")
 	}
 
 	oldNs, err := load(*oldPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	newNs, err := load(*newPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	keys := make([]string, 0, len(oldNs))
@@ -119,28 +131,34 @@ func main() {
 	}
 	sort.Strings(keys)
 
-	fmt.Printf("%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(stdout, "%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	worst := 0.0
 	for _, k := range keys {
 		o := oldNs[k]
 		n, ok := newNs[k]
 		if !ok {
-			fmt.Printf("%-64s %14.0f %14s %9s\n", k, o, "-", "gone")
+			fmt.Fprintf(stdout, "%-64s %14.0f %14s %9s\n", k, o, "-", "gone")
 			continue
 		}
 		delta := (n - o) / o * 100
 		if delta > worst {
 			worst = delta
 		}
-		fmt.Printf("%-64s %14.0f %14.0f %+8.1f%%\n", k, o, n, delta)
+		fmt.Fprintf(stdout, "%-64s %14.0f %14.0f %+8.1f%%\n", k, o, n, delta)
 	}
-	for k, n := range newNs {
+	newOnly := make([]string, 0, len(newNs))
+	for k := range newNs {
 		if _, ok := oldNs[k]; !ok {
-			fmt.Printf("%-64s %14s %14.0f %9s\n", k, "-", n, "new")
+			newOnly = append(newOnly, k)
 		}
+	}
+	sort.Strings(newOnly)
+	for _, k := range newOnly {
+		fmt.Fprintf(stdout, "%-64s %14s %14.0f %9s\n", k, "-", newNs[k], "new")
 	}
 
 	if *threshold > 0 && worst > *threshold {
-		log.Fatalf("worst regression %+.1f%% exceeds threshold %.1f%%", worst, *threshold)
+		return fmt.Errorf("worst regression %+.1f%% exceeds threshold %.1f%%", worst, *threshold)
 	}
+	return nil
 }

@@ -1,0 +1,112 @@
+package main
+
+// Unit tests for the benchdiff parser and comparison math, driven by
+// golden fixture files holding `go test -json` streams: split output
+// lines must be stitched, GOMAXPROCS suffixes stripped, repeated runs
+// reduced to their minimum, and the threshold gate must fail only on
+// regressions beyond it.
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadParsesGoTestJSON(t *testing.T) {
+	got, err := load(filepath.Join("testdata", "old.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		// Two runs of BenchmarkBuild: the minimum wins. The second run's
+		// name and measurements arrive in separate output events, so this
+		// also pins the line-stitching behavior.
+		"repro/internal/mtree BenchmarkBuild":   1100,
+		"repro/internal/mtree BenchmarkGone":    500,
+		"repro/internal/serve BenchmarkPredict": 800.5,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("load returned %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v ns/op, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestLoadStripsGOMAXPROCSSuffix(t *testing.T) {
+	// old.json runs at -8/-16, new.json at -4: keys must still align.
+	oldNs, err := load(filepath.Join("testdata", "old.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newNs, err := load(filepath.Join("testdata", "new.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"repro/internal/mtree BenchmarkBuild", "repro/internal/serve BenchmarkPredict"} {
+		if _, ok := oldNs[k]; !ok {
+			t.Errorf("old snapshot missing %q", k)
+		}
+		if _, ok := newNs[k]; !ok {
+			t.Errorf("new snapshot missing %q", k)
+		}
+	}
+}
+
+func TestRunComparisonTable(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-old", filepath.Join("testdata", "old.json"),
+		"-new", filepath.Join("testdata", "new.json"),
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"BenchmarkBuild", "-18.2%", // (900-1100)/1100
+		"BenchmarkPredict", "+24.9%", // (1000-800.5)/800.5
+		"BenchmarkGone", "gone",
+		"BenchmarkNew", "new",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunThresholdGate(t *testing.T) {
+	args := func(threshold string) []string {
+		return []string{
+			"-old", filepath.Join("testdata", "old.json"),
+			"-new", filepath.Join("testdata", "new.json"),
+			"-threshold", threshold,
+		}
+	}
+	var out bytes.Buffer
+	// Worst regression is +24.9% (BenchmarkPredict).
+	if err := run(args("10"), &out); err == nil {
+		t.Error("threshold 10 did not fail on a +24.9% regression")
+	} else if !strings.Contains(err.Error(), "exceeds threshold") {
+		t.Errorf("unexpected threshold error: %v", err)
+	}
+	if err := run(args("30"), &out); err != nil {
+		t.Errorf("threshold 30 failed on a +24.9%% regression: %v", err)
+	}
+	if err := run(args("0"), &out); err != nil {
+		t.Errorf("threshold 0 must never fail: %v", err)
+	}
+}
+
+func TestRunRequiresBothSnapshots(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-old", "x.json"}, &out); err == nil {
+		t.Error("missing -new was accepted")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Error("no arguments were accepted")
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -24,23 +25,33 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("collect: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		out     = flag.String("out", "", "output CSV path (default stdout)")
-		labels  = flag.String("labels", "", "optional per-row provenance CSV path")
-		scale   = flag.Float64("scale", 1.0, "suite size multiplier")
-		section = flag.Uint64("section", 20000, "retired instructions per section")
-		seed    = flag.Int64("seed", 42, "workload synthesis seed")
-		bench   = flag.String("bench", "", "collect a single named benchmark (default: whole suite)")
-		summary = flag.Bool("summary", false, "print a per-column summary instead of CSV")
-		jobs    = flag.Int("jobs", 0, "benchmarks simulated concurrently (0 = all cores, 1 = serial; output is identical)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the collection to this file")
-		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		out     = fs.String("out", "", "output CSV path (default stdout)")
+		labels  = fs.String("labels", "", "optional per-row provenance CSV path")
+		scale   = fs.Float64("scale", 1.0, "suite size multiplier")
+		section = fs.Uint64("section", 20000, "retired instructions per section")
+		seed    = fs.Int64("seed", 42, "workload synthesis seed")
+		bench   = fs.String("bench", "", "collect a single named benchmark (default: whole suite)")
+		summary = fs.Bool("summary", false, "print a per-column summary instead of CSV")
+		jobs    = fs.Int("jobs", 0, "benchmarks simulated concurrently (0 = all cores, 1 = serial; output is identical)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the collection to this file")
+		memProf = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	stopProf, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer stopProf()
 	defer func() {
@@ -62,7 +73,7 @@ func main() {
 			for _, s := range workload.Suite() {
 				names = append(names, s.Name)
 			}
-			log.Fatalf("unknown benchmark %q; available: %s", *bench, strings.Join(names, ", "))
+			return fmt.Errorf("unknown benchmark %q; available: %s", *bench, strings.Join(names, ", "))
 		}
 		suite = []workload.Benchmark{b.Scale(*scale)}
 	} else {
@@ -71,29 +82,29 @@ func main() {
 
 	col, err := counters.CollectSuite(suite, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *summary {
-		fmt.Print(col.Data.Summary())
-		return
+		fmt.Fprint(stdout, col.Data.Summary())
+		return nil
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := col.Data.WriteCSV(w); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *labels != "" {
 		f, err := os.Create(*labels)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		fmt.Fprintln(f, "benchmark,phase,section")
@@ -101,4 +112,5 @@ func main() {
 			fmt.Fprintf(f, "%s,%d,%d\n", l.Benchmark, l.Phase, l.Section)
 		}
 	}
+	return nil
 }

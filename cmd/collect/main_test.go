@@ -1,0 +1,91 @@
+package main
+
+// Smoke tests for the collect CLI: a reduced-scale single-benchmark run
+// must produce a loadable CSV (and provenance labels), the summary mode
+// must render, and bad flags must fail instead of writing garbage.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunWritesLoadableCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "data.csv")
+	labels := filepath.Join(dir, "labels.csv")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-bench", "429.mcf", "-scale", "0.05", "-section", "5000",
+		"-out", out, "-labels", labels,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f, "CPI")
+	if err != nil {
+		t.Fatalf("output CSV does not load: %v", err)
+	}
+	if d.Len() == 0 {
+		t.Fatal("output CSV has no sections")
+	}
+	lb, err := os.ReadFile(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(lb)
+	if !strings.HasPrefix(text, "benchmark,phase,section\n") {
+		t.Errorf("labels file missing header: %q", text[:min(len(text), 40)])
+	}
+	if !strings.Contains(text, "429.mcf") {
+		t.Error("labels file does not name the benchmark")
+	}
+	if got := strings.Count(text, "\n") - 1; got != d.Len() {
+		t.Errorf("%d label rows for %d sections", got, d.Len())
+	}
+}
+
+func TestRunCSVToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bench", "429.mcf", "-scale", "0.05", "-section", "5000"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	d, err := dataset.ReadCSV(strings.NewReader(buf.String()), "CPI")
+	if err != nil {
+		t.Fatalf("stdout CSV does not load: %v", err)
+	}
+	if d.Len() == 0 {
+		t.Fatal("no sections on stdout")
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-bench", "429.mcf", "-scale", "0.05", "-section", "5000", "-summary"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "CPI") {
+		t.Errorf("summary does not mention the target column:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-bench", "999.nope"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Fatalf("err = %v, want unknown-benchmark error", err)
+	}
+	if !strings.Contains(err.Error(), "429.mcf") {
+		t.Errorf("error does not list available benchmarks: %v", err)
+	}
+}

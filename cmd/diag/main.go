@@ -7,8 +7,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 	"sort"
 
 	"repro/internal/counters"
@@ -19,22 +21,34 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	jobs := flag.Int("jobs", 0, "worker count for simulation and split scoring (0 = all cores)")
-	flag.Parse()
-	cfg := counters.DefaultCollectConfig()
-	cfg.Jobs = *jobs
-	col, err := counters.CollectSuite(workload.SuiteScaled(1.0), cfg)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("diag", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	jobs := fs.Int("jobs", 0, "worker count for simulation and split scoring (0 = all cores)")
+	scale := fs.Float64("scale", 1.0, "suite size multiplier")
+	minLeaf := fs.Int("minleaf", 430, "minimum instances per leaf at scale 1.0")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := counters.DefaultCollectConfig()
+	cfg.Jobs = *jobs
+	col, err := counters.CollectSuite(workload.SuiteScaled(*scale), cfg)
+	if err != nil {
+		return err
+	}
 	tcfg := mtree.DefaultConfig()
-	tcfg.MinLeaf = 430
+	tcfg.MinLeaf = *minLeaf
 	tcfg.Jobs = *jobs
 	tree, err := mtree.Build(col.Data, tcfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(tree.Summary())
+	fmt.Fprintln(stdout, tree.Summary())
 
 	// Residuals are computed through the shared Model interface — the
 	// same surface the serving registry uses — so this diagnostic is the
@@ -66,9 +80,10 @@ func main() {
 	sort.Slice(names, func(i, j int) bool {
 		return per[names[i]].absErr/float64(per[names[i]].n) > per[names[j]].absErr/float64(per[names[j]].n)
 	})
-	fmt.Printf("%-16s %6s %8s %8s\n", "benchmark", "n", "meanCPI", "MAE")
+	fmt.Fprintf(stdout, "%-16s %6s %8s %8s\n", "benchmark", "n", "meanCPI", "MAE")
 	for _, n := range names {
 		a := per[n]
-		fmt.Printf("%-16s %6d %8.3f %8.3f\n", n, a.n, a.cpi/float64(a.n), a.absErr/float64(a.n))
+		fmt.Fprintf(stdout, "%-16s %6d %8.3f %8.3f\n", n, a.n, a.cpi/float64(a.n), a.absErr/float64(a.n))
 	}
+	return nil
 }

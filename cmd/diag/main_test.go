@@ -1,0 +1,36 @@
+package main
+
+// Smoke test for the diag CLI at a reduced suite scale: the tree
+// summary and the per-benchmark residual table must render with one row
+// per suite benchmark.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRunReportsPerBenchmarkResiduals(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.02", "-minleaf", "20"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "benchmark") || !strings.Contains(text, "MAE") {
+		t.Fatalf("missing residual table header:\n%s", text)
+	}
+	for _, b := range workload.Suite() {
+		if !strings.Contains(text, b.Name) {
+			t.Errorf("no residual row for %s:\n%s", b.Name, text)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "not-a-number"}, &out); err == nil {
+		t.Fatal("bad -scale was accepted")
+	}
+}

@@ -27,6 +27,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,27 +48,37 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("monitor: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		modelPath   = flag.String("model", "", "persisted model file (tree or ensemble)")
-		in          = flag.String("in", "-", "NDJSON sample stream (\"-\" = stdin)")
-		follow      = flag.Bool("follow", false, "keep reading as the input file grows (tail -f)")
-		jobs        = flag.Int("jobs", 0, "scoring workers (0 = all cores, 1 = serial; output is identical)")
-		window      = flag.Int("window", 32, "samples scored per parallel batch")
-		buffer      = flag.Int("buffer", 256, "sample ring capacity")
-		policy      = flag.String("policy", "block", "ring overflow policy: block, drop-oldest or reject")
-		calibration = flag.Int("calibration", 32, "sections used to calibrate phase-detector noise scales")
-		phDelta     = flag.Float64("ph-delta", stream.DefaultPHConfig().Delta, "Page-Hinkley per-sample drift allowance (CPI units)")
-		phLambda    = flag.Float64("ph-lambda", stream.DefaultPHConfig().Lambda, "Page-Hinkley alarm threshold (CPI units)")
-		phMin       = flag.Int("ph-min", stream.DefaultPHConfig().MinSamples, "Page-Hinkley grace period (samples)")
-		eventsOut   = flag.String("events", "-", "machine-readable event output (\"-\" = stdout, \"\" = none)")
-		noSamples   = flag.Bool("no-samples", false, "suppress per-section \"sample\" events (keep phase/drift)")
-		render      = flag.Int("render", 32, "print a rolling status line every N sections (0 = never)")
-		quiet       = flag.Bool("quiet", false, "suppress all human-readable output")
-		strict      = flag.Bool("strict", false, "abort on the first malformed sample instead of skipping")
-		demo        = flag.Bool("demo", false, "run the built-in two-phase drift demo and self-verify")
-		demoSeed    = flag.Int64("demo-seed", 99, "demo trace seed")
+		modelPath   = fs.String("model", "", "persisted model file (tree or ensemble)")
+		in          = fs.String("in", "-", "NDJSON sample stream (\"-\" = stdin)")
+		follow      = fs.Bool("follow", false, "keep reading as the input file grows (tail -f)")
+		jobs        = fs.Int("jobs", 0, "scoring workers (0 = all cores, 1 = serial; output is identical)")
+		window      = fs.Int("window", 32, "samples scored per parallel batch")
+		buffer      = fs.Int("buffer", 256, "sample ring capacity")
+		policy      = fs.String("policy", "block", "ring overflow policy: block, drop-oldest or reject")
+		calibration = fs.Int("calibration", 32, "sections used to calibrate phase-detector noise scales")
+		phDelta     = fs.Float64("ph-delta", stream.DefaultPHConfig().Delta, "Page-Hinkley per-sample drift allowance (CPI units)")
+		phLambda    = fs.Float64("ph-lambda", stream.DefaultPHConfig().Lambda, "Page-Hinkley alarm threshold (CPI units)")
+		phMin       = fs.Int("ph-min", stream.DefaultPHConfig().MinSamples, "Page-Hinkley grace period (samples)")
+		eventsOut   = fs.String("events", "-", "machine-readable event output (\"-\" = stdout, \"\" = none)")
+		noSamples   = fs.Bool("no-samples", false, "suppress per-section \"sample\" events (keep phase/drift)")
+		render      = fs.Int("render", 32, "print a rolling status line every N sections (0 = never)")
+		quiet       = fs.Bool("quiet", false, "suppress all human-readable output")
+		strict      = fs.Bool("strict", false, "abort on the first malformed sample instead of skipping")
+		demo        = fs.Bool("demo", false, "run the built-in two-phase drift demo and self-verify")
+		demoSeed    = fs.Int64("demo-seed", 99, "demo trace seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := stream.DefaultMonitorConfig()
 	cfg.Jobs = *jobs
@@ -82,14 +93,14 @@ func main() {
 	cfg.SkipInvalid = !*strict
 	pol, err := stream.ParsePolicy(*policy)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg.Policy = pol
 	if *quiet {
 		cfg.RenderEvery = 0
 	}
 
-	textOut := io.Writer(os.Stderr)
+	textOut := stderr
 	if *quiet {
 		textOut = io.Discard
 	}
@@ -98,49 +109,47 @@ func main() {
 	case "":
 		events = nil
 	case "-":
-		events = os.Stdout
+		events = stdout
 	default:
 		f, err := os.Create(*eventsOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		events = f
 	}
 
 	if *demo {
-		runDemo(cfg, *demoSeed, textOut, events)
-		return
+		return runDemo(cfg, *demoSeed, textOut, events)
 	}
 
 	if *modelPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errors.New("-model is required (or use -demo)")
 	}
 	m, err := modelio.LoadFile(*modelPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	d := m.Describe()
 	fmt.Fprintf(textOut, "monitoring with %s (%d leaves, target %s, trained on %d sections)\n",
 		d.Kind, d.NumLeaves, d.Target, d.TrainN)
 
-	r, cleanup, err := openInput(*in, *follow)
+	r, cleanup, err := openInput(*in, *follow, stdin)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer cleanup()
 
-	if _, err := stream.RunMonitor(m, cfg, r, textOut, events); err != nil {
-		log.Fatal(err)
-	}
+	_, err = stream.RunMonitor(m, cfg, r, textOut, events)
+	return err
 }
 
 // openInput opens the sample source; with follow it keeps the reader
 // alive across EOF until SIGINT/SIGTERM.
-func openInput(path string, follow bool) (io.Reader, func(), error) {
+func openInput(path string, follow bool, stdin io.Reader) (io.Reader, func(), error) {
 	if path == "-" {
-		return os.Stdin, func() {}, nil
+		return stdin, func() {}, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -183,9 +192,9 @@ func (t *tailReader) Read(p []byte) (int, error) {
 // runDemo trains a small tree on a synthetic two-regime CPI law, streams
 // a trace that changes phase at one third and suffers an unexplained
 // +0.5 CPI regression at two thirds, and verifies the monitor reports
-// both. It exits non-zero on any miss, so `monitor -demo` doubles as an
-// end-to-end smoke test.
-func runDemo(cfg stream.MonitorConfig, seed int64, textOut, events io.Writer) {
+// both. It fails (and the binary exits non-zero) on any miss, so
+// `monitor -demo` doubles as an end-to-end smoke test.
+func runDemo(cfg stream.MonitorConfig, seed int64, textOut, events io.Writer) error {
 	const (
 		total    = 150
 		boundary = 50
@@ -195,7 +204,7 @@ func runDemo(cfg stream.MonitorConfig, seed int64, textOut, events io.Writer) {
 		total, boundary, shiftAt)
 	tree, err := demoModel(seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	pr, pw := io.Pipe()
 	go func() {
@@ -203,16 +212,17 @@ func runDemo(cfg stream.MonitorConfig, seed int64, textOut, events io.Writer) {
 	}()
 	st, err := stream.RunMonitor(tree, cfg, pr, textOut, events)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Fprintf(textOut, "demo: phase boundaries %d, drift alarms %d\n", st.PhaseBoundaries, st.DriftAlarms)
 	if st.PhaseBoundaries != 1 {
-		log.Fatalf("demo FAILED: %d phase boundaries, want 1", st.PhaseBoundaries)
+		return fmt.Errorf("demo FAILED: %d phase boundaries, want 1", st.PhaseBoundaries)
 	}
 	if st.DriftAlarms < 1 {
-		log.Fatal("demo FAILED: injected regression raised no drift alarm")
+		return errors.New("demo FAILED: injected regression raised no drift alarm")
 	}
 	fmt.Fprintln(textOut, "demo: PASS")
+	return nil
 }
 
 // demoLaw is the generative CPI law shared by the demo's training set

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -53,56 +54,98 @@ func (m *modelFlags) Set(v string) error {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, logOut io.Writer) error {
+	srv, nmodels, err := newServer(args, logOut)
+	if err != nil {
+		return err
+	}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then let
+	// in-flight requests drain within a deadline.
+	done := make(chan error, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(logOut, "serve: shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(logOut, "serve: serving %d model(s) on %s\n", nmodels, srv.Addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+// newServer parses the command line and assembles the HTTP server; it
+// performs no network I/O, so tests can drive the returned handler
+// directly. The second result is the number of registered models.
+func newServer(args []string, logOut io.Writer) (*http.Server, int, error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(logOut)
 	var models modelFlags
-	flag.Var(&models, "model", "model to serve, as name=path or name@version=path (repeatable)")
+	fs.Var(&models, "model", "model to serve, as name=path or name@version=path (repeatable)")
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		jobs      = flag.Int("jobs", 0, "batch-prediction workers (0 = all cores, 1 = serial; responses are identical)")
-		cacheSize = flag.Int("cache", 4096, "LRU prediction cache entries (0 disables)")
-		quantum   = flag.Float64("cache-quantum", 0, "cache key quantization step (0 = exact bits, hits cannot change responses)")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-request handler timeout (0 disables; /v1/stream streams and is exempt)")
-		maxBody   = flag.Int64("max-body", 1<<20, "maximum request body bytes")
-		maxBatch  = flag.Int("max-batch", 4096, "maximum rows per request")
-		streamWin = flag.Int("stream-window", stream.DefaultConfig().Window, "/v1/stream samples scored per parallel batch")
-		streamBuf = flag.Int("stream-buffer", stream.DefaultConfig().Buffer, "/v1/stream sample ring capacity")
-		streamPol = flag.String("stream-policy", "block", "/v1/stream ring overflow policy: block, drop-oldest or reject")
-		demo      = flag.Bool("demo", false, "train a small tree on the built-in simulator and serve it as \"demo\"")
-		demoScale = flag.Float64("demo-scale", 0.05, "suite scale for -demo training")
+		addr      = fs.String("addr", ":8080", "listen address")
+		jobs      = fs.Int("jobs", 0, "batch-prediction workers (0 = all cores, 1 = serial; responses are identical)")
+		cacheSize = fs.Int("cache", 4096, "LRU prediction cache entries (0 disables)")
+		quantum   = fs.Float64("cache-quantum", 0, "cache key quantization step (0 = exact bits, hits cannot change responses)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-request handler timeout (0 disables; /v1/stream streams and is exempt)")
+		maxBody   = fs.Int64("max-body", 1<<20, "maximum request body bytes")
+		maxBatch  = fs.Int("max-batch", 4096, "maximum rows per request")
+		streamWin = fs.Int("stream-window", stream.DefaultConfig().Window, "/v1/stream samples scored per parallel batch")
+		streamBuf = fs.Int("stream-buffer", stream.DefaultConfig().Buffer, "/v1/stream sample ring capacity")
+		streamPol = fs.String("stream-policy", "block", "/v1/stream ring overflow policy: block, drop-oldest or reject")
+		demo      = fs.Bool("demo", false, "train a small tree on the built-in simulator and serve it as \"demo\"")
+		demoScale = fs.Float64("demo-scale", 0.05, "suite scale for -demo training")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, 0, err
+	}
 	if len(models) == 0 && !*demo {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return nil, 0, errors.New("at least one -model (or -demo) is required")
 	}
 
 	reg := serve.NewRegistry()
 	for _, spec := range models {
 		ref, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			log.Fatalf("-model %q: want name=path or name@version=path", spec)
+			return nil, 0, fmt.Errorf("-model %q: want name=path or name@version=path", spec)
 		}
 		name, version, pinned := strings.Cut(ref, "@")
 		if !pinned {
 			version = "v1"
 		}
 		if err := reg.LoadFile(name, version, path); err != nil {
-			log.Fatal(err)
+			return nil, 0, err
 		}
 		e, _ := reg.Get(name + "@" + version)
 		d := e.Model.Describe()
-		log.Printf("loaded %s@%s from %s: %s, %d leaves, target %s, trained on %d sections",
+		fmt.Fprintf(logOut, "serve: loaded %s@%s from %s: %s, %d leaves, target %s, trained on %d sections\n",
 			name, version, path, d.Kind, d.NumLeaves, d.Target, d.TrainN)
 	}
 	if *demo {
 		tree, err := trainDemo(*demoScale, *jobs)
 		if err != nil {
-			log.Fatal(err)
+			return nil, 0, err
 		}
 		if err := reg.Register("demo", "v1", tree, ""); err != nil {
-			log.Fatal(err)
+			return nil, 0, err
 		}
 		d := tree.Describe()
-		log.Printf("trained demo@v1 in-process: %d leaves over %d sections", d.NumLeaves, d.TrainN)
+		fmt.Fprintf(logOut, "serve: trained demo@v1 in-process: %d leaves over %d sections\n", d.NumLeaves, d.TrainN)
 	}
 
 	cfg := serve.DefaultConfig()
@@ -116,36 +159,15 @@ func main() {
 	cfg.Stream.Buffer = *streamBuf
 	pol, err := stream.ParsePolicy(*streamPol)
 	if err != nil {
-		log.Fatal(err)
+		return nil, 0, err
 	}
 	cfg.Stream.Policy = pol
 
-	srv := &http.Server{
+	return &http.Server{
 		Addr:              *addr,
 		Handler:           serve.New(reg, cfg).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
-	}
-
-	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then let
-	// in-flight requests drain within a deadline.
-	done := make(chan error, 1)
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Print("shutting down...")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		done <- srv.Shutdown(ctx)
-	}()
-
-	log.Printf("serving %d model(s) on %s", reg.Len(), *addr)
-	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
-	}
-	if err := <-done; err != nil {
-		log.Fatalf("shutdown: %v", err)
-	}
+	}, reg.Len(), nil
 }
 
 // trainDemo collects a reduced-scale suite on the built-in simulator and

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -25,34 +27,44 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("train: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		in      = flag.String("in", "", "input CSV path (required)")
-		target  = flag.String("target", "CPI", "target column name")
-		minLeaf = flag.Int("minleaf", 430, "minimum instances per leaf (paper: 430)")
-		cv      = flag.Int("cv", 0, "k for k-fold cross validation (0 = skip)")
-		seed    = flag.Int64("seed", 7, "cross-validation shuffle seed")
-		out     = flag.String("out", "", "write the trained tree as JSON to this path")
-		smooth  = flag.Bool("smooth", true, "enable M5 smoothing")
-		prune   = flag.Bool("prune", true, "enable post-pruning")
-		global  = flag.Bool("global", false, "also fit/evaluate a single global linear model")
-		jobs    = flag.Int("jobs", 0, "worker count for CV folds, bootstrap resamples and split scoring (0 = all cores, 1 = serial; results are identical)")
+		in      = fs.String("in", "", "input CSV path (required)")
+		target  = fs.String("target", "CPI", "target column name")
+		minLeaf = fs.Int("minleaf", 430, "minimum instances per leaf (paper: 430)")
+		cv      = fs.Int("cv", 0, "k for k-fold cross validation (0 = skip)")
+		seed    = fs.Int64("seed", 7, "cross-validation shuffle seed")
+		out     = fs.String("out", "", "write the trained tree as JSON to this path")
+		smooth  = fs.Bool("smooth", true, "enable M5 smoothing")
+		prune   = fs.Bool("prune", true, "enable post-pruning")
+		global  = fs.Bool("global", false, "also fit/evaluate a single global linear model")
+		jobs    = fs.Int("jobs", 0, "worker count for CV folds, bootstrap resamples and split scoring (0 = all cores, 1 = serial; results are identical)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errors.New("-in is required")
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	d, err := dataset.ReadCSV(f, *target)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("loaded %d sections x %d attributes from %s\n\n", d.Len(), d.NumAttrs(), *in)
+	fmt.Fprintf(stdout, "loaded %d sections x %d attributes from %s\n\n", d.Len(), d.NumAttrs(), *in)
 
 	cfg := mtree.DefaultConfig()
 	cfg.MinLeaf = *minLeaf
@@ -63,17 +75,17 @@ func main() {
 
 	tree, err := mtree.Build(d, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(tree.Summary())
-	fmt.Println()
-	fmt.Print(tree.String())
+	fmt.Fprintln(stdout, tree.Summary())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, tree.String())
 
 	train, err := eval.Evaluate(tree, d)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\ntraining fit:      %s\n", train)
+	fmt.Fprintf(stdout, "\ntraining fit:      %s\n", train)
 
 	if *cv >= 2 {
 		learner := eval.LearnerFunc{N: "M5'", F: func(d *dataset.Dataset) (eval.Regressor, error) {
@@ -81,37 +93,38 @@ func main() {
 		}}
 		res, err := eval.CrossValidate(learner, d, *cv, *seed, par)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%d-fold CV pooled: %s\n", *cv, res.Pooled)
-		fmt.Printf("%d-fold CV mean:   %s\n", *cv, res.MeanFoldMetrics())
+		fmt.Fprintf(stdout, "%d-fold CV pooled: %s\n", *cv, res.Pooled)
+		fmt.Fprintf(stdout, "%d-fold CV mean:   %s\n", *cv, res.MeanFoldMetrics())
 		if corr, mae, rae, err := eval.BootstrapCI(res.Predicted, res.Actual, 1000, 0.95, *seed, par); err == nil {
-			fmt.Printf("95%% bootstrap CI:  C %s  MAE %s  RAE %s\n", corr, mae, rae)
+			fmt.Fprintf(stdout, "95%% bootstrap CI:  C %s  MAE %s  RAE %s\n", corr, mae, rae)
 		}
 	}
 
 	if *global {
 		g, err := naive.TrainGlobalLinear(d)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		gm, err := eval.Evaluate(g, d)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("global linear fit: %s\n", gm)
-		fmt.Printf("global linear model: CPI = %s\n", g.Model)
+		fmt.Fprintf(stdout, "global linear fit: %s\n", gm)
+		fmt.Fprintf(stdout, "global linear model: CPI = %s\n", g.Model)
 	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := tree.WriteJSON(f); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("tree written to %s\n", *out)
+		fmt.Fprintf(stdout, "tree written to %s\n", *out)
 	}
+	return nil
 }

@@ -1,0 +1,82 @@
+package main
+
+// Smoke tests for the train CLI: fit a tree on a small generated CSV,
+// cross-validate, persist it, and reload the persisted file.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mtree"
+	"repro/internal/proptest"
+)
+
+// writeTrainCSV materializes a generated performance dataset as a CSV
+// file the CLI can consume.
+func writeTrainCSV(t *testing.T, rows int) string {
+	t.Helper()
+	d := proptest.PerfDataset(proptest.NewRand(proptest.CaseSeed("train-smoke", 0)), rows)
+	path := filepath.Join(t.TempDir(), "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTrainsEvaluatesAndPersists(t *testing.T) {
+	csv := writeTrainCSV(t, 300)
+	treePath := filepath.Join(t.TempDir(), "tree.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-in", csv, "-minleaf", "40", "-cv", "2", "-global", "-out", treePath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"loaded 300 sections",
+		"training fit:",
+		"2-fold CV pooled:",
+		"global linear fit:",
+		"tree written to",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	f, err := os.Open(treePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tree, err := mtree.ReadJSON(f)
+	if err != nil {
+		t.Fatalf("persisted tree does not load: %v", err)
+	}
+	if tree.NumLeaves() < 1 {
+		t.Errorf("loaded tree has %d leaves", tree.NumLeaves())
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("run without -in succeeded")
+	}
+}
+
+func TestRunRejectsMissingTarget(t *testing.T) {
+	csv := writeTrainCSV(t, 100)
+	var out bytes.Buffer
+	if err := run([]string{"-in", csv, "-target", "NoSuchColumn"}, &out); err == nil {
+		t.Fatal("run with an absent target column succeeded")
+	}
+}

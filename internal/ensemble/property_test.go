@@ -1,0 +1,149 @@
+package ensemble_test
+
+// Property tests for the bagged ensemble: the mean-of-members prediction
+// contract (bit-for-bit), determinism across the Jobs knob, and
+// byte-exact versioned persistence.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ensemble"
+	"repro/internal/mtree"
+	"repro/internal/proptest"
+)
+
+func genEnsembleConfig(r *proptest.Rand) ensemble.Config {
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = r.IntBetween(10, 40)
+	cfg.Smooth = r.Coin()
+	return ensemble.Config{
+		Trees:          r.IntBetween(2, 6),
+		Tree:           cfg,
+		SampleFraction: r.Range(0.5, 1),
+		Seed:           r.Int63(),
+	}
+}
+
+func genRow(r *proptest.Rand) dataset.Instance {
+	return dataset.Instance{0, r.Range(0, 0.01), r.Range(0, 0.008), r.Range(0, 0.003)}
+}
+
+// TestPredictIsMeanOfMembers: Bagger.Predict equals the members' summed
+// predictions in tree order divided by the count — exactly, not
+// approximately, so any future reordering or reweighting of members is
+// caught as a bit-level change.
+func TestPredictIsMeanOfMembers(t *testing.T) {
+	proptest.Run(t, "ensemble-mean", 8, func(t *testing.T, r *proptest.Rand) {
+		d := proptest.PerfDataset(r, r.IntBetween(100, 250))
+		b, err := ensemble.Train(d, genEnsembleConfig(r))
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		for i := 0; i < 20; i++ {
+			row := genRow(r)
+			sum := 0.0
+			for _, tree := range b.Trees {
+				sum += tree.Predict(row)
+			}
+			want := sum / float64(len(b.Trees))
+			if got := b.Predict(row); got != want {
+				t.Fatalf("row %d: Predict %v != member mean %v", i, got, want)
+			}
+		}
+	})
+}
+
+// TestTrainInvariants: the trained ensemble has the requested member
+// count and sane out-of-bag statistics.
+func TestTrainInvariants(t *testing.T) {
+	proptest.Run(t, "ensemble-train", 6, func(t *testing.T, r *proptest.Rand) {
+		d := proptest.PerfDataset(r, r.IntBetween(100, 250))
+		cfg := genEnsembleConfig(r)
+		b, err := ensemble.Train(d, cfg)
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		if len(b.Trees) != cfg.Trees {
+			t.Fatalf("trained %d trees, want %d", len(b.Trees), cfg.Trees)
+		}
+		if b.OOBCoverage < 0 || b.OOBCoverage > 1 {
+			t.Fatalf("OOBCoverage = %v", b.OOBCoverage)
+		}
+		if b.OOBError < 0 {
+			t.Fatalf("OOBError = %v", b.OOBError)
+		}
+		if ml := b.MeanLeaves(); ml < 1 {
+			t.Fatalf("MeanLeaves = %v", ml)
+		}
+	})
+}
+
+// TestTrainJobsInvariance: training at Jobs=1 and Jobs=4 produces
+// byte-identical ensembles — the parallel layer may not perturb the
+// bootstrap draws, member trees, or out-of-bag reduction.
+func TestTrainJobsInvariance(t *testing.T) {
+	proptest.Run(t, "ensemble-jobs", 5, func(t *testing.T, r *proptest.Rand) {
+		d := proptest.PerfDataset(r, r.IntBetween(100, 250))
+		cfg := genEnsembleConfig(r)
+		persist := func(jobs int) []byte {
+			cfg.Jobs = jobs
+			b, err := ensemble.Train(d, cfg)
+			if err != nil {
+				t.Fatalf("Train(jobs=%d): %v", jobs, err)
+			}
+			var buf bytes.Buffer
+			if err := b.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		if !bytes.Equal(persist(1), persist(4)) {
+			t.Fatal("ensemble differs between Jobs=1 and Jobs=4")
+		}
+	})
+}
+
+// TestEnsemblePersistRoundTrip: write→read→write is byte-identical, and
+// files with the wrong kind or a future schema version are rejected.
+func TestEnsemblePersistRoundTrip(t *testing.T) {
+	proptest.Run(t, "ensemble-persist", 6, func(t *testing.T, r *proptest.Rand) {
+		d := proptest.PerfDataset(r, r.IntBetween(100, 250))
+		b, err := ensemble.Train(d, genEnsembleConfig(r))
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		var first bytes.Buffer
+		if err := b.WriteJSON(&first); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		loaded, err := ensemble.ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadJSON: %v", err)
+		}
+		var second bytes.Buffer
+		if err := loaded.WriteJSON(&second); err != nil {
+			t.Fatalf("WriteJSON after load: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("persist -> load -> persist is not byte-identical")
+		}
+		for i := 0; i < 10; i++ {
+			row := genRow(r)
+			if b.Predict(row) != loaded.Predict(row) {
+				t.Fatalf("loaded ensemble diverges on row %d", i)
+			}
+		}
+
+		if _, err := ensemble.ReadJSON(strings.NewReader(
+			strings.Replace(first.String(), `"kind": "bagged-m5"`, `"kind": "other"`, 1))); err == nil {
+			t.Fatal("wrong kind was accepted")
+		}
+		if _, err := ensemble.ReadJSON(strings.NewReader(
+			strings.Replace(first.String(), `"schema_version": 1`, `"schema_version": 99`, 1))); err == nil {
+			t.Fatal("future schema version was accepted")
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package model_test
+
+// Interface-conformance tests for the two Model implementations: the
+// Description must agree with the training data and with NumLeaves, and
+// Contributions must be ordered, schema-consistent, and arithmetically
+// coherent — for trees AND ensembles through the same generic checks.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ensemble"
+	"repro/internal/model"
+	"repro/internal/mtree"
+	"repro/internal/proptest"
+)
+
+// fixtures trains one tree and one ensemble on the same dataset.
+func fixtures(t *testing.T) (*dataset.Dataset, []model.Model) {
+	t.Helper()
+	d := proptest.PerfDataset(proptest.NewRand(proptest.CaseSeed("model-conformance", 0)), 400)
+	tcfg := mtree.DefaultConfig()
+	tcfg.MinLeaf = 40
+	tree, err := mtree.Build(d, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag, err := ensemble.Train(d, ensemble.Config{Trees: 3, Tree: tcfg, SampleFraction: 0.8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, []model.Model{tree, bag}
+}
+
+func TestDescribeConsistency(t *testing.T) {
+	d, models := fixtures(t)
+	wantKinds := []string{"m5-model-tree", "bagged-m5"}
+	wantTrees := []int{1, 3}
+	for i, m := range models {
+		desc := m.Describe()
+		if desc.Kind != wantKinds[i] {
+			t.Errorf("model %d: Kind %q, want %q", i, desc.Kind, wantKinds[i])
+		}
+		if desc.Trees != wantTrees[i] {
+			t.Errorf("%s: Trees %d, want %d", desc.Kind, desc.Trees, wantTrees[i])
+		}
+		if desc.Target != d.TargetName() {
+			t.Errorf("%s: Target %q, want %q", desc.Kind, desc.Target, d.TargetName())
+		}
+		if len(desc.AttrNames) != d.NumAttrs() {
+			t.Errorf("%s: %d attr names for %d columns", desc.Kind, len(desc.AttrNames), d.NumAttrs())
+		}
+		for j, a := range d.Attrs() {
+			if desc.AttrNames[j] != a.Name {
+				t.Errorf("%s: attr %d named %q, want %q", desc.Kind, j, desc.AttrNames[j], a.Name)
+			}
+		}
+		// A single tree reports the full training set; the ensemble
+		// reports its first member's bootstrap size (SampleFraction 0.8).
+		wantTrainN := d.Len()
+		if desc.Trees > 1 {
+			wantTrainN = int(0.8 * float64(d.Len()))
+		}
+		if desc.TrainN != wantTrainN {
+			t.Errorf("%s: TrainN %d, want %d", desc.Kind, desc.TrainN, wantTrainN)
+		}
+		if desc.NumLeaves != m.NumLeaves() {
+			t.Errorf("%s: Describe().NumLeaves %d != NumLeaves() %d", desc.Kind, desc.NumLeaves, m.NumLeaves())
+		}
+		if desc.NumLeaves < desc.Trees {
+			t.Errorf("%s: %d leaves over %d trees", desc.Kind, desc.NumLeaves, desc.Trees)
+		}
+	}
+}
+
+func TestContributionsConsistency(t *testing.T) {
+	d, models := fixtures(t)
+	for _, m := range models {
+		desc := m.Describe()
+		for i := 0; i < 50; i++ {
+			row := d.Row(i * 7 % d.Len())
+			cs := m.Contributions(row)
+			for j, c := range cs {
+				if c.Attr < 0 || c.Attr >= len(desc.AttrNames) {
+					t.Fatalf("%s: contribution attr %d outside schema", desc.Kind, c.Attr)
+				}
+				if c.Name != desc.AttrNames[c.Attr] {
+					t.Fatalf("%s: contribution named %q for attr %d (%q)",
+						desc.Kind, c.Name, c.Attr, desc.AttrNames[c.Attr])
+				}
+				if c.Rate != row[c.Attr] {
+					t.Fatalf("%s: Rate %v != row[%d] = %v", desc.Kind, c.Rate, c.Attr, row[c.Attr])
+				}
+				// Exact for a single tree; an ensemble averages Coef and
+				// Cycles over members separately, so the identity holds
+				// only up to floating-point association.
+				if want := c.Coef * c.Rate; desc.Trees == 1 && c.Cycles != want {
+					t.Fatalf("%s: Cycles %v != Coef*Rate %v", desc.Kind, c.Cycles, want)
+				} else if diff := math.Abs(c.Cycles - want); diff > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Fatalf("%s: Cycles %v far from Coef*Rate %v", desc.Kind, c.Cycles, want)
+				}
+				if j > 0 && cs[j-1].Cycles < c.Cycles {
+					t.Fatalf("%s: contributions not sorted largest-first at %d", desc.Kind, j)
+				}
+			}
+			// One contribution per distinct event at most.
+			seen := map[int]bool{}
+			for _, c := range cs {
+				if seen[c.Attr] {
+					t.Fatalf("%s: duplicate contribution for attr %d", desc.Kind, c.Attr)
+				}
+				seen[c.Attr] = true
+			}
+		}
+	}
+}

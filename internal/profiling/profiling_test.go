@@ -1,0 +1,76 @@
+package profiling
+
+// Tests for the pprof plumbing: empty paths are no-ops, good paths
+// produce non-empty profile files, and bad paths surface errors instead
+// of silently dropping the profile.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartCPUEmptyPathIsNoOp(t *testing.T) {
+	stop, err := StartCPU("")
+	if err != nil {
+		t.Fatalf("StartCPU(\"\"): %v", err)
+	}
+	stop() // must be callable
+}
+
+func TestStartCPUWritesProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.out")
+	stop, err := StartCPU(path)
+	if err != nil {
+		t.Fatalf("StartCPU: %v", err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("profile file is empty")
+	}
+	// A second profile may start after the first stopped.
+	stop2, err := StartCPU(filepath.Join(t.TempDir(), "cpu2.out"))
+	if err != nil {
+		t.Fatalf("second StartCPU: %v", err)
+	}
+	stop2()
+}
+
+func TestStartCPURejectsBadPath(t *testing.T) {
+	if _, err := StartCPU(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")); err == nil {
+		t.Fatal("unwritable CPU profile path was accepted")
+	}
+}
+
+func TestWriteHeap(t *testing.T) {
+	if err := WriteHeap(""); err != nil {
+		t.Fatalf("WriteHeap(\"\"): %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "mem.out")
+	if err := WriteHeap(path); err != nil {
+		t.Fatalf("WriteHeap: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+}
+
+func TestWriteHeapRejectsBadPath(t *testing.T) {
+	if err := WriteHeap(filepath.Join(t.TempDir(), "no", "such", "dir", "mem.out")); err == nil {
+		t.Fatal("unwritable heap profile path was accepted")
+	}
+}

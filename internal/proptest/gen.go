@@ -1,0 +1,183 @@
+package proptest
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mtree"
+	"repro/internal/sim/trace"
+)
+
+// Insts generates n dynamic instructions with a realistic mixture:
+// sequential code from a handful of "functions" (hot PCs reused often,
+// cold PCs far apart), loads/stores that hit a small hot set, stride over
+// an array, or jump far away, taken/not-taken branches with varying
+// targets, and the paper's hazard events (split accesses, misalignment,
+// LCP stalls, store-blocked loads) sprinkled at generated rates. Every
+// record is valid input for cpu.Run at any geometry.
+func Insts(r *Rand, n int) []trace.Inst {
+	insts := make([]trace.Inst, 0, n)
+
+	// Per-trace character: event probabilities drawn once, so different
+	// cases exercise different regimes (loopy vs branchy vs memory-bound).
+	pLoad := r.Range(0.1, 0.35)
+	pStore := r.Range(0.05, 0.2)
+	pBranch := r.Range(0.05, 0.25)
+	pFarData := r.Range(0, 0.15) // misses even in a big L2
+	pStride := r.Range(0.2, 0.8) // prefetchable component
+	pHazard := r.Range(0, 0.05)  // split/misalign/LCP/block events
+	pFarCode := r.Range(0, 0.1)  // instruction-side misses
+	pTaken := r.Range(0.2, 0.9)
+
+	// Code layout: a few hot function bodies plus a cold region.
+	nFuncs := r.IntBetween(1, 6)
+	funcBase := make([]uint64, nFuncs)
+	for i := range funcBase {
+		funcBase[i] = 0x400000 + uint64(r.Intn(1<<14))*64
+	}
+	pc := funcBase[0]
+
+	// Data layout: hot working set, a strided array, and a far heap.
+	hotBase := uint64(0x10000000) + uint64(r.Intn(1<<10))*64
+	hotLines := uint64(r.IntBetween(4, 64))
+	arrBase := uint64(0x20000000) + uint64(r.Intn(1<<10))*4096
+	stride := uint64([]int{4, 8, 16, 64, 128}[r.Intn(5)])
+	arrPos := uint64(0)
+
+	for len(insts) < n {
+		var in trace.Inst
+		in.PC = pc
+		pc += 4
+		if r.Bool(pFarCode) {
+			// Jump the fetch stream to a cold code page.
+			pc = 0x7f0000000000 + uint64(r.Intn(1<<16))*4096 + uint64(r.Intn(1024))*4
+		} else if r.Bool(0.02) {
+			pc = funcBase[r.Intn(nFuncs)]
+		}
+
+		u := r.Float64()
+		switch {
+		case u < pLoad:
+			in.Kind = trace.Load
+		case u < pLoad+pStore:
+			in.Kind = trace.Store
+		case u < pLoad+pStore+pBranch:
+			in.Kind = trace.Branch
+		default:
+			in.Kind = trace.Other
+		}
+
+		switch in.Kind {
+		case trace.Load, trace.Store:
+			in.Size = []uint8{1, 2, 4, 8, 16}[r.Intn(5)]
+			switch {
+			case r.Bool(pFarData):
+				in.Addr = 0x30000000 + uint64(r.Intn(1<<20))*64
+			case r.Bool(pStride):
+				in.Addr = arrBase + arrPos
+				arrPos += stride
+			default:
+				in.Addr = hotBase + uint64(r.Intn(int(hotLines)))*64 + uint64(r.Intn(56))
+			}
+			if r.Bool(pHazard) {
+				// Pick one hazard; a misaligned address also makes the
+				// split-access path reachable for large sizes.
+				switch r.Intn(5) {
+				case 0:
+					in.Addr |= 1
+					in.Misaligned = true
+				case 1:
+					in.Addr = in.Addr/64*64 + 61 // crosses the 64B line for Size >= 4
+					in.Misaligned = true
+				case 2:
+					if in.Kind == trace.Load {
+						in.BlockSTA = true
+					}
+				case 3:
+					if in.Kind == trace.Load {
+						in.BlockSTD = true
+					}
+				case 4:
+					if in.Kind == trace.Load {
+						in.BlockOverlap = true
+					}
+				}
+			}
+			in.DepDist = uint8(r.Intn(9)) // 0 = independent, 1..8 = chain
+		case trace.Branch:
+			in.Taken = r.Bool(pTaken)
+			in.Target = funcBase[r.Intn(nFuncs)] + uint64(r.Intn(256))*4
+			if in.Taken {
+				pc = in.Target
+			}
+		default:
+			if r.Bool(pHazard) {
+				in.LCP = true
+			}
+			in.DepDist = uint8(r.Intn(9))
+		}
+		insts = append(insts, in)
+	}
+	return insts
+}
+
+// PerfAttrNames is the schema used by PerfDataset: CPI target plus three
+// per-instruction event rates, mirroring the serving tests' demo law.
+var PerfAttrNames = []string{"CPI", "L1IM", "L2M", "DtlbLdM"}
+
+// PerfDataset generates rows rows of a piecewise-linear CPI law over
+// event rates — two regimes split on L2M, with generated coefficients and
+// a little noise — so M5' has real structure to find. The target is
+// column 0 ("CPI"). The coefficients vary per case; the functional form
+// (linear within each regime) is what the model-tree invariants need.
+func PerfDataset(r *Rand, rows int) *dataset.Dataset {
+	attrs := make([]dataset.Attribute, len(PerfAttrNames))
+	for i, n := range PerfAttrNames {
+		attrs[i] = dataset.Attribute{Name: n}
+	}
+	d := dataset.MustNew(attrs, 0)
+
+	base := r.Range(0.4, 1.2)
+	cL1I := r.Range(2, 12)
+	cL2 := r.Range(40, 160)
+	cDtlb := r.Range(10, 60)
+	knee := r.Range(0.001, 0.004)
+	noise := r.Range(0, 0.01)
+
+	for i := 0; i < rows; i++ {
+		l1i := r.Range(0, 0.01)
+		l2 := r.Range(0, 0.008)
+		dt := r.Range(0, 0.003)
+		var cpi float64
+		if l2 > knee {
+			cpi = base + 0.5 + cL2*l2 + cDtlb*dt
+		} else {
+			cpi = base + cL1I*l1i
+		}
+		cpi += noise * r.NormFloat64()
+		if cpi < 0.1 {
+			cpi = 0.1
+		}
+		d.MustAppend(dataset.Instance{cpi, l1i, l2, dt})
+	}
+	return d
+}
+
+// TreeConfig generates a Validate-legal M5' configuration spanning the
+// knob space: leaf sizes, SD thresholds, pruning/smoothing/attribute
+// dropping toggles, and both model-attribute policies.
+func TreeConfig(r *Rand) mtree.Config {
+	cfg := mtree.Config{
+		MinLeaf:               r.IntBetween(2, 40),
+		SDThresholdFraction:   r.Range(0.01, 0.2),
+		Prune:                 r.Coin(),
+		Smooth:                r.Coin(),
+		SmoothingK:            r.Range(1, 30),
+		DropAttributes:        r.Coin(),
+		SubtreeAttributesOnly: r.Coin(),
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("proptest: generated invalid tree config: %v", err))
+	}
+	return cfg
+}

@@ -1,0 +1,152 @@
+// Package proptest is the repository's property-based and metamorphic
+// testing harness. It provides a deterministic SplitMix64-seeded random
+// source and a small runner that executes a property over many generated
+// cases inside an ordinary `go test` run — no external dependencies, no
+// nondeterministic shrinking, no time-based seeds.
+//
+// Determinism is the whole point: every case a property sees is a pure
+// function of (property name, iteration index), so a failure reproduces
+// identically on every machine and every run, and a suite that passes
+// once keeps passing until the code under test changes. This is the same
+// stance internal/parallel takes for concurrency (results independent of
+// scheduling) applied to test-input generation, and it is what lets the
+// metamorphic suites in internal/sim, internal/mtree, internal/ensemble
+// and internal/serve act as a regression net for the hot-loop work: the
+// golden hash pins one frozen workload, the properties pin the *physics*
+// (cache monotonicity, counter bounds, Eq. 4 arithmetic, bit-identical
+// serving) across thousands of generated ones.
+package proptest
+
+import (
+	"math"
+	"testing"
+)
+
+// golden64 is the 64-bit golden-ratio constant used by SplitMix64, the
+// same increment internal/parallel uses for seed derivation.
+const golden64 = 0x9e3779b97f4a7c15
+
+// Rand is a deterministic SplitMix64 pseudo-random source. It is not
+// safe for concurrent use; properties that fan out must derive one Rand
+// per goroutine (see Split).
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a SplitMix64 source with the given seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// mix64 is the SplitMix64 output finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += golden64
+	return mix64(r.state)
+}
+
+// Split derives an independent child source whose stream is a pure
+// function of the parent's current state, without consuming it twice.
+func (r *Rand) Split() *Rand { return &Rand{state: mix64(r.Uint64())} }
+
+// Int63 returns a non-negative pseudo-random int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns a pseudo-random int in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("proptest: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntBetween returns a pseudo-random int in [lo, hi] inclusive.
+func (r *Rand) IntBetween(lo, hi int) int {
+	if hi < lo {
+		panic("proptest: IntBetween with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a pseudo-random float64 in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Coin returns true with probability 1/2.
+func (r *Rand) Coin() bool { return r.Uint64()&1 == 1 }
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one draw of
+// the pair is discarded to keep the implementation stateless).
+func (r *Rand) NormFloat64() float64 {
+	// Guard u1 away from 0 so Log stays finite.
+	u1 := (float64(r.Uint64()>>11) + 0.5) / (1 << 53)
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// nameSeed folds a property name into a 64-bit seed (FNV-1a, then
+// scrambled so short names still differ in every bit).
+func nameSeed(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// CaseSeed returns the seed of one property iteration: a pure function
+// of the property name and iteration index, SplitMix64-style. Exported
+// so a failing case can be replayed in isolation.
+func CaseSeed(name string, iter int) uint64 {
+	return mix64(nameSeed(name) + uint64(iter)*golden64)
+}
+
+// shortDivisor shrinks iteration counts under -short so the property
+// suites stay a small fraction of the race-detector CI run.
+const shortDivisor = 4
+
+// Run executes prop as a subtest named name for iters generated cases.
+// Case i receives a Rand seeded with CaseSeed(name, i); on the first
+// failing case the runner reports the iteration and seed and stops, so
+// the failure is replayable with Replay. Under -short the iteration
+// count is divided by 4 (minimum 1).
+func Run(t *testing.T, name string, iters int, prop func(t *testing.T, r *Rand)) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		n := iters
+		if testing.Short() {
+			if n = iters / shortDivisor; n < 1 {
+				n = 1
+			}
+		}
+		for i := 0; i < n; i++ {
+			seed := CaseSeed(name, i)
+			prop(t, NewRand(seed))
+			if t.Failed() {
+				t.Fatalf("property %q failed at iteration %d (replay: proptest.Replay(t, %q, %d, prop))",
+					name, i, name, i)
+			}
+		}
+	})
+}
+
+// Replay runs a single iteration of a property, for debugging a failure
+// reported by Run.
+func Replay(t *testing.T, name string, iter int, prop func(t *testing.T, r *Rand)) {
+	t.Helper()
+	prop(t, NewRand(CaseSeed(name, iter)))
+}

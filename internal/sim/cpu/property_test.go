@@ -1,0 +1,297 @@
+package cpu_test
+
+// Property and metamorphic tests for the timing model. The PMU counters
+// are checked against the physics they are supposed to obey (CounterPoint
+// style): event counts bounded by the retired-instruction stream that can
+// produce them, cycle attribution that adds up, and monotone responses to
+// capacity changes. None of these depend on the exact penalty values, so
+// they survive re-tuning — unlike the golden hash, which pins one frozen
+// workload.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/proptest"
+	"repro/internal/sim/branch"
+	"repro/internal/sim/cpu"
+	"repro/internal/sim/mem"
+	"repro/internal/sim/trace"
+)
+
+// genConfig picks one of the three timing profiles with a generated
+// wrong-path seed, so the properties hold across machines, not just the
+// Core 2 point.
+func genConfig(r *proptest.Rand) cpu.Config {
+	cfg := [3]func() cpu.Config{cpu.DefaultConfig, cpu.NetBurstConfig, cpu.InOrderConfig}[r.Intn(3)]()
+	cfg.Seed = r.Int63()
+	return cfg
+}
+
+// genGeometry shrinks the Core 2 geometry so generated traces actually
+// miss: tiny structures excite every Table I event within a few thousand
+// instructions.
+func genGeometry(r *proptest.Rand) mem.Core2Geometry {
+	return mem.ScaledGeometry(int64([]int{16, 64, 256}[r.Intn(3)]))
+}
+
+func runTrace(cfg cpu.Config, geom mem.Core2Geometry, insts []trace.Inst) *cpu.CPU {
+	c := cpu.New(cfg, geom, branch.DefaultConfig())
+	c.Run(&trace.SliceStream{Insts: insts})
+	return c
+}
+
+// TestCounterBounds: every PMU counter is bounded by the population of
+// instructions (retired plus simulated wrong-path) that can raise it, and
+// cycles are finite and at least the issue-width lower bound.
+func TestCounterBounds(t *testing.T) {
+	proptest.Run(t, "counter-bounds", 25, func(t *testing.T, r *proptest.Rand) {
+		cfg := genConfig(r)
+		insts := proptest.Insts(r, 4000)
+		c := runTrace(cfg, genGeometry(r), insts)
+		ctr := c.Counters()
+		n := uint64(len(insts))
+
+		if ctr.Insts != n {
+			t.Fatalf("Insts = %d, want %d", ctr.Insts, n)
+		}
+		if ctr.Loads+ctr.Stores+ctr.Branches > n {
+			t.Fatalf("kind counters %d+%d+%d exceed %d retired",
+				ctr.Loads, ctr.Stores, ctr.Branches, n)
+		}
+		if ctr.BrMispred > ctr.Branches {
+			t.Fatalf("BrMispred %d > Branches %d", ctr.BrMispred, ctr.Branches)
+		}
+		// Retired-load miss events nest: L2 ⊆ L1D ⊆ loads.
+		if ctr.L1DMiss > ctr.Loads || ctr.L2Miss > ctr.L1DMiss {
+			t.Fatalf("load miss nesting violated: L2M %d, L1DM %d, loads %d",
+				ctr.L2Miss, ctr.L1DMiss, ctr.Loads)
+		}
+		// Speculative-inclusive events are bounded by retired population
+		// plus the configured wrong-path activity per mispredict.
+		wpF := uint64(cfg.WrongPathFetches) * ctr.BrMispred
+		wpL := uint64(cfg.WrongPathLoads) * ctr.BrMispred
+		if ctr.L1IMiss > n+wpF {
+			t.Fatalf("L1IMiss %d exceeds %d fetches", ctr.L1IMiss, n+wpF)
+		}
+		if ctr.ItlbMiss > n+wpF {
+			t.Fatalf("ItlbMiss %d exceeds %d fetches", ctr.ItlbMiss, n+wpF)
+		}
+		if ctr.Dtlb0LdMiss > ctr.Loads+wpL {
+			t.Fatalf("Dtlb0LdMiss %d exceeds %d load translations", ctr.Dtlb0LdMiss, ctr.Loads+wpL)
+		}
+		// Loads reach the main DTLB only through an L0 miss, retired or not.
+		if ctr.DtlbLdMiss > ctr.Dtlb0LdMiss {
+			t.Fatalf("DtlbLdMiss %d > Dtlb0LdMiss %d", ctr.DtlbLdMiss, ctr.Dtlb0LdMiss)
+		}
+		if ctr.DtlbLdRetMiss > ctr.DtlbLdMiss {
+			t.Fatalf("retired DTLB misses %d exceed speculative-inclusive %d",
+				ctr.DtlbLdRetMiss, ctr.DtlbLdMiss)
+		}
+		if ctr.DtlbAnyMiss < ctr.DtlbLdMiss || ctr.DtlbAnyMiss > ctr.DtlbLdMiss+ctr.Stores {
+			t.Fatalf("DtlbAnyMiss %d outside [%d, %d]",
+				ctr.DtlbAnyMiss, ctr.DtlbLdMiss, ctr.DtlbLdMiss+ctr.Stores)
+		}
+		if ctr.SplitLoads > ctr.Loads || ctr.SplitStores > ctr.Stores ||
+			ctr.Misaligned > ctr.Loads+ctr.Stores || ctr.LCPStalls > n {
+			t.Fatalf("hazard counters exceed their populations: %+v", ctr)
+		}
+		if ctr.LdBlockSTA > ctr.Loads || ctr.LdBlockSTD > ctr.Loads || ctr.LdBlockOvSt > ctr.Loads {
+			t.Fatalf("load-block counters exceed loads: %+v", ctr)
+		}
+		// Cycles: finite, and no faster than the sustained issue width.
+		if math.IsNaN(ctr.Cycles) || math.IsInf(ctr.Cycles, 0) || ctr.Cycles < 0 {
+			t.Fatalf("Cycles = %v", ctr.Cycles)
+		}
+		if floor := float64(n) / cfg.IssueWidth; ctr.Cycles < floor*(1-1e-9) {
+			t.Fatalf("Cycles %v below issue-width floor %v", ctr.Cycles, floor)
+		}
+		if cpi := ctr.CPI(); cpi < 1/cfg.IssueWidth*(1-1e-9) {
+			t.Fatalf("CPI %v beats the issue width", cpi)
+		}
+	})
+}
+
+// TestBreakdownSumsToCycles: the ground-truth cycle attribution accounts
+// for every cycle the counters report — the categories sum to the total
+// (up to accumulation-order rounding).
+func TestBreakdownSumsToCycles(t *testing.T) {
+	proptest.Run(t, "breakdown-sums", 25, func(t *testing.T, r *proptest.Rand) {
+		c := runTrace(genConfig(r), genGeometry(r), proptest.Insts(r, 4000))
+		cycles, total := c.Counters().Cycles, c.CycleBreakdown().Total()
+		if diff := math.Abs(cycles - total); diff > 1e-9*math.Max(cycles, 1) {
+			t.Fatalf("breakdown total %v != cycles %v (diff %g)", total, cycles, diff)
+		}
+		for cat, v := range c.CycleBreakdown() {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("category %v has %v cycles", cpu.CycleCategory(cat), v)
+			}
+		}
+	})
+}
+
+// TestRunMatchesStep: the block-batched Run path retires the same
+// counters, breakdown and cycle total bit-for-bit as per-instruction
+// Step calls.
+func TestRunMatchesStep(t *testing.T) {
+	proptest.Run(t, "run-matches-step", 15, func(t *testing.T, r *proptest.Rand) {
+		cfg, geom := genConfig(r), genGeometry(r)
+		insts := proptest.Insts(r, r.IntBetween(1, 3000))
+
+		blocked := runTrace(cfg, geom, insts)
+		stepped := cpu.New(cfg, geom, branch.DefaultConfig())
+		for i := range insts {
+			stepped.Step(&insts[i])
+		}
+		if blocked.Counters() != stepped.Counters() {
+			t.Fatalf("counters diverged:\nrun:  %+v\nstep: %+v", blocked.Counters(), stepped.Counters())
+		}
+		if blocked.CycleBreakdown() != stepped.CycleBreakdown() {
+			t.Fatalf("breakdown diverged:\nrun:  %v\nstep: %v", blocked.CycleBreakdown(), stepped.CycleBreakdown())
+		}
+		if blocked.Retired() != stepped.Retired() {
+			t.Fatalf("retired diverged: %d vs %d", blocked.Retired(), stepped.Retired())
+		}
+	})
+}
+
+// TestDeterminism: two cores with identical configuration replaying the
+// same trace agree bit-for-bit.
+func TestDeterminism(t *testing.T) {
+	proptest.Run(t, "cpu-determinism", 10, func(t *testing.T, r *proptest.Rand) {
+		cfg, geom := genConfig(r), genGeometry(r)
+		insts := proptest.Insts(r, 3000)
+		a, b := runTrace(cfg, geom, insts), runTrace(cfg, geom, insts)
+		if a.Counters() != b.Counters() || a.CycleBreakdown() != b.CycleBreakdown() {
+			t.Fatal("identical runs diverged")
+		}
+	})
+}
+
+// TestSectionAdditivity: splitting a run into sections with ResetSection
+// (which keeps all micro-architectural state warm) partitions the
+// counters — integer events sum exactly, cycles up to rounding — exactly
+// like reprogramming PMU counters mid-run on hardware.
+func TestSectionAdditivity(t *testing.T) {
+	proptest.Run(t, "section-additivity", 15, func(t *testing.T, r *proptest.Rand) {
+		cfg, geom := genConfig(r), genGeometry(r)
+		insts := proptest.Insts(r, 3000)
+		cut := r.IntBetween(1, len(insts)-1)
+
+		whole := runTrace(cfg, geom, insts)
+
+		split := cpu.New(cfg, geom, branch.DefaultConfig())
+		split.Run(&trace.SliceStream{Insts: insts[:cut]})
+		first := split.Counters()
+		split.ResetSection()
+		split.Run(&trace.SliceStream{Insts: insts[cut:]})
+		second := split.Counters()
+
+		sumU := func(a, b, want uint64, name string) {
+			if a+b != want {
+				t.Fatalf("%s: %d + %d != %d", name, a, b, want)
+			}
+		}
+		w := whole.Counters()
+		sumU(first.Insts, second.Insts, w.Insts, "Insts")
+		sumU(first.Loads, second.Loads, w.Loads, "Loads")
+		sumU(first.Stores, second.Stores, w.Stores, "Stores")
+		sumU(first.Branches, second.Branches, w.Branches, "Branches")
+		sumU(first.BrMispred, second.BrMispred, w.BrMispred, "BrMispred")
+		sumU(first.L1DMiss, second.L1DMiss, w.L1DMiss, "L1DMiss")
+		sumU(first.L1IMiss, second.L1IMiss, w.L1IMiss, "L1IMiss")
+		sumU(first.L2Miss, second.L2Miss, w.L2Miss, "L2Miss")
+		sumU(first.Dtlb0LdMiss, second.Dtlb0LdMiss, w.Dtlb0LdMiss, "Dtlb0LdMiss")
+		sumU(first.DtlbLdMiss, second.DtlbLdMiss, w.DtlbLdMiss, "DtlbLdMiss")
+		sumU(first.ItlbMiss, second.ItlbMiss, w.ItlbMiss, "ItlbMiss")
+		if diff := math.Abs(first.Cycles + second.Cycles - w.Cycles); diff > 1e-9*math.Max(w.Cycles, 1) {
+			t.Fatalf("Cycles: %v + %v != %v", first.Cycles, second.Cycles, w.Cycles)
+		}
+	})
+}
+
+// enlargeCache doubles a cache's associativity with the set count fixed
+// (size scales with ways), the geometry change for which per-set LRU
+// stack inclusion guarantees miss monotonicity.
+func enlargeCache(c mem.CacheConfig) mem.CacheConfig {
+	c.Ways *= 2
+	c.SizeB *= 2
+	return c
+}
+
+func enlargeTLB(t mem.TLBConfig) mem.TLBConfig {
+	t.Ways *= 2
+	t.Entries *= 2
+	return t
+}
+
+// TestEnlargementMonotonic: enlarging one cache or TLB (same sets, more
+// ways) never increases that structure's miss counter on the same trace.
+// The access sequence each structure sees is geometry-independent — it is
+// driven by the trace, by outcomes of structures that did not change, and
+// by a branch predictor and wrong-path RNG that never consult cache
+// state — so per-set LRU stack inclusion applies end-to-end through the
+// full CPU, wrong-path simulation and prefetchers included.
+func TestEnlargementMonotonic(t *testing.T) {
+	structures := []struct {
+		name    string
+		enlarge func(g mem.Core2Geometry) mem.Core2Geometry
+		misses  func(c *cpu.CPU) uint64
+	}{
+		{"L1D", func(g mem.Core2Geometry) mem.Core2Geometry { g.L1D = enlargeCache(g.L1D); return g },
+			func(c *cpu.CPU) uint64 { return c.Counters().L1DMiss }},
+		{"L1I", func(g mem.Core2Geometry) mem.Core2Geometry { g.L1I = enlargeCache(g.L1I); return g },
+			func(c *cpu.CPU) uint64 { return c.Counters().L1IMiss }},
+		{"L2", func(g mem.Core2Geometry) mem.Core2Geometry { g.L2 = enlargeCache(g.L2); return g },
+			func(c *cpu.CPU) uint64 { return c.Mem.L2.Misses }},
+		{"DTLB0", func(g mem.Core2Geometry) mem.Core2Geometry { g.DTLB0 = enlargeTLB(g.DTLB0); return g },
+			func(c *cpu.CPU) uint64 { return c.Counters().Dtlb0LdMiss }},
+		{"DTLB", func(g mem.Core2Geometry) mem.Core2Geometry { g.DTLB = enlargeTLB(g.DTLB); return g },
+			func(c *cpu.CPU) uint64 { return c.Mem.DTLB.Misses() }},
+		{"ITLB", func(g mem.Core2Geometry) mem.Core2Geometry { g.ITLB = enlargeTLB(g.ITLB); return g },
+			func(c *cpu.CPU) uint64 { return c.Counters().ItlbMiss }},
+	}
+	for _, s := range structures {
+		s := s
+		proptest.Run(t, "enlarge-"+s.name, 10, func(t *testing.T, r *proptest.Rand) {
+			cfg := genConfig(r)
+			geom := genGeometry(r)
+			insts := proptest.Insts(r, 4000)
+			small := runTrace(cfg, geom, insts)
+			large := runTrace(cfg, s.enlarge(geom), insts)
+			if ms, ml := s.misses(small), s.misses(large); ml > ms {
+				t.Fatalf("enlarging %s raised its misses %d -> %d", s.name, ms, ml)
+			}
+		})
+	}
+}
+
+// TestPrefetchAblation: the data-side prefetcher fills only the L2, so
+// disabling it leaves the L1D demand stream untouched (exact equality)
+// and — on these deterministic traces — never *reduces* L2 demand
+// misses: a prefetcher that only ever adds useful lines can only help.
+func TestPrefetchAblation(t *testing.T) {
+	proptest.Run(t, "prefetch-ablation", 15, func(t *testing.T, r *proptest.Rand) {
+		cfg, geom := genConfig(r), genGeometry(r)
+		insts := proptest.Insts(r, 4000)
+
+		on := runTrace(cfg, geom, insts)
+
+		off := cpu.New(cfg, geom, branch.DefaultConfig())
+		off.Mem.DataPF = nil
+		off.Run(&trace.SliceStream{Insts: insts})
+
+		if on.Counters().L1DMiss != off.Counters().L1DMiss {
+			t.Fatalf("disabling the data prefetcher changed L1D misses: %d vs %d",
+				on.Counters().L1DMiss, off.Counters().L1DMiss)
+		}
+		if off.Mem.L2DataMisses < on.Mem.L2DataMisses {
+			t.Fatalf("disabling the data prefetcher reduced L2 data misses: %d -> %d",
+				on.Mem.L2DataMisses, off.Mem.L2DataMisses)
+		}
+		if off.Counters().L2Miss < on.Counters().L2Miss {
+			t.Fatalf("disabling the data prefetcher reduced retired L2 misses: %d -> %d",
+				on.Counters().L2Miss, off.Counters().L2Miss)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package mem_test
+
+// Property and metamorphic tests for the raw cache/TLB structures. The
+// load-bearing relation is LRU stack inclusion: with a fixed set count, a
+// set-associative true-LRU structure of w' > w ways holds a superset of
+// the w-way contents after any access sequence, so every hit in the small
+// structure is a hit in the large one — enlarging a cache can never
+// create a miss. (Changing the set count re-maps addresses and does NOT
+// have this guarantee, which is why every geometry pair here scales
+// SizeB/Entries together with Ways.)
+
+import (
+	"testing"
+
+	"repro/internal/proptest"
+	"repro/internal/sim/mem"
+)
+
+// genAddrs produces an address sequence with reuse: a hot set, a strided
+// stream, and occasional far jumps, so both hits and misses occur at
+// every geometry under test.
+func genAddrs(r *proptest.Rand, n int) []uint64 {
+	hot := make([]uint64, r.IntBetween(4, 48))
+	for i := range hot {
+		hot[i] = uint64(r.Intn(1<<16) * 64)
+	}
+	stride := uint64([]int{8, 64, 128}[r.Intn(3)])
+	pos := uint64(r.Intn(1 << 20))
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		switch {
+		case r.Bool(0.5):
+			addrs[i] = hot[r.Intn(len(hot))] + uint64(r.Intn(64))
+		case r.Bool(0.8):
+			pos += stride
+			addrs[i] = 0x4000000 + pos
+		default:
+			addrs[i] = uint64(r.Uint64() >> 20)
+		}
+	}
+	return addrs
+}
+
+// TestCacheWaysMonotonic: on the same access/fill sequence, a cache with
+// more ways (same set count) hits pointwise wherever the smaller one hits
+// and ends with no more demand misses.
+func TestCacheWaysMonotonic(t *testing.T) {
+	proptest.Run(t, "cache-ways-monotonic", 30, func(t *testing.T, r *proptest.Rand) {
+		ways := []int{2, 4, 8}[r.Intn(3)]
+		sets := int64([]int{4, 16, 64}[r.Intn(3)])
+		mult := int64(r.IntBetween(2, 4))
+		small := mem.NewCache(mem.CacheConfig{Name: "s", SizeB: sets * int64(ways) * 64, Ways: ways, LineB: 64})
+		large := mem.NewCache(mem.CacheConfig{Name: "l", SizeB: sets * int64(ways) * mult * 64, Ways: ways * int(mult), LineB: 64})
+		if small.NumSets() != large.NumSets() {
+			t.Fatalf("geometry bug: %d vs %d sets", small.NumSets(), large.NumSets())
+		}
+		for i, a := range genAddrs(r, 3000) {
+			if r.Bool(0.1) {
+				small.Fill(a)
+				large.Fill(a)
+				continue
+			}
+			hs, hl := small.Access(a), large.Access(a)
+			if hs && !hl {
+				t.Fatalf("access %d (addr %#x): hit in %d ways but miss in %d ways", i, a, ways, ways*int(mult))
+			}
+		}
+		if large.Misses > small.Misses {
+			t.Fatalf("enlarging %d->%d ways raised misses %d -> %d", ways, ways*int(mult), small.Misses, large.Misses)
+		}
+		if small.Misses > small.Accesses || large.Misses > large.Accesses {
+			t.Fatal("misses exceed accesses")
+		}
+	})
+}
+
+// TestTLBWaysMonotonic: same relation for the TLB structure.
+func TestTLBWaysMonotonic(t *testing.T) {
+	proptest.Run(t, "tlb-ways-monotonic", 30, func(t *testing.T, r *proptest.Rand) {
+		ways := []int{2, 4}[r.Intn(2)]
+		sets := []int{2, 4, 8}[r.Intn(3)]
+		small := mem.NewTLB(mem.TLBConfig{Name: "s", Entries: sets * ways, Ways: ways, PageB: 4096})
+		large := mem.NewTLB(mem.TLBConfig{Name: "l", Entries: sets * ways * 2, Ways: ways * 2, PageB: 4096})
+		for i, a := range genAddrs(r, 3000) {
+			hs, hl := small.Access(a), large.Access(a)
+			if hs && !hl {
+				t.Fatalf("access %d (addr %#x): hit in %d ways but miss in %d", i, a, ways, ways*2)
+			}
+		}
+		if large.Misses() > small.Misses() {
+			t.Fatalf("enlarging TLB raised misses %d -> %d", small.Misses(), large.Misses())
+		}
+		if small.Accesses() != large.Accesses() {
+			t.Fatalf("access counts diverged: %d vs %d", small.Accesses(), large.Accesses())
+		}
+	})
+}
+
+// TestProbeNoSideEffects: interleaving Probe calls into an access
+// sequence changes neither outcomes nor statistics, and Probe agrees
+// with the most recent Access result for the same address.
+func TestProbeNoSideEffects(t *testing.T) {
+	proptest.Run(t, "probe-no-side-effects", 20, func(t *testing.T, r *proptest.Rand) {
+		cfg := mem.CacheConfig{Name: "c", SizeB: 8 * 4 * 64, Ways: 4, LineB: 64}
+		plain := mem.NewCache(cfg)
+		probed := mem.NewCache(cfg)
+		tlb := mem.NewTLB(mem.TLBConfig{Name: "t", Entries: 16, Ways: 4, PageB: 4096})
+		for i, a := range genAddrs(r, 2000) {
+			hp := plain.Access(a)
+			// Bracket the mirrored access with probes of random addresses.
+			probed.Probe(uint64(r.Uint64() >> 16))
+			hq := probed.Access(a)
+			probed.Probe(uint64(r.Uint64() >> 16))
+			if hp != hq {
+				t.Fatalf("access %d: probes perturbed outcome (%v vs %v)", i, hp, hq)
+			}
+			if !probed.Probe(a) {
+				t.Fatalf("access %d: line absent immediately after Access", i)
+			}
+			tlb.Access(a)
+			if !tlb.Probe(a) {
+				t.Fatalf("access %d: page absent immediately after TLB Access", i)
+			}
+		}
+		if plain.Accesses != probed.Accesses || plain.Misses != probed.Misses {
+			t.Fatalf("probes moved stats: %d/%d vs %d/%d",
+				plain.Accesses, plain.Misses, probed.Accesses, probed.Misses)
+		}
+	})
+}
+
+// TestFillMakesResident: Fill installs a line without moving demand
+// statistics, and the immediately following Access to that line hits.
+func TestFillMakesResident(t *testing.T) {
+	proptest.Run(t, "fill-makes-resident", 20, func(t *testing.T, r *proptest.Rand) {
+		c := mem.NewCache(mem.CacheConfig{Name: "c", SizeB: 4 * 4 * 64, Ways: 4, LineB: 64})
+		for i := 0; i < 500; i++ {
+			a := uint64(r.Intn(1<<14) * 64)
+			accBefore, missBefore := c.Accesses, c.Misses
+			c.Fill(a)
+			if c.Accesses != accBefore || c.Misses != missBefore {
+				t.Fatalf("iter %d: Fill moved demand stats", i)
+			}
+			if !c.Probe(a) {
+				t.Fatalf("iter %d: filled line %#x not resident", i, a)
+			}
+			if !c.Access(a) {
+				t.Fatalf("iter %d: access after fill missed", i)
+			}
+		}
+	})
+}

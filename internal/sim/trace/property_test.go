@@ -1,0 +1,122 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/proptest"
+	"repro/internal/sim/trace"
+)
+
+// TestSplitsLineReference: SplitsLine agrees with the obvious modular
+// reference implementation for random accesses and line sizes.
+func TestSplitsLineReference(t *testing.T) {
+	proptest.Run(t, "splits-line-reference", 40, func(t *testing.T, r *proptest.Rand) {
+		lineB := uint64([]int{16, 32, 64, 128}[r.Intn(4)])
+		for i := 0; i < 500; i++ {
+			in := trace.Inst{
+				Kind: []trace.Kind{trace.Other, trace.Load, trace.Store, trace.Branch}[r.Intn(4)],
+				Addr: r.Uint64() >> r.Intn(40),
+				Size: uint8([]int{0, 1, 2, 4, 8, 16}[r.Intn(6)]),
+			}
+			want := false
+			if (in.Kind == trace.Load || in.Kind == trace.Store) && in.Size > 0 {
+				want = in.Addr%lineB+uint64(in.Size) > lineB
+			}
+			if got := in.SplitsLine(lineB); got != want {
+				t.Fatalf("case %d: SplitsLine(%#x, size %d, line %d) = %v, want %v",
+					i, in.Addr, in.Size, lineB, got, want)
+			}
+		}
+	})
+}
+
+// drain pulls every record from a Stream.
+func drain(s trace.Stream) []trace.Inst {
+	var out []trace.Inst
+	var in trace.Inst
+	for s.Next(&in) {
+		out = append(out, in)
+	}
+	return out
+}
+
+// drainBlocks pulls every record through the BlockStream interface with
+// the given buffer size.
+func drainBlocks(bs trace.BlockStream, bufLen int) []trace.Inst {
+	var out []trace.Inst
+	buf := make([]trace.Inst, bufLen)
+	for {
+		n := bs.NextBlock(buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+func sameInsts(t *testing.T, label string, a, b []trace.Inst) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d records", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: record %d differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestStreamAdapterLaws: every adapter (SliceStream block mode, Blocked,
+// Limit, Concat) reproduces the exact record sequence of the plain
+// one-at-a-time stream, at any block size.
+func TestStreamAdapterLaws(t *testing.T) {
+	proptest.Run(t, "stream-adapter-laws", 25, func(t *testing.T, r *proptest.Rand) {
+		insts := proptest.Insts(r, r.IntBetween(0, 600))
+		bufLen := r.IntBetween(1, 300)
+
+		want := drain(&trace.SliceStream{Insts: insts})
+		if len(want) != len(insts) {
+			t.Fatalf("SliceStream dropped records: %d vs %d", len(want), len(insts))
+		}
+
+		sameInsts(t, "SliceStream.NextBlock",
+			want, drainBlocks(&trace.SliceStream{Insts: insts}, bufLen))
+
+		// Blocked over a non-BlockStream producer (FuncStream) must wrap
+		// with the per-record loop and preserve order.
+		i := 0
+		fs := trace.FuncStream(func(in *trace.Inst) bool {
+			if i >= len(insts) {
+				return false
+			}
+			*in = insts[i]
+			i++
+			return true
+		})
+		sameInsts(t, "Blocked(FuncStream)", want, drainBlocks(trace.Blocked(fs), bufLen))
+
+		// Blocked over a BlockStream must return it unchanged.
+		ss := &trace.SliceStream{Insts: insts}
+		if trace.Blocked(ss) != trace.BlockStream(ss) {
+			t.Fatal("Blocked re-wrapped a BlockStream")
+		}
+
+		// Limit(n) yields exactly the first n records.
+		n := uint64(r.IntBetween(0, len(insts)+10))
+		got := drain(trace.Limit(&trace.SliceStream{Insts: insts}, n))
+		wantN := int(n)
+		if wantN > len(insts) {
+			wantN = len(insts)
+		}
+		sameInsts(t, "Limit", want[:wantN], got)
+
+		// Concat of a random split equals the whole.
+		cut := r.IntBetween(0, len(insts))
+		cat := trace.Concat(
+			&trace.SliceStream{Insts: insts[:cut]},
+			&trace.SliceStream{},
+			&trace.SliceStream{Insts: insts[cut:]},
+		)
+		sameInsts(t, "Concat", want, drain(cat))
+	})
+}

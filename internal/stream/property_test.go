@@ -1,0 +1,93 @@
+package stream_test
+
+// Property test for the streaming driver: for a fixed input byte
+// stream, RunMonitor's observable behavior — final stats, the NDJSON
+// event stream and the rolling text output — is identical at any Jobs
+// setting. Malformed and schema-violating lines are injected so the
+// skip path is covered by the invariance too.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/mtree"
+	"repro/internal/proptest"
+	"repro/internal/stream"
+)
+
+// genTrace renders an NDJSON input with a mid-trace regime change, a
+// fraction of prediction-only samples (no cpi field), and occasional
+// invalid lines a SkipInvalid monitor must step over.
+func genTrace(r *proptest.Rand, total int) string {
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	boundary := total / 2
+	for i := 0; i < total; i++ {
+		if r.Bool(0.04) {
+			b.WriteString("not json\n")
+		}
+		if r.Bool(0.04) {
+			b.WriteString(`{"events":{"NoSuchEvent":1}}` + "\n")
+		}
+		var l1, l2, dt float64
+		if i < boundary {
+			l1, l2, dt = r.Range(0.010, 0.014), r.Range(0.0006, 0.0010), r.Range(0.0001, 0.0002)
+		} else {
+			l1, l2, dt = r.Range(0.002, 0.004), r.Range(0.0038, 0.0044), r.Range(0.0005, 0.0008)
+		}
+		s := stream.Sample{Bench: "trace", Section: i,
+			Events: map[string]float64{"L1IM": l1, "L2M": l2, "DtlbLdM": dt}}
+		if r.Bool(0.8) {
+			cpi := 0.6 + 7*l1
+			if l2 > 0.002 {
+				cpi = 1.1 + 90*l2 + 40*dt
+			}
+			cpi += 0.01 * r.NormFloat64()
+			s.CPI = &cpi
+		}
+		if err := enc.Encode(&s); err != nil {
+			panic(err)
+		}
+	}
+	return b.String()
+}
+
+func TestRunMonitorJobsInvariance(t *testing.T) {
+	r := proptest.NewRand(proptest.CaseSeed("monitor-model", 0))
+	tree, err := mtree.Build(proptest.PerfDataset(r, 600), mtree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proptest.Run(t, "monitor-jobs", 5, func(t *testing.T, r *proptest.Rand) {
+		input := genTrace(r, r.IntBetween(50, 150))
+		run := func(jobs int) (stream.Stats, []byte, []byte) {
+			cfg := stream.DefaultMonitorConfig()
+			cfg.Jobs = jobs
+			cfg.Window = 16
+			cfg.RenderEvery = 8
+			var text, events bytes.Buffer
+			st, err := stream.RunMonitor(tree, cfg, strings.NewReader(input), &text, &events)
+			if err != nil {
+				t.Fatalf("RunMonitor(jobs=%d): %v", jobs, err)
+			}
+			return st, text.Bytes(), events.Bytes()
+		}
+		st1, text1, ev1 := run(1)
+		st4, text4, ev4 := run(4)
+		if st1 != st4 {
+			t.Fatalf("stats diverge between Jobs=1 and Jobs=4:\n%+v\n%+v", st1, st4)
+		}
+		if !bytes.Equal(ev1, ev4) {
+			t.Fatal("event streams diverge between Jobs=1 and Jobs=4")
+		}
+		if !bytes.Equal(text1, text4) {
+			t.Fatal("text output diverges between Jobs=1 and Jobs=4")
+		}
+		if st1.Scored == 0 {
+			t.Fatal("no sections scored: the invariance tested nothing")
+		}
+	})
+}
