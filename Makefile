@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race cover bench bench-parallel bench-serve bench-micro bench-json bench-compare experiments serve-smoke monitor-smoke fuzz-short
+.PHONY: build test check vet race cover bench bench-parallel bench-serve bench-predict bench-micro bench-json bench-compare experiments serve-smoke monitor-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,14 @@ bench:
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServePredict' -benchtime 50x ./internal/serve/
 
+# Compiled-evaluator micro-benchmarks (see DESIGN.md §12): pointer walk
+# vs flat-array walk vs the batch kernel, single tree and ensemble, plus
+# the served batch endpoint with kernel on/off. The compiled batch
+# kernel must report 0 allocs/op.
+bench-predict:
+	$(GO) test -run '^$$' -bench 'BenchmarkPredictCompiled' -benchtime 2s ./internal/mtree/
+	$(GO) test -run '^$$' -bench 'BenchmarkServePredictBatch' -benchtime 50x ./internal/serve/
+
 # Simulator hot-loop micro-benchmarks (see DESIGN.md §10): cache/TLB
 # probes, hierarchy walks, single-core Step and the per-section collect
 # loop. All of them must report 0 allocs/op in steady state.
@@ -72,6 +80,7 @@ bench-json:
 	@set -e; : > $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 2x -json . >> $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench 'BenchmarkServePredict' -benchtime 50x -json ./internal/serve/ >> $(BENCH_JSON); \
+	$(GO) test -run '^$$' -bench 'BenchmarkPredictCompiled' -benchtime 2s -json ./internal/mtree/ >> $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamIngest' -benchtime 20x -json ./internal/stream/ >> $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench . -benchtime 2s -json ./internal/sim/... ./internal/counters/ >> $(BENCH_JSON); \
 	echo "wrote $(BENCH_JSON)"
@@ -83,7 +92,7 @@ bench-json:
 # so treat the printed table as a signal, not a gate. Pass
 # BENCH_THRESHOLD=<percent> to make regressions beyond that fatal on a
 # quiet machine.
-BENCH_BASELINE  ?= BENCH_2026-08-06.json
+BENCH_BASELINE  ?= BENCH_2026-08-08.json
 BENCH_THRESHOLD ?= 0
 bench-compare:
 	@set -e; tmp=$$(mktemp /tmp/bench-compare.XXXXXX.json); \
@@ -92,15 +101,19 @@ bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $$tmp -threshold $(BENCH_THRESHOLD)
 
 # Brief runs of every fuzz target (NDJSON sample decoder, CSV dataset
-# parser, persisted-tree loader) — long enough to catch parser
-# regressions in CI, short enough to not dominate it. Each target has a
-# checked-in seed corpus under its package's testdata/fuzz/.
+# parser, persisted-tree loader, binary model loader) — long enough to
+# catch parser regressions in CI, short enough to not dominate it. Each
+# target has a checked-in seed corpus under its package's testdata/fuzz/.
+# The binary-model target caps per-input minimization: its seeds are
+# multi-kilobyte model files, and the default 60s minimize budget would
+# otherwise eat the whole -fuzztime on the first interesting mutation.
 FUZZTIME ?= 10s
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSample' -fuzztime $(FUZZTIME) ./internal/stream/
 	$(GO) test -run '^$$' -fuzz 'FuzzDecoderStream' -fuzztime $(FUZZTIME) ./internal/stream/
 	$(GO) test -run '^$$' -fuzz 'FuzzReadCSV' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz 'FuzzTreeReadJSON' -fuzztime $(FUZZTIME) ./internal/mtree/
+	$(GO) test -run '^$$' -fuzz 'FuzzModelReadBinary' -fuzztime $(FUZZTIME) -fuzzminimizetime 1000x ./internal/modelio/
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,7 +1,9 @@
 // Command serve exposes trained CPI models over HTTP: the paper's
 // train-once / analyze-many oracle as an online service. Models persisted
-// by cmd/train (single M5' trees) or saved as bagged ensembles are loaded
-// into a named, versioned registry and served at /v1/predict (single +
+// by cmd/train (single M5' trees) or saved as bagged ensembles — JSON or
+// the zero-copy binary format, sniffed automatically — are loaded
+// into a named, versioned registry, compiled to flat-array evaluators,
+// and served at /v1/predict (single +
 // batch, optional per-event contribution breakdown), /v1/classify (leaf
 // id + decision path), /v1/stream (NDJSON ingestion into a persistent
 // per-model phase/drift monitor), /v1/models, /healthz and /metrics.

@@ -1,12 +1,12 @@
 // Command train fits an M5' model tree to a section dataset (CSV with a
 // CPI column, as produced by cmd/collect), prints the tree with its leaf
-// models, optionally cross-validates, and optionally saves the tree as JSON
-// for cmd/analyze.
+// models, optionally cross-validates, and optionally saves the tree (JSON
+// or the zero-copy binary format) for cmd/analyze and cmd/serve.
 //
 // Usage:
 //
 //	train -in data.csv [-minleaf 430] [-cv 10] [-out tree.json]
-//	      [-target CPI] [-nosmooth] [-noprune] [-jobs N]
+//	      [-format json|binary] [-target CPI] [-nosmooth] [-noprune] [-jobs N]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/modelio"
 	"repro/internal/mtree"
 	"repro/internal/naive"
 	"repro/internal/parallel"
@@ -41,7 +42,8 @@ func run(args []string, stdout io.Writer) error {
 		minLeaf = fs.Int("minleaf", 430, "minimum instances per leaf (paper: 430)")
 		cv      = fs.Int("cv", 0, "k for k-fold cross validation (0 = skip)")
 		seed    = fs.Int64("seed", 7, "cross-validation shuffle seed")
-		out     = fs.String("out", "", "write the trained tree as JSON to this path")
+		out     = fs.String("out", "", "write the trained tree to this path")
+		format  = fs.String("format", modelio.FormatJSON, "model format for -out: json (interoperable) or binary (fast zero-copy load)")
 		smooth  = fs.Bool("smooth", true, "enable M5 smoothing")
 		prune   = fs.Bool("prune", true, "enable post-pruning")
 		global  = fs.Bool("global", false, "also fit/evaluate a single global linear model")
@@ -116,15 +118,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		if err := modelio.WriteFile(*out, tree, *format); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := tree.WriteJSON(f); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "tree written to %s\n", *out)
+		fmt.Fprintf(stdout, "tree written to %s (%s)\n", *out, *format)
 	}
 	return nil
 }

@@ -1,0 +1,325 @@
+// Package binfmt implements the container layer of the binary model
+// format: a little-endian file of raw numeric sections behind a magic
+// number, a format version and a section table. It exists so that a
+// serve replica can bring up a large model registry with one read per
+// file and direct slice construction — on a little-endian machine the
+// float64/int32 payload sections are *aliased* (unsafe slice casts over
+// the file buffer), not decoded, so load time is O(header) rather than
+// O(model).
+//
+// Layout (all integers little-endian):
+//
+//	offset 0   magic    4 bytes  "M5MB"
+//	offset 4   version  uint16   format version (currently 1)
+//	offset 6   kind     uint16   payload kind (KindTree, KindEnsemble)
+//	offset 8   count    uint32   number of sections
+//	offset 12  reserved uint32   zero
+//	offset 16  section table: count entries of
+//	           {id uint32, reserved uint32, offset uint64, length uint64}
+//	...        section payloads, each 8-byte aligned, zero-padded between
+//
+// Section ids are payload-kind-specific (internal/mtree and
+// internal/ensemble define theirs); the container only guarantees that
+// every section lies inside the file at an 8-aligned offset, which is
+// what makes the zero-copy casts safe. Readers reject files from a
+// future format version explicitly, mirroring the JSON schema_version
+// policy, and every parse error names the section and byte offset that
+// failed so a truncated or corrupt file is diagnosable from the message
+// alone.
+package binfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"unsafe"
+)
+
+// Magic identifies a binary model file ("M5 Model Binary").
+const Magic = "M5MB"
+
+// Version is the current container format version.
+const Version = 1
+
+// Payload kinds. The container dispatches loading on this, the binary
+// analogue of the JSON "kind" discriminator.
+const (
+	KindTree     uint16 = 1
+	KindEnsemble uint16 = 2
+)
+
+const (
+	headerSize = 16
+	entrySize  = 24
+	// maxSections bounds the section count before the table is trusted,
+	// so a corrupt count cannot provoke a huge allocation.
+	maxSections = 1 << 20
+)
+
+// nativeLE reports whether the host is little-endian; when true, aligned
+// payload sections are aliased instead of decoded.
+var nativeLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Sniff reports whether data begins with the binary-model magic. It is
+// how internal/modelio tells binary model files from JSON ones.
+func Sniff(data []byte) bool {
+	return len(data) >= len(Magic) && string(data[:len(Magic)]) == Magic
+}
+
+// section is one parsed table entry.
+type section struct {
+	id       uint32
+	off, len uint64
+}
+
+// File is a parsed container. Its accessors return views over the
+// original buffer wherever alignment and endianness allow.
+type File struct {
+	// Kind is the payload kind (KindTree, KindEnsemble, ...).
+	Kind uint16
+	// FormatVersion is the container version the file declares.
+	FormatVersion uint16
+	data          []byte
+	sections      []section
+}
+
+// Parse validates the header and section table of a binary model file.
+// Section payloads are not touched — they are ranged-checked here and
+// aliased lazily by the accessors.
+func Parse(data []byte) (*File, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("binfmt: truncated header: file is %d bytes, header needs %d", len(data), headerSize)
+	}
+	if !Sniff(data) {
+		return nil, fmt.Errorf("binfmt: bad magic %q at offset 0 (want %q)", data[:len(Magic)], Magic)
+	}
+	version := binary.LittleEndian.Uint16(data[4:])
+	if version < 1 || version > Version {
+		return nil, fmt.Errorf("binfmt: format version %d; this build reads versions 1..%d", version, Version)
+	}
+	f := &File{
+		Kind:          binary.LittleEndian.Uint16(data[6:]),
+		FormatVersion: version,
+		data:          data,
+	}
+	count := binary.LittleEndian.Uint32(data[8:])
+	if count > maxSections {
+		return nil, fmt.Errorf("binfmt: section count %d at offset 8 exceeds the %d-section limit", count, maxSections)
+	}
+	tableEnd := headerSize + int(count)*entrySize
+	if tableEnd > len(data) {
+		return nil, fmt.Errorf("binfmt: section table truncated: %d sections need bytes 16..%d, file has %d",
+			count, tableEnd, len(data))
+	}
+	f.sections = make([]section, count)
+	for i := range f.sections {
+		e := data[headerSize+i*entrySize:]
+		s := section{
+			id:  binary.LittleEndian.Uint32(e),
+			off: binary.LittleEndian.Uint64(e[8:]),
+			len: binary.LittleEndian.Uint64(e[16:]),
+		}
+		if s.off%8 != 0 {
+			return nil, fmt.Errorf("binfmt: section table entry %d (id %d): offset %d is not 8-aligned", i, s.id, s.off)
+		}
+		if s.off > uint64(len(data)) || s.len > uint64(len(data))-s.off {
+			return nil, fmt.Errorf("binfmt: section table entry %d (id %d): range [%d, %d+%d) extends past the %d-byte file",
+				i, s.id, s.off, s.off, s.len, len(data))
+		}
+		f.sections[i] = s
+	}
+	return f, nil
+}
+
+// Sections returns the number of sections in the file — an upper bound
+// loaders use to sanity-check counts a metadata section declares before
+// trusting them for allocation.
+func (f *File) Sections() int { return len(f.sections) }
+
+// find returns the table entry for id, or an error naming the section.
+func (f *File) find(id uint32, name string) (section, error) {
+	for _, s := range f.sections {
+		if s.id == id {
+			return s, nil
+		}
+	}
+	return section{}, fmt.Errorf("binfmt: missing section %s (id %d)", name, id)
+}
+
+// Bytes returns the raw payload of a section as a view over the file
+// buffer. name is used in error messages only.
+func (f *File) Bytes(id uint32, name string) ([]byte, error) {
+	s, err := f.find(id, name)
+	if err != nil {
+		return nil, err
+	}
+	return f.data[s.off : s.off+s.len : s.off+s.len], nil
+}
+
+// elemCheck validates that a section's length divides into size-byte
+// elements, returning the payload and element count.
+func (f *File) elemCheck(id uint32, name string, size int) ([]byte, int, error) {
+	s, err := f.find(id, name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.len%uint64(size) != 0 {
+		return nil, 0, fmt.Errorf("binfmt: section %s (id %d) at offset %d: length %d is not a multiple of %d",
+			name, id, s.off, s.len, size)
+	}
+	return f.data[s.off : s.off+s.len], int(s.len) / size, nil
+}
+
+// aligned reports whether b's base pointer is aligned for size-byte
+// element access. Parse guarantees 8-aligned section *offsets*; the
+// buffer base itself is 8-aligned for any heap allocation the runtime
+// hands out in practice, but the cast still verifies at run time and
+// falls back to copying when the guarantee does not hold.
+func aligned(b []byte, size int) bool {
+	return uintptr(unsafe.Pointer(&b[0]))%uintptr(size) == 0
+}
+
+// F64 returns a section as []float64 — zero-copy on aligned
+// little-endian hosts, decoded otherwise.
+func (f *File) F64(id uint32, name string) ([]float64, error) {
+	b, n, err := f.elemCheck(id, name, 8)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	if nativeLE && aligned(b, 8) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// I64 returns a section as []int64, zero-copy where possible.
+func (f *File) I64(id uint32, name string) ([]int64, error) {
+	b, n, err := f.elemCheck(id, name, 8)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	if nativeLE && aligned(b, 8) {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// I32 returns a section as []int32, zero-copy where possible.
+func (f *File) I32(id uint32, name string) ([]int32, error) {
+	b, n, err := f.elemCheck(id, name, 4)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	if nativeLE && aligned(b, 4) {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// U8 returns a section's payload bytes directly (a []uint8 view).
+func (f *File) U8(id uint32, name string) ([]uint8, error) {
+	return f.Bytes(id, name)
+}
+
+// Writer assembles a container file. Sections are emitted in Add order,
+// each padded to an 8-byte boundary.
+type Writer struct {
+	kind uint16
+	secs []struct {
+		id   uint32
+		data []byte
+	}
+}
+
+// NewWriter creates a writer for the given payload kind.
+func NewWriter(kind uint16) *Writer {
+	return &Writer{kind: kind}
+}
+
+// Bytes adds a raw section. The data is retained, not copied, until
+// WriteTo runs.
+func (w *Writer) Bytes(id uint32, data []byte) {
+	w.secs = append(w.secs, struct {
+		id   uint32
+		data []byte
+	}{id, data})
+}
+
+// F64 adds a []float64 section in little-endian encoding.
+func (w *Writer) F64(id uint32, v []float64) {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	w.Bytes(id, b)
+}
+
+// I64 adds an []int64 section in little-endian encoding.
+func (w *Writer) I64(id uint32, v []int64) {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	w.Bytes(id, b)
+}
+
+// I32 adds an []int32 section in little-endian encoding.
+func (w *Writer) I32(id uint32, v []int32) {
+	b := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+	w.Bytes(id, b)
+}
+
+// pad8 returns n rounded up to the next multiple of 8.
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// Size returns the exact byte length WriteTo will produce.
+func (w *Writer) Size() int {
+	n := headerSize + len(w.secs)*entrySize
+	for _, s := range w.secs {
+		n += pad8(len(s.data))
+	}
+	return n
+}
+
+// WriteTo emits the container: header, section table, then the padded
+// payloads. The output is deterministic for a given sequence of Add
+// calls, which is what makes binary persistence a byte-stable fixed
+// point under write→read→write.
+func (w *Writer) WriteTo(out io.Writer) (int64, error) {
+	buf := make([]byte, w.Size())
+	copy(buf, Magic)
+	binary.LittleEndian.PutUint16(buf[4:], Version)
+	binary.LittleEndian.PutUint16(buf[6:], w.kind)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(w.secs)))
+
+	off := headerSize + len(w.secs)*entrySize
+	for i, s := range w.secs {
+		e := buf[headerSize+i*entrySize:]
+		binary.LittleEndian.PutUint32(e, s.id)
+		binary.LittleEndian.PutUint64(e[8:], uint64(off))
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(s.data)))
+		copy(buf[off:], s.data)
+		off += pad8(len(s.data))
+	}
+	n, err := out.Write(buf)
+	return int64(n), err
+}

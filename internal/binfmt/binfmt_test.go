@@ -1,0 +1,130 @@
+package binfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// writeFile assembles a small two-section container for the tests.
+func writeFile(t *testing.T) []byte {
+	t.Helper()
+	w := NewWriter(KindTree)
+	w.F64(1, []float64{1.5, -2.25, math.Inf(1)})
+	w.I32(2, []int32{-1, 7, 1 << 30})
+	w.I64(3, []int64{42, -9})
+	w.Bytes(4, []byte("hello")) // odd length: exercises padding
+	var buf bytes.Buffer
+	if n, err := w.WriteTo(&buf); err != nil || int(n) != w.Size() {
+		t.Fatalf("WriteTo: n=%d err=%v (Size %d)", n, err, w.Size())
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := writeFile(t)
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if f.Kind != KindTree || f.FormatVersion != Version {
+		t.Fatalf("kind %d version %d", f.Kind, f.FormatVersion)
+	}
+	if !Sniff(data) {
+		t.Fatal("Sniff rejected a valid file")
+	}
+	f64, err := f.F64(1, "floats")
+	if err != nil || len(f64) != 3 || f64[0] != 1.5 || f64[1] != -2.25 || !math.IsInf(f64[2], 1) {
+		t.Fatalf("F64: %v %v", f64, err)
+	}
+	i32, err := f.I32(2, "ints")
+	if err != nil || len(i32) != 3 || i32[0] != -1 || i32[2] != 1<<30 {
+		t.Fatalf("I32: %v %v", i32, err)
+	}
+	i64, err := f.I64(3, "longs")
+	if err != nil || len(i64) != 2 || i64[1] != -9 {
+		t.Fatalf("I64: %v %v", i64, err)
+	}
+	raw, err := f.Bytes(4, "blob")
+	if err != nil || string(raw) != "hello" {
+		t.Fatalf("Bytes: %q %v", raw, err)
+	}
+}
+
+func TestEmptySections(t *testing.T) {
+	w := NewWriter(KindEnsemble)
+	w.F64(1, nil)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := f.F64(1, "empty"); err != nil || len(v) != 0 {
+		t.Fatalf("empty section: %v %v", v, err)
+	}
+}
+
+// TestParseErrors: every malformed prefix is rejected with a message
+// that names what failed and where.
+func TestParseErrors(t *testing.T) {
+	valid := writeFile(t)
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"empty", nil, "truncated header"},
+		{"short", valid[:7], "truncated header"},
+		{"bad-magic", append([]byte("XXXX"), valid[4:]...), "bad magic"},
+		{"header-only", valid[:headerSize], "section table truncated"},
+		{"table-cut", valid[:headerSize+entrySize], "section table truncated"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.data); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+
+	// Future version: explicit rejection, like the JSON schema_version.
+	future := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(future[4:], Version+1)
+	if _, err := Parse(future); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Errorf("future version: %v", err)
+	}
+
+	// A section whose range runs past the end of the file.
+	long := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(long[headerSize+16:], uint64(len(long))) // section 0 length
+	if _, err := Parse(long); err == nil || !strings.Contains(err.Error(), "extends past") {
+		t.Errorf("overlong section: %v", err)
+	}
+
+	// A misaligned section offset.
+	skew := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(skew[headerSize+8:], 17)
+	if _, err := Parse(skew); err == nil || !strings.Contains(err.Error(), "not 8-aligned") {
+		t.Errorf("misaligned section: %v", err)
+	}
+}
+
+func TestAccessorErrors(t *testing.T) {
+	f, err := Parse(writeFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.F64(99, "ghost"); err == nil || !strings.Contains(err.Error(), `missing section ghost (id 99)`) {
+		t.Errorf("missing section: %v", err)
+	}
+	// Section 4 is 5 bytes long: not a whole number of float64s.
+	if _, err := f.F64(4, "blob"); err == nil || !strings.Contains(err.Error(), "not a multiple of 8") {
+		t.Errorf("ragged F64: %v", err)
+	}
+	if _, err := f.I32(4, "blob"); err == nil || !strings.Contains(err.Error(), "not a multiple of 4") {
+		t.Errorf("ragged I32: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package ensemble
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/mtree"
+)
+
+// CompiledBagger is a bagged ensemble whose member trees have been
+// flattened into contiguous arrays (see mtree.CompiledTree). Single
+// predictions average the members in tree order exactly like Bagger, so
+// results are bit-identical; the batch kernel additionally runs
+// tree-major — one member across the whole batch before the next — so
+// each member's flat arrays stay hot in cache instead of being evicted
+// between rows. The per-row accumulation order is unchanged (member 0,
+// then 1, ...), keeping batch results bit-identical to per-row Predict.
+type CompiledBagger struct {
+	trees       []*mtree.CompiledTree
+	oobError    float64
+	oobCoverage float64
+}
+
+var _ model.Model = (*CompiledBagger)(nil)
+var _ model.BatchPredictor = (*CompiledBagger)(nil)
+
+// CompileBagger flattens every member of a trained ensemble. Returns
+// nil for a nil ensemble.
+func CompileBagger(b *Bagger) *CompiledBagger {
+	if b == nil {
+		return nil
+	}
+	c := &CompiledBagger{
+		trees:       make([]*mtree.CompiledTree, len(b.Trees)),
+		oobError:    b.OOBError,
+		oobCoverage: b.OOBCoverage,
+	}
+	for i, t := range b.Trees {
+		c.trees[i] = mtree.Compile(t)
+	}
+	return c
+}
+
+// CompileModel implements model.Compilable.
+func (b *Bagger) CompileModel() model.Model { return CompileBagger(b) }
+
+// Predict averages the compiled members' (smoothed) predictions in tree
+// order — the same reduction as Bagger.Predict, bit for bit.
+func (c *CompiledBagger) Predict(row dataset.Instance) float64 {
+	if len(c.trees) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range c.trees {
+		s += t.Predict(row)
+	}
+	return s / float64(len(c.trees))
+}
+
+// PredictInto is the ensemble batch kernel: tree-major accumulation
+// over the caller's buffer, then one division per row. Per-row
+// arithmetic matches Predict exactly (members are added in the same
+// order, the division is by the same count), so dst is bit-identical to
+// calling Predict row by row.
+func (c *CompiledBagger) PredictInto(dst []float64, rows []dataset.Instance) {
+	dst = dst[:len(rows)]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(c.trees) == 0 {
+		return
+	}
+	for _, t := range c.trees {
+		t.AccumulateInto(dst, rows)
+	}
+	n := float64(len(c.trees))
+	for i := range dst {
+		dst[i] /= n
+	}
+}
+
+// Contributions reports the member-averaged Eq. 4 decomposition with
+// the same reduction as Bagger.Contributions (tree-order sums,
+// attribute-sorted output), evaluated on the compiled members.
+func (c *CompiledBagger) Contributions(row dataset.Instance) []model.Contribution {
+	members := make([]contributor, len(c.trees))
+	for i, t := range c.trees {
+		members[i] = t
+	}
+	return memberContributions(members, row)
+}
+
+// NumLeaves sums the member leaf counts, matching Bagger.NumLeaves.
+func (c *CompiledBagger) NumLeaves() int {
+	s := 0
+	for _, t := range c.trees {
+		s += t.NumLeaves()
+	}
+	return s
+}
+
+// Trees returns the compiled members (shared, not copied).
+func (c *CompiledBagger) Trees() []*mtree.CompiledTree { return c.trees }
+
+// OOBError returns the training-time out-of-bag MAE estimate.
+func (c *CompiledBagger) OOBError() float64 { return c.oobError }
+
+// OOBCoverage returns the fraction of training rows with at least one
+// out-of-bag member.
+func (c *CompiledBagger) OOBCoverage() float64 { return c.oobCoverage }
+
+// Describe matches Bagger.Describe field for field.
+func (c *CompiledBagger) Describe() model.Description {
+	d := model.Description{Kind: Kind, Trees: len(c.trees), NumLeaves: c.NumLeaves()}
+	if len(c.trees) > 0 {
+		td := c.trees[0].Describe()
+		d.Target = td.Target
+		d.AttrNames = td.AttrNames
+		d.TrainN = td.TrainN
+	}
+	return d
+}
+
+// Bagger reconstructs the pointer-linked ensemble — the bridge back to
+// JSON persistence and the training-side analysis code.
+func (c *CompiledBagger) Bagger() *Bagger {
+	b := &Bagger{OOBError: c.oobError, OOBCoverage: c.oobCoverage}
+	for _, t := range c.trees {
+		b.Trees = append(b.Trees, t.Tree())
+	}
+	return b
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/model"
+	"repro/internal/mtree"
 )
 
 // Bagger implements model.Model, so the serving registry and the analysis
@@ -43,7 +44,25 @@ func (b *Bagger) Describe() model.Description {
 // tree order and ties sorted by attribute index, keeping the output
 // independent of scheduling.
 func (b *Bagger) Contributions(row dataset.Instance) []model.Contribution {
-	if len(b.Trees) == 0 {
+	members := make([]contributor, len(b.Trees))
+	for i, t := range b.Trees {
+		members[i] = t
+	}
+	return memberContributions(members, row)
+}
+
+// contributor is the per-member surface the averaged decomposition
+// needs; both *mtree.Tree and *mtree.CompiledTree provide it.
+type contributor interface {
+	Classify(row dataset.Instance) (*mtree.Node, []mtree.PathStep)
+	Contributions(row dataset.Instance) []model.Contribution
+}
+
+// memberContributions implements the ensemble decomposition over any
+// member representation, so the pointer-walk and compiled ensembles
+// share one reduction (and therefore agree bit for bit).
+func memberContributions(members []contributor, row dataset.Instance) []model.Contribution {
+	if len(members) == 0 {
 		return nil
 	}
 	type acc struct {
@@ -53,7 +72,7 @@ func (b *Bagger) Contributions(row dataset.Instance) []model.Contribution {
 	}
 	sums := map[int]*acc{}
 	meanPred := 0.0
-	for _, t := range b.Trees {
+	for _, t := range members {
 		leaf, _ := t.Classify(row)
 		meanPred += leaf.Model.Predict(row)
 		for _, c := range t.Contributions(row) {
@@ -66,7 +85,7 @@ func (b *Bagger) Contributions(row dataset.Instance) []model.Contribution {
 			a.cycles += c.Cycles
 		}
 	}
-	n := float64(len(b.Trees))
+	n := float64(len(members))
 	meanPred /= n
 
 	attrs := make([]int, 0, len(sums))

@@ -70,3 +70,26 @@ type Model interface {
 	// Describe summarizes the model.
 	Describe() Description
 }
+
+// Compilable is implemented by models that can be compiled into a
+// faster, semantically identical form — the pointer-linked M5' tree and
+// the bagged ensemble both compile to flat-array evaluators whose
+// predictions are bit-identical to their own. The serving registry
+// compiles every Compilable model at registration, so the hot path
+// always runs the flat form while training, analysis and persistence
+// keep the original.
+type Compilable interface {
+	// CompileModel returns the compiled equivalent. Predictions,
+	// contributions and descriptions of the result must match the
+	// receiver's exactly.
+	CompileModel() Model
+}
+
+// BatchPredictor is the batch fast path: compiled models predict a
+// whole slice of rows into a caller-provided buffer without per-row
+// dispatch or allocation. dst must have at least len(rows) elements;
+// dst[i] receives the prediction for rows[i], bit-identical to
+// Predict(rows[i]).
+type BatchPredictor interface {
+	PredictInto(dst []float64, rows []dataset.Instance)
+}

@@ -1,0 +1,44 @@
+package modelio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzModelReadBinary hammers the model loader with arbitrary bytes —
+// mostly mutations of real binary model files (the checked-in corpus
+// under testdata/fuzz/ holds a valid tree, a valid ensemble and several
+// corruptions). The loader must never panic, and any model it accepts
+// must re-persist in the binary format to a stable fixed point
+// (write→read→write byte-identical) — the structural validation in
+// mtree/ensemble ReadBinary is what stands between a flipped section
+// table and an out-of-bounds tree walk, and this target is its
+// adversarial workout.
+func FuzzModelReadBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("M5MB"))
+	f.Add([]byte("M5MB\x01\x00\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte(`{"kind":"bagged-m5","trees":[]}`))
+	f.Add([]byte(`not a model`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := Write(&first, m, FormatBinary); err != nil {
+			t.Fatalf("accepted model does not write binary: %v", err)
+		}
+		again, err := Load(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of persisted accepted model failed: %v", err)
+		}
+		var second bytes.Buffer
+		if err := Write(&second, again, FormatBinary); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("binary write->read->write is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,783 @@
+package mtree
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/linreg"
+	"repro/internal/model"
+)
+
+// CompiledTree is a trained tree flattened into contiguous arrays for
+// branch-light, cache-friendly evaluation — the serving-side counterpart
+// of the flat cache arrays in internal/sim/mem. Nodes are laid out in
+// preorder: node 0 is the root and both children of any interior node
+// have larger indices, so a root-to-leaf walk touches strictly
+// increasing positions of a handful of slices instead of chasing heap
+// pointers through scattered Node allocations. Per-node linear models
+// are packed row-major into one coefficient arena (lmAttrs/lmCoefs,
+// indexed through the lmOff prefix table), so evaluating the models
+// along a smoothing path streams one contiguous region.
+//
+// A CompiledTree predicts bit-identically to the *Tree it was compiled
+// from — same comparisons, same coefficient order, same smoothing
+// arithmetic — which the differential property suite enforces. It
+// implements model.Model (and Classify, so /v1/classify keeps working
+// when the registry compiles on load) and adds the allocation-free
+// batch kernel PredictInto that /v1/predict uses to amortize per-row
+// overhead across a whole batch.
+type CompiledTree struct {
+	config     Config
+	targetName string
+	attrNames  []string
+	trainN     int
+	globalSD   float64
+
+	splitAttr []int32   // split column, -1 for leaves
+	threshold []float64 // split point, 0 for leaves
+	left      []int32   // child indices, 0 for leaves
+	right     []int32
+	nodeN     []int64 // training instances that reached the node
+	sd        []float64
+	mean      []float64
+	leafID    []int32
+
+	lmOff       []int32 // len(nodes)+1 prefix offsets into lmAttrs/lmCoefs
+	lmIntercept []float64
+	lmAttrs     []int32
+	lmCoefs     []float64
+	hasLM       []uint8    // 1 when the node carries a fitted model
+	lmNames     [][]string // per-node coefficient names (nil when absent)
+
+	// walk packs the four walk-critical fields into one 24-byte record
+	// per node, so each descent step touches a single cache line instead
+	// of four parallel arrays. Derived from the arrays above (never
+	// persisted); rebuilt after Compile and ReadBinary.
+	walk []walkNode
+
+	numLeaves int
+	depth     int // maximum root-to-leaf node count
+}
+
+// walkNode is the hot-path view of one node: threshold, split attribute
+// (-1 for leaves) and child indices (child[0] left, child[1] right),
+// padded to 32 bytes so a record never straddles a cache line — the
+// walk is a dependent load chain, and a straddling node would pay two
+// fills per step. The child array lets the lane kernels select the next
+// node branchlessly — `j := 0; if row > thr { j = 1 }` compiles to a
+// conditional move, so a hard-to-predict split doesn't flush the other
+// lanes' in-flight work.
+type walkNode struct {
+	thr   float64
+	attr  int32
+	child [2]int32
+	_     int32
+}
+
+// buildWalk derives the packed walk records from the flat arrays.
+func (c *CompiledTree) buildWalk() {
+	c.walk = make([]walkNode, len(c.splitAttr))
+	for i := range c.walk {
+		c.walk[i] = walkNode{
+			thr:   c.threshold[i],
+			attr:  c.splitAttr[i],
+			child: [2]int32{c.left[i], c.right[i]},
+		}
+	}
+}
+
+// CompiledTree serves through the same interface as the pointer tree.
+var _ model.Model = (*CompiledTree)(nil)
+var _ model.BatchPredictor = (*CompiledTree)(nil)
+
+// compiledPathInline is the smoothing-path buffer kept on the stack; a
+// tree deeper than this (never seen in practice — depth grows
+// logarithmically in the training set) falls back to one heap path
+// allocation per call.
+const compiledPathInline = 64
+
+// Compile flattens a trained tree. The result shares no state with t.
+// Returns nil for a nil tree or a tree without a root.
+func Compile(t *Tree) *CompiledTree {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	nodes := countNodes(t.Root)
+	c := &CompiledTree{
+		config:      t.Config,
+		targetName:  t.TargetName,
+		attrNames:   append([]string(nil), t.AttrNames...),
+		trainN:      t.TrainN,
+		globalSD:    t.GlobalSD,
+		splitAttr:   make([]int32, nodes),
+		threshold:   make([]float64, nodes),
+		left:        make([]int32, nodes),
+		right:       make([]int32, nodes),
+		nodeN:       make([]int64, nodes),
+		sd:          make([]float64, nodes),
+		mean:        make([]float64, nodes),
+		leafID:      make([]int32, nodes),
+		lmOff:       make([]int32, nodes+1),
+		lmIntercept: make([]float64, nodes),
+		hasLM:       make([]uint8, nodes),
+		lmNames:     make([][]string, nodes),
+	}
+	// Preorder assignment means coefficient rows are appended in node
+	// index order, so the lmOff prefix table fills in the same pass.
+	next := int32(0)
+	var flatten func(n *Node) int32
+	flatten = func(n *Node) int32 {
+		i := next
+		next++
+		c.lmOff[i] = int32(len(c.lmCoefs))
+		c.splitAttr[i] = -1
+		c.nodeN[i] = int64(n.N)
+		c.sd[i] = n.SD
+		c.mean[i] = n.Mean
+		c.leafID[i] = int32(n.LeafID)
+		if m := n.Model; m != nil {
+			c.hasLM[i] = 1
+			c.lmIntercept[i] = m.Intercept
+			for _, a := range m.Attrs {
+				c.lmAttrs = append(c.lmAttrs, int32(a))
+			}
+			c.lmCoefs = append(c.lmCoefs, m.Coefs...)
+			if len(m.Names) > 0 {
+				c.lmNames[i] = append([]string(nil), m.Names...)
+			}
+		}
+		// Only a node with both children is compiled as interior; a
+		// half-linked node (possible in hand-written JSON) canonicalizes
+		// to a leaf instead of compiling an unwalkable split.
+		if n.Left != nil && n.Right != nil {
+			c.splitAttr[i] = int32(n.SplitAttr)
+			c.threshold[i] = n.Threshold
+			c.left[i] = flatten(n.Left)
+			c.right[i] = flatten(n.Right)
+		}
+		return i
+	}
+	flatten(t.Root)
+	c.lmOff[next] = int32(len(c.lmCoefs))
+	// Half-linked subtrees are canonicalized away above, so fewer than
+	// countNodes slots may be used; trim to the visited prefix.
+	n := int(next)
+	c.splitAttr, c.threshold = c.splitAttr[:n], c.threshold[:n]
+	c.left, c.right = c.left[:n], c.right[:n]
+	c.nodeN, c.sd, c.mean, c.leafID = c.nodeN[:n], c.sd[:n], c.mean[:n], c.leafID[:n]
+	c.lmOff, c.lmIntercept = c.lmOff[:n+1], c.lmIntercept[:n]
+	c.hasLM, c.lmNames = c.hasLM[:n], c.lmNames[:n]
+	c.numLeaves, c.depth = c.scanShape()
+	c.buildWalk()
+	return c
+}
+
+// scanShape derives the leaf count and maximum depth from the flat
+// arrays. Children always have larger indices than their parent, so one
+// ascending pass computes every node's depth before it is needed.
+func (c *CompiledTree) scanShape() (leaves, depth int) {
+	if len(c.splitAttr) == 0 {
+		return 0, 0
+	}
+	d := make([]int32, len(c.splitAttr))
+	d[0] = 1
+	for i := range c.splitAttr {
+		if d[i] == 0 {
+			continue // unreachable from the root
+		}
+		if int(d[i]) > depth {
+			depth = int(d[i])
+		}
+		if c.splitAttr[i] < 0 {
+			leaves++
+			continue
+		}
+		for _, ch := range [2]int32{c.left[i], c.right[i]} {
+			if v := d[i] + 1; v > d[ch] {
+				d[ch] = v
+			}
+		}
+	}
+	return leaves, depth
+}
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
+// leafFor descends the packed walk records to the leaf index for a row
+// — identical comparisons (<= goes left) to the pointer walk.
+func (c *CompiledTree) leafFor(row dataset.Instance) int32 {
+	w := c.walk
+	n := int32(0)
+	for {
+		nd := &w[n]
+		if nd.attr < 0 {
+			return n
+		}
+		if row[nd.attr] <= nd.thr {
+			n = nd.child[0]
+		} else {
+			n = nd.child[1]
+		}
+	}
+}
+
+// lmPredict evaluates node n's linear model: intercept plus the packed
+// coefficient row, accumulated in the same order as linreg.Model.Predict
+// so the result is bit-identical.
+func (c *CompiledTree) lmPredict(n int32, row dataset.Instance) float64 {
+	y := c.lmIntercept[n]
+	attrs, coefs := c.lmAttrs, c.lmCoefs
+	for j, end := c.lmOff[n], c.lmOff[n+1]; j < end; j++ {
+		y += coefs[j] * row[attrs[j]]
+	}
+	return y
+}
+
+// Predict returns the compiled tree's estimate for one instance,
+// bit-identical to Tree.Predict: the raw leaf model without smoothing,
+// or the ancestor-blended value with it.
+func (c *CompiledTree) Predict(row dataset.Instance) float64 {
+	if !c.config.Smooth {
+		return c.lmPredict(c.leafFor(row), row)
+	}
+	var pbuf [compiledPathInline]int32
+	path := pbuf[:0]
+	if c.depth > compiledPathInline {
+		path = make([]int32, 0, c.depth)
+	}
+	return c.predictSmoothed(row, path)
+}
+
+// predictSmoothed walks to the leaf recording the path in the caller's
+// scratch, then blends ancestor models bottom-up with the exact
+// arithmetic of the pointer walk.
+func (c *CompiledTree) predictSmoothed(row dataset.Instance, path []int32) float64 {
+	w := c.walk
+	n := int32(0)
+	for {
+		path = append(path, n)
+		nd := &w[n]
+		if nd.attr < 0 {
+			break
+		}
+		if row[nd.attr] <= nd.thr {
+			n = nd.child[0]
+		} else {
+			n = nd.child[1]
+		}
+	}
+	return c.blendPath(row, path)
+}
+
+// blendPath evaluates the leaf model at the end of a recorded root-to-
+// leaf path and smooths it bottom-up through the ancestors — the shared
+// tail of the single and blocked smoothed predictors.
+func (c *CompiledTree) blendPath(row dataset.Instance, path []int32) float64 {
+	p := c.lmPredict(path[len(path)-1], row)
+	k := c.config.SmoothingK
+	// Ancestor models are open-coded (the same loop as lmPredict, same
+	// accumulation order) to keep the running blend in a register across
+	// the bottom-up sweep.
+	nodeN := c.nodeN
+	lmOff, intercept, attrs, coefs := c.lmOff, c.lmIntercept, c.lmAttrs, c.lmCoefs
+	for i := len(path) - 2; i >= 0; i-- {
+		node, below := path[i], path[i+1]
+		y := intercept[node]
+		for j, end := lmOff[node], lmOff[node+1]; j < end; j++ {
+			y += coefs[j] * row[attrs[j]]
+		}
+		nb := float64(nodeN[below])
+		p = (nb*p + k*y) / (nb + k)
+	}
+	return p
+}
+
+// batchLanes rows descend the tree at once inside the batch kernel,
+// each lane's node cursor held in a register of a hand-unrolled loop. A
+// single row's walk is a chain of dependent loads (each node index
+// comes from the previous load), so one row at a time leaves the core
+// idle on L2/L3 latency; four independent cursors keep four of those
+// loads in flight per sweep. The comparisons and per-row arithmetic are
+// unchanged — only their interleaving across rows differs — so results
+// stay bit-identical to Predict.
+const batchLanes = 4
+
+// walk4 descends four rows at once, one level per sweep, and returns
+// their leaf indices. A lane that lands early idles on its (cached)
+// leaf record until the deepest lane finishes; the termination test
+// relies on every leaf having attr < 0, so the AND of the four attrs
+// has its sign bit set exactly when all four lanes are done.
+func (c *CompiledTree) walk4(r0, r1, r2, r3 dataset.Instance) (int32, int32, int32, int32) {
+	w := c.walk
+	n0, n1, n2, n3 := int32(0), int32(0), int32(0), int32(0)
+	for {
+		nd0, nd1, nd2, nd3 := &w[n0], &w[n1], &w[n2], &w[n3]
+		a0, a1, a2, a3 := nd0.attr, nd1.attr, nd2.attr, nd3.attr
+		if a0&a1&a2&a3 < 0 {
+			return n0, n1, n2, n3
+		}
+		if a0 >= 0 {
+			j := 0
+			if r0[a0] > nd0.thr {
+				j = 1
+			}
+			n0 = nd0.child[j]
+		}
+		if a1 >= 0 {
+			j := 0
+			if r1[a1] > nd1.thr {
+				j = 1
+			}
+			n1 = nd1.child[j]
+		}
+		if a2 >= 0 {
+			j := 0
+			if r2[a2] > nd2.thr {
+				j = 1
+			}
+			n2 = nd2.child[j]
+		}
+		if a3 >= 0 {
+			j := 0
+			if r3[a3] > nd3.thr {
+				j = 1
+			}
+			n3 = nd3.child[j]
+		}
+	}
+}
+
+// walk8 is walk4 with eight lanes: the unsmoothed kernel is pure walk,
+// so it profits from keeping eight dependent load chains in flight even
+// though some lane state spills to the (L1-resident) stack.
+func (c *CompiledTree) walk8(rows []dataset.Instance, i int) (int32, int32, int32, int32, int32, int32, int32, int32) {
+	w := c.walk
+	r0, r1, r2, r3 := rows[i], rows[i+1], rows[i+2], rows[i+3]
+	r4, r5, r6, r7 := rows[i+4], rows[i+5], rows[i+6], rows[i+7]
+	n0, n1, n2, n3 := int32(0), int32(0), int32(0), int32(0)
+	n4, n5, n6, n7 := int32(0), int32(0), int32(0), int32(0)
+	for {
+		nd0, nd1, nd2, nd3 := &w[n0], &w[n1], &w[n2], &w[n3]
+		nd4, nd5, nd6, nd7 := &w[n4], &w[n5], &w[n6], &w[n7]
+		a0, a1, a2, a3 := nd0.attr, nd1.attr, nd2.attr, nd3.attr
+		a4, a5, a6, a7 := nd4.attr, nd5.attr, nd6.attr, nd7.attr
+		if a0&a1&a2&a3&a4&a5&a6&a7 < 0 {
+			return n0, n1, n2, n3, n4, n5, n6, n7
+		}
+		if a0 >= 0 {
+			j := 0
+			if r0[a0] > nd0.thr {
+				j = 1
+			}
+			n0 = nd0.child[j]
+		}
+		if a1 >= 0 {
+			j := 0
+			if r1[a1] > nd1.thr {
+				j = 1
+			}
+			n1 = nd1.child[j]
+		}
+		if a2 >= 0 {
+			j := 0
+			if r2[a2] > nd2.thr {
+				j = 1
+			}
+			n2 = nd2.child[j]
+		}
+		if a3 >= 0 {
+			j := 0
+			if r3[a3] > nd3.thr {
+				j = 1
+			}
+			n3 = nd3.child[j]
+		}
+		if a4 >= 0 {
+			j := 0
+			if r4[a4] > nd4.thr {
+				j = 1
+			}
+			n4 = nd4.child[j]
+		}
+		if a5 >= 0 {
+			j := 0
+			if r5[a5] > nd5.thr {
+				j = 1
+			}
+			n5 = nd5.child[j]
+		}
+		if a6 >= 0 {
+			j := 0
+			if r6[a6] > nd6.thr {
+				j = 1
+			}
+			n6 = nd6.child[j]
+		}
+		if a7 >= 0 {
+			j := 0
+			if r7[a7] > nd7.thr {
+				j = 1
+			}
+			n7 = nd7.child[j]
+		}
+	}
+}
+
+// path4 is walk4 recording each lane's root-to-leaf path into
+// paths[lane*stride:]; it returns the four path lengths.
+func (c *CompiledTree) path4(r0, r1, r2, r3 dataset.Instance, paths []int32, stride int) (int32, int32, int32, int32) {
+	w := c.walk
+	n0, n1, n2, n3 := int32(0), int32(0), int32(0), int32(0)
+	d0, d1, d2, d3 := int32(1), int32(1), int32(1), int32(1)
+	paths[0], paths[stride], paths[2*stride], paths[3*stride] = 0, 0, 0, 0
+	for {
+		nd0, nd1, nd2, nd3 := &w[n0], &w[n1], &w[n2], &w[n3]
+		a0, a1, a2, a3 := nd0.attr, nd1.attr, nd2.attr, nd3.attr
+		if a0&a1&a2&a3 < 0 {
+			return d0, d1, d2, d3
+		}
+		if a0 >= 0 {
+			j := 0
+			if r0[a0] > nd0.thr {
+				j = 1
+			}
+			n0 = nd0.child[j]
+			paths[d0] = n0
+			d0++
+		}
+		if a1 >= 0 {
+			j := 0
+			if r1[a1] > nd1.thr {
+				j = 1
+			}
+			n1 = nd1.child[j]
+			paths[int32(stride)+d1] = n1
+			d1++
+		}
+		if a2 >= 0 {
+			j := 0
+			if r2[a2] > nd2.thr {
+				j = 1
+			}
+			n2 = nd2.child[j]
+			paths[int32(2*stride)+d2] = n2
+			d2++
+		}
+		if a3 >= 0 {
+			j := 0
+			if r3[a3] > nd3.thr {
+				j = 1
+			}
+			n3 = nd3.child[j]
+			paths[int32(3*stride)+d3] = n3
+			d3++
+		}
+	}
+}
+
+// blend4 runs the smoothing blend for four recorded paths with the four
+// accumulators interleaved in registers. Within a lane the arithmetic
+// is exactly blendPath's bottom-up sequence (bit-identical); across
+// lanes the independent chains overlap, so the blend's float divides —
+// ~13 cycles of latency each but pipelined — stack up instead of
+// serializing.
+func (c *CompiledTree) blend4(r0, r1, r2, r3 dataset.Instance, paths []int32, stride int, d0, d1, d2, d3 int32) (float64, float64, float64, float64) {
+	p0 := c.lmPredict(paths[d0-1], r0)
+	p1 := c.lmPredict(paths[int32(stride)+d1-1], r1)
+	p2 := c.lmPredict(paths[int32(2*stride)+d2-1], r2)
+	p3 := c.lmPredict(paths[int32(3*stride)+d3-1], r3)
+	k := c.config.SmoothingK
+	nodeN := c.nodeN
+	// The per-ancestor model evaluation is open-coded per lane (the same
+	// loop as lmPredict) so the accumulators stay in registers across the
+	// sweep instead of spilling around a function call.
+	lmOff, intercept, attrs, coefs := c.lmOff, c.lmIntercept, c.lmAttrs, c.lmCoefs
+	for i0, i1, i2, i3 := d0-1, d1-1, d2-1, d3-1; i0|i1|i2|i3 > 0; {
+		if i0 > 0 {
+			node, below := paths[i0-1], paths[i0]
+			y := intercept[node]
+			for j, end := lmOff[node], lmOff[node+1]; j < end; j++ {
+				y += coefs[j] * r0[attrs[j]]
+			}
+			nb := float64(nodeN[below])
+			p0 = (nb*p0 + k*y) / (nb + k)
+			i0--
+		}
+		if i1 > 0 {
+			node, below := paths[int32(stride)+i1-1], paths[int32(stride)+i1]
+			y := intercept[node]
+			for j, end := lmOff[node], lmOff[node+1]; j < end; j++ {
+				y += coefs[j] * r1[attrs[j]]
+			}
+			nb := float64(nodeN[below])
+			p1 = (nb*p1 + k*y) / (nb + k)
+			i1--
+		}
+		if i2 > 0 {
+			node, below := paths[int32(2*stride)+i2-1], paths[int32(2*stride)+i2]
+			y := intercept[node]
+			for j, end := lmOff[node], lmOff[node+1]; j < end; j++ {
+				y += coefs[j] * r2[attrs[j]]
+			}
+			nb := float64(nodeN[below])
+			p2 = (nb*p2 + k*y) / (nb + k)
+			i2--
+		}
+		if i3 > 0 {
+			node, below := paths[int32(3*stride)+i3-1], paths[int32(3*stride)+i3]
+			y := intercept[node]
+			for j, end := lmOff[node], lmOff[node+1]; j < end; j++ {
+				y += coefs[j] * r3[attrs[j]]
+			}
+			nb := float64(nodeN[below])
+			p3 = (nb*p3 + k*y) / (nb + k)
+			i3--
+		}
+	}
+	return p0, p1, p2, p3
+}
+
+// batchInto is the shared blocked kernel behind PredictInto (add=false)
+// and AccumulateInto (add=true): full blocks of batchLanes rows walk
+// with their cursors interleaved, the remainder falls back to the
+// scalar walk.
+func (c *CompiledTree) batchInto(dst []float64, rows []dataset.Instance, add bool) {
+	dst = dst[:len(rows)]
+	i := 0
+	if !c.config.Smooth {
+		for ; i+8 <= len(rows); i += 8 {
+			n0, n1, n2, n3, n4, n5, n6, n7 := c.walk8(rows, i)
+			p0 := c.lmPredict(n0, rows[i])
+			p1 := c.lmPredict(n1, rows[i+1])
+			p2 := c.lmPredict(n2, rows[i+2])
+			p3 := c.lmPredict(n3, rows[i+3])
+			p4 := c.lmPredict(n4, rows[i+4])
+			p5 := c.lmPredict(n5, rows[i+5])
+			p6 := c.lmPredict(n6, rows[i+6])
+			p7 := c.lmPredict(n7, rows[i+7])
+			if add {
+				dst[i], dst[i+1], dst[i+2], dst[i+3] = dst[i]+p0, dst[i+1]+p1, dst[i+2]+p2, dst[i+3]+p3
+				dst[i+4], dst[i+5], dst[i+6], dst[i+7] = dst[i+4]+p4, dst[i+5]+p5, dst[i+6]+p6, dst[i+7]+p7
+			} else {
+				dst[i], dst[i+1], dst[i+2], dst[i+3] = p0, p1, p2, p3
+				dst[i+4], dst[i+5], dst[i+6], dst[i+7] = p4, p5, p6, p7
+			}
+		}
+		for ; i < len(rows); i++ {
+			p := c.lmPredict(c.leafFor(rows[i]), rows[i])
+			if add {
+				dst[i] += p
+			} else {
+				dst[i] = p
+			}
+		}
+		return
+	}
+	stride := compiledPathInline
+	var pbuf [batchLanes * compiledPathInline]int32
+	paths := pbuf[:]
+	if c.depth > compiledPathInline {
+		stride = c.depth
+		paths = make([]int32, batchLanes*stride)
+	}
+	for ; i+batchLanes <= len(rows); i += batchLanes {
+		r0, r1, r2, r3 := rows[i], rows[i+1], rows[i+2], rows[i+3]
+		d0, d1, d2, d3 := c.path4(r0, r1, r2, r3, paths, stride)
+		p0, p1, p2, p3 := c.blend4(r0, r1, r2, r3, paths, stride, d0, d1, d2, d3)
+		if add {
+			dst[i], dst[i+1], dst[i+2], dst[i+3] = dst[i]+p0, dst[i+1]+p1, dst[i+2]+p2, dst[i+3]+p3
+		} else {
+			dst[i], dst[i+1], dst[i+2], dst[i+3] = p0, p1, p2, p3
+		}
+	}
+	for ; i < len(rows); i++ {
+		p := c.predictSmoothed(rows[i], paths[:0])
+		if add {
+			dst[i] += p
+		} else {
+			dst[i] = p
+		}
+	}
+}
+
+// PredictInto is the batch kernel: it fills dst[i] with the prediction
+// for rows[i], allocation-free (walk indices and smoothing paths live
+// on the stack) and bit-identical to calling Predict per row. dst must
+// have at least len(rows) elements. This is what the /v1/predict batch
+// endpoint runs; beyond amortizing per-call overhead, the lockstep
+// block walk overlaps the rows' dependent node loads (see batchLanes).
+func (c *CompiledTree) PredictInto(dst []float64, rows []dataset.Instance) {
+	c.batchInto(dst, rows, false)
+}
+
+// AccumulateInto adds the prediction for rows[i] onto dst[i] — the
+// tree-major primitive behind the compiled ensemble's batch kernel,
+// which keeps one member's arrays hot in cache across the whole batch
+// instead of touching every member per row.
+func (c *CompiledTree) AccumulateInto(dst []float64, rows []dataset.Instance) {
+	c.batchInto(dst, rows, true)
+}
+
+// Classify routes an instance to its leaf, returning a materialized
+// leaf Node (LeafID, N, Mean and a model view over the packed
+// coefficients) plus the decision path — the same contract as
+// Tree.Classify, so the serving layer's /v1/classify works on compiled
+// trees unchanged.
+func (c *CompiledTree) Classify(row dataset.Instance) (leaf *Node, path []PathStep) {
+	attr, thr := c.splitAttr, c.threshold
+	n := int32(0)
+	for attr[n] >= 0 {
+		a := attr[n]
+		path = append(path, PathStep{
+			Attr:      int(a),
+			Name:      c.attrName(int(a)),
+			Threshold: thr[n],
+			Above:     row[a] > thr[n],
+		})
+		if row[a] <= thr[n] {
+			n = c.left[n]
+		} else {
+			n = c.right[n]
+		}
+	}
+	return c.materialize(n), path
+}
+
+// materialize builds a standalone leaf Node view of flat node i. The
+// model's coefficient slices alias the packed arenas (callers must not
+// mutate them); Attrs is converted because linreg uses int indices.
+func (c *CompiledTree) materialize(i int32) *Node {
+	n := &Node{
+		SplitAttr: -1,
+		N:         int(c.nodeN[i]),
+		SD:        c.sd[i],
+		Mean:      c.mean[i],
+		LeafID:    int(c.leafID[i]),
+	}
+	if c.hasLM[i] != 0 {
+		off, end := c.lmOff[i], c.lmOff[i+1]
+		attrs := make([]int, end-off)
+		for j := range attrs {
+			attrs[j] = int(c.lmAttrs[off+int32(j)])
+		}
+		n.Model = &linreg.Model{
+			Intercept: c.lmIntercept[i],
+			Attrs:     attrs,
+			Coefs:     c.lmCoefs[off:end:end],
+			Names:     c.lmNames[i],
+		}
+	}
+	return n
+}
+
+// Contributions decomposes the unsmoothed leaf prediction into
+// per-event CPI shares — the paper's Eq. 4 — with arithmetic identical
+// to Tree.Contributions.
+func (c *CompiledTree) Contributions(row dataset.Instance) []model.Contribution {
+	n := c.leafFor(row)
+	pred := c.lmPredict(n, row)
+	var out []model.Contribution
+	for j, end := c.lmOff[n], c.lmOff[n+1]; j < end; j++ {
+		coef := c.lmCoefs[j]
+		if coef == 0 {
+			continue
+		}
+		a := int(c.lmAttrs[j])
+		rate := row[a]
+		cyc := coef * rate
+		var frac float64
+		if pred != 0 {
+			frac = cyc / pred
+		}
+		out = append(out, model.Contribution{
+			Attr: a, Name: c.attrName(a), Coef: coef, Rate: rate, Cycles: cyc, Fraction: frac,
+		})
+	}
+	sortContributions(out)
+	return out
+}
+
+func (c *CompiledTree) attrName(a int) string {
+	if a >= 0 && a < len(c.attrNames) {
+		return c.attrNames[a]
+	}
+	return defaultAttrName(a)
+}
+
+// NumLeaves reports the number of leaves (performance classes).
+func (c *CompiledTree) NumLeaves() int { return c.numLeaves }
+
+// NumNodes reports the total flat node count.
+func (c *CompiledTree) NumNodes() int { return len(c.splitAttr) }
+
+// Depth reports the maximum root-to-leaf node count.
+func (c *CompiledTree) Depth() int { return c.depth }
+
+// Config returns the training configuration the tree carries.
+func (c *CompiledTree) Config() Config { return c.config }
+
+// Describe matches the source tree's description field for field, so
+// registries and /v1/models listings are unchanged by compilation.
+func (c *CompiledTree) Describe() model.Description {
+	return model.Description{
+		Kind:      "m5-model-tree",
+		Target:    c.targetName,
+		AttrNames: c.attrNames,
+		TrainN:    c.trainN,
+		NumLeaves: c.numLeaves,
+		Trees:     1,
+	}
+}
+
+// Tree reconstructs the pointer-linked form — the bridge back to the
+// JSON persistence, printing and analysis code. The rebuilt tree
+// carries everything the persisted format does (ModelAttrs, which only
+// exist during training, are not preserved by either form).
+func (c *CompiledTree) Tree() *Tree {
+	if len(c.splitAttr) == 0 {
+		return nil
+	}
+	arena := make([]Node, len(c.splitAttr))
+	for i := range arena {
+		n := &arena[i]
+		n.SplitAttr = int(c.splitAttr[i])
+		n.N = int(c.nodeN[i])
+		n.SD = c.sd[i]
+		n.Mean = c.mean[i]
+		n.LeafID = int(c.leafID[i])
+		if n.SplitAttr >= 0 {
+			n.SplitName = c.attrName(n.SplitAttr)
+			n.Threshold = c.threshold[i]
+			n.Left = &arena[c.left[i]]
+			n.Right = &arena[c.right[i]]
+		}
+		if c.hasLM[i] != 0 {
+			off, end := c.lmOff[i], c.lmOff[i+1]
+			attrs := make([]int, end-off)
+			for j := range attrs {
+				attrs[j] = int(c.lmAttrs[off+int32(j)])
+			}
+			n.Model = &linreg.Model{
+				Intercept: c.lmIntercept[i],
+				Attrs:     attrs,
+				Coefs:     append([]float64(nil), c.lmCoefs[off:end]...),
+				Names:     append([]string(nil), c.lmNames[i]...),
+			}
+		}
+	}
+	return &Tree{
+		Root:       &arena[0],
+		Config:     c.config,
+		TargetName: c.targetName,
+		AttrNames:  append([]string(nil), c.attrNames...),
+		TrainN:     c.trainN,
+		GlobalSD:   c.globalSD,
+	}
+}
+
+// CompileModel implements model.Compilable: the serving registry calls
+// it on registration to switch the hot path to the flat-array form.
+func (t *Tree) CompileModel() model.Model { return Compile(t) }

@@ -35,10 +35,17 @@ func (t *Tree) Contributions(row dataset.Instance) []model.Contribution {
 			Attr: a, Name: t.attrName(a), Coef: coef, Rate: rate, Cycles: cyc, Fraction: frac,
 		})
 	}
+	sortContributions(out)
+	return out
+}
+
+// sortContributions orders shares largest-CPI-contribution first; the
+// stable sort keeps coefficient order for ties, so the pointer-walk and
+// compiled decompositions agree element for element.
+func sortContributions(out []model.Contribution) {
 	sort.SliceStable(out, func(i, j int) bool {
 		return out[i].Cycles > out[j].Cycles
 	})
-	return out
 }
 
 // Describe implements model.Model.

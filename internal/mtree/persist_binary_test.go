@@ -1,0 +1,124 @@
+package mtree_test
+
+// Properties of the binary model format: write→read→write is a
+// byte-stable fixed point, loaded trees predict bit-identically to the
+// source tree, the binary and JSON formats describe the same model, and
+// truncated or corrupt files fail with descriptive errors instead of
+// panicking or loading garbage.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mtree"
+	"repro/internal/proptest"
+)
+
+// TestBinaryRoundTrip: persist→load→persist reproduces the same bytes,
+// and the loaded compiled tree is observationally identical to the
+// original — including through the JSON bridge (decompile → WriteJSON).
+func TestBinaryRoundTrip(t *testing.T) {
+	proptest.Run(t, "binary-roundtrip", 12, func(t *testing.T, r *proptest.Rand) {
+		tree, _ := buildRandom(t, r)
+
+		var b1 bytes.Buffer
+		if err := tree.WriteBinary(&b1); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		loaded, err := mtree.ReadBinary(b1.Bytes())
+		if err != nil {
+			t.Fatalf("ReadBinary: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := loaded.WriteBinary(&b2); err != nil {
+			t.Fatalf("WriteBinary after load: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("binary persist -> load -> persist is not byte-identical")
+		}
+
+		for i := 0; i < 20; i++ {
+			row := genRow(r)
+			if loaded.Predict(row) != tree.Predict(row) {
+				t.Fatalf("binary-loaded tree diverges on row %d", i)
+			}
+		}
+
+		var wantJSON, gotJSON bytes.Buffer
+		if err := tree.WriteJSON(&wantJSON); err != nil {
+			t.Fatal(err)
+		}
+		if err := loaded.Tree().WriteJSON(&gotJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantJSON.Bytes(), gotJSON.Bytes()) {
+			t.Fatal("binary round trip does not reproduce the JSON persisted form")
+		}
+	})
+}
+
+// TestBinaryCorruption: every truncation of a valid file, and a set of
+// targeted corruptions, must produce an error — never a panic, never a
+// silently wrong tree.
+func TestBinaryCorruption(t *testing.T) {
+	r := proptest.NewRand(proptest.CaseSeed(t.Name(), 0))
+	tree, _ := buildRandom(t, r)
+	var buf bytes.Buffer
+	if err := tree.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	valid := buf.Bytes()
+
+	if _, err := mtree.ReadBinary(valid); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	// Every truncation must either be rejected or — when only trailing
+	// alignment padding was cut — still load the identical model.
+	for n := 0; n < len(valid); n++ {
+		loaded, err := mtree.ReadBinary(valid[:n])
+		if err != nil {
+			continue
+		}
+		var again bytes.Buffer
+		if err := loaded.WriteBinary(&again); err != nil {
+			t.Fatalf("truncation to %d bytes loaded but cannot re-persist: %v", n, err)
+		}
+		if !bytes.Equal(again.Bytes(), valid) {
+			t.Fatalf("truncation to %d of %d bytes loaded a different model", n, len(valid))
+		}
+	}
+
+	corrupt := func(name string, mutate func(b []byte), wantSub string) {
+		b := append([]byte(nil), valid...)
+		mutate(b)
+		_, err := mtree.ReadBinary(b)
+		if err == nil {
+			t.Fatalf("%s: corrupt file was accepted", name)
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+	corrupt("bad magic", func(b []byte) { b[0] = 'X' }, "magic")
+	corrupt("future version", func(b []byte) { b[4] = 0xFF }, "version")
+	corrupt("wrong kind", func(b []byte) { b[6] = 0x7F }, "kind")
+	corrupt("misaligned section", func(b []byte) { b[16+8]++ }, "aligned")
+	corrupt("section out of range", func(b []byte) { b[16+8+6] = 0xFF }, "past")
+}
+
+// TestBinaryKindConfusion: a tree loader must reject an ensemble file
+// (and Read the other way is checked in internal/ensemble).
+func TestBinaryKindConfusion(t *testing.T) {
+	r := proptest.NewRand(proptest.CaseSeed(t.Name(), 0))
+	tree, _ := buildRandom(t, r)
+	var buf bytes.Buffer
+	if err := tree.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[6] = 2 // binfmt.KindEnsemble
+	if _, err := mtree.ReadBinary(b); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("ensemble-kinded file accepted by tree loader: %v", err)
+	}
+}

@@ -14,12 +14,38 @@ import (
 // the smoothing constant (15 in M5). Smoothing compensates for the sharp
 // discontinuities between adjacent leaf models.
 func (t *Tree) Predict(row dataset.Instance) float64 {
-	path := t.pathTo(row)
-	leaf := path[len(path)-1]
-	p := leaf.Model.Predict(row)
 	if !t.Config.Smooth {
-		return p
+		// Unsmoothed prediction needs no path at all: walk straight to
+		// the leaf and evaluate its model, allocation-free.
+		n := t.Root
+		for !n.IsLeaf() {
+			if row[n.SplitAttr] <= n.Threshold {
+				n = n.Left
+			} else {
+				n = n.Right
+			}
+		}
+		return n.Model.Predict(row)
 	}
+	// Smoothing blends ancestor models bottom-up, so the path is needed
+	// — but it lives in a stack buffer instead of a per-call heap slice
+	// (the compiled evaluator uses the same trick); only a tree deeper
+	// than the buffer falls back to one append-driven allocation.
+	var pbuf [predictPathInline]*Node
+	path := pbuf[:0]
+	n := t.Root
+	for {
+		path = append(path, n)
+		if n.IsLeaf() {
+			break
+		}
+		if row[n.SplitAttr] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	p := n.Model.Predict(row)
 	k := t.Config.SmoothingK
 	for i := len(path) - 2; i >= 0; i-- {
 		node := path[i]
@@ -28,6 +54,9 @@ func (t *Tree) Predict(row dataset.Instance) float64 {
 	}
 	return p
 }
+
+// predictPathInline is the stack capacity of Predict's smoothing path.
+const predictPathInline = 64
 
 // pathTo returns the nodes visited from root to leaf for an instance.
 func (t *Tree) pathTo(row dataset.Instance) []*Node {

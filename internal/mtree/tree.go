@@ -417,5 +417,9 @@ func (t *Tree) attrName(a int) string {
 	if a >= 0 && a < len(t.AttrNames) {
 		return t.AttrNames[a]
 	}
-	return fmt.Sprintf("x%d", a)
+	return defaultAttrName(a)
 }
+
+// defaultAttrName is the rendering fallback for a column with no
+// recorded name, shared by the pointer and compiled trees.
+func defaultAttrName(a int) string { return fmt.Sprintf("x%d", a) }

@@ -66,6 +66,57 @@ func BenchmarkServePredict(b *testing.B) {
 	})
 }
 
+// BenchmarkServePredictBatch measures the batch endpoint with the
+// compiled batch kernel against the per-row fallback (a model wrapped
+// so it hides Compilable/BatchPredictor), for a large batch where the
+// kernel's amortization matters. Uncached, serial: the numbers isolate
+// the prediction path, not the LRU or the worker fan-out.
+func BenchmarkServePredictBatch(b *testing.B) {
+	d := perfData(4000, 11)
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 8
+	tree, err := mtree.Build(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ecfg := ensemble.DefaultConfig()
+	ecfg.Trees = 10
+	ecfg.Tree = cfg
+	bag, err := ensemble.Train(d, ecfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	body := fmt.Sprintf(`{"model":"cpi","rows":%s}`, rowsJSON(d, 0, 256))
+	scfg := Config{Jobs: 1, CacheSize: 0, MaxBodyBytes: 1 << 22, MaxBatch: 4096}
+
+	run := func(b *testing.B, m model.Model) {
+		reg := NewRegistry()
+		if err := reg.Register("cpi", "v1", m, ""); err != nil {
+			b.Fatal(err)
+		}
+		h := New(reg, scfg).Handler()
+		if rec := post(h, "/v1/predict", body); rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := post(h, "/v1/predict", body)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+		b.ReportMetric(float64(b.N*256)/b.Elapsed().Seconds(), "rows/s")
+	}
+
+	b.Run("tree-kernel", func(b *testing.B) { run(b, tree) })
+	b.Run("tree-fallback", func(b *testing.B) { run(b, plainModel{tree}) })
+	b.Run("ensemble-kernel", func(b *testing.B) { run(b, bag) })
+	b.Run("ensemble-fallback", func(b *testing.B) { run(b, plainModel{bag}) })
+}
+
 // BenchmarkPredictionCache isolates the cache itself.
 func BenchmarkPredictionCache(b *testing.B) {
 	c := NewPredictionCache(1024)

@@ -43,6 +43,14 @@ func NewRegistry() *Registry {
 // Register adds a model under (name, version). Re-registering an existing
 // (name, version) is an error — versions are immutable once served; ship
 // a new version instead.
+//
+// Compilable models (the pointer-linked tree and ensemble) are compiled
+// to their flat-array evaluators here, so the serving hot path always
+// runs the compiled form no matter which format the model arrived in;
+// binary files load pre-compiled and models that cannot compile are
+// served as-is. Compilation never changes a response: compiled
+// predictions, contributions and classifications are bit-identical to
+// the original's.
 func (r *Registry) Register(name, version string, m model.Model, path string) error {
 	if name == "" || strings.ContainsAny(name, "@ \t\n") {
 		return fmt.Errorf("serve: invalid model name %q", name)
@@ -52,6 +60,11 @@ func (r *Registry) Register(name, version string, m model.Model, path string) er
 	}
 	if m == nil {
 		return fmt.Errorf("serve: nil model for %s@%s", name, version)
+	}
+	if c, ok := m.(model.Compilable); ok {
+		if cm := c.CompileModel(); cm != nil {
+			m = cm
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -12,10 +12,14 @@
 //	GET  /healthz      liveness + model count
 //	GET  /metrics      request counts, latency quantiles, cache hit rate
 //
-// Batch predictions fan out over internal/parallel, whose ordered Map
-// keeps responses byte-identical to serial Tree.Predict at any worker
-// count; the optional LRU cache keys on exact value bits by default, so
-// it can never change a response either. Request bodies are size-capped
+// The registry compiles every Compilable model at registration (and
+// binary model files load pre-compiled), so the hot path evaluates the
+// flat-array forms; prediction-only batches additionally run the
+// zero-allocation PredictInto kernel. Both are bit-identical to the
+// pointer-walk models, and batch fan-out over internal/parallel keeps
+// responses byte-identical at any worker count; the optional LRU cache
+// keys on exact value bits by default, so it can never change a
+// response either. Request bodies are size-capped
 // and handlers time-limited (except the streaming /v1/stream route,
 // which flushes incrementally instead — see Handler), making the hot
 // path safe to expose.
@@ -336,6 +340,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if req.Contributions {
 		resp.Contributions = make([][]model.Contribution, len(rows))
 	}
+	ref := e.Ref()
+	// Prediction-only requests against a compiled model take the batch
+	// kernel: one PredictInto sweep (chunked across workers for large
+	// batches) instead of per-row interface dispatch. The kernel's output
+	// is bit-identical to per-row Predict, so which path runs is
+	// unobservable in the response.
+	if bp, ok := e.Model.(model.BatchPredictor); ok && !req.Contributions {
+		resp.Predictions = s.predictBatch(bp, ref, rows)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	// Ordered fan-out: parallel.Map returns results in input order, so
 	// the response is byte-identical at any worker count. The cache is
 	// consulted per row; with the default exact-bits keying a hit returns
@@ -344,7 +359,6 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// allocations; only inserting a fresh entry copies the key.
 	// Request-sized batches are usually far below the point where fan-out
 	// pays for itself; ForItems keeps them on the serial path.
-	ref := e.Ref()
 	resp.Predictions, _ = parallel.Map(parallel.Config{Jobs: s.cfg.Jobs}.ForItems(len(rows)), rows,
 		func(i int, row dataset.Instance) (float64, error) {
 			if req.Contributions {
@@ -363,6 +377,68 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return v, nil
 		})
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictBatch answers a prediction-only request through the model's
+// batch kernel. Without a cache the kernel runs straight into the
+// response buffer; with one, rows are probed first and the kernel runs
+// only over the misses, which are then scattered back and inserted.
+// Either way dst[i] is bit-identical to e.Model.Predict(rows[i]), so
+// the cache keeps its never-changes-a-response property.
+func (s *Server) predictBatch(bp model.BatchPredictor, ref string, rows []dataset.Instance) []float64 {
+	out := make([]float64, len(rows))
+	if s.cache == nil {
+		s.kernelInto(bp, out, rows)
+		return out
+	}
+	var kb [256]byte
+	missIdx := make([]int, 0, len(rows))
+	missRows := make([]dataset.Instance, 0, len(rows))
+	for i, row := range rows {
+		key := AppendKey(kb[:0], ref, row, s.cfg.CacheQuantum)
+		if v, ok := s.cache.GetBytes(key); ok {
+			out[i] = v
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missRows = append(missRows, row)
+	}
+	if len(missRows) == 0 {
+		return out
+	}
+	miss := make([]float64, len(missRows))
+	s.kernelInto(bp, miss, missRows)
+	for j, i := range missIdx {
+		out[i] = miss[j]
+		key := AppendKey(kb[:0], ref, rows[i], s.cfg.CacheQuantum)
+		s.cache.PutBytes(key, miss[j])
+	}
+	return out
+}
+
+// kernelInto runs the batch kernel over dst/rows, splitting large
+// batches into contiguous per-worker chunks. Chunks write disjoint dst
+// ranges and every row's arithmetic is independent, so the result is
+// identical at any worker count — the same determinism contract the
+// per-row fan-out keeps.
+func (s *Server) kernelInto(bp model.BatchPredictor, dst []float64, rows []dataset.Instance) {
+	cfg := parallel.Config{Jobs: s.cfg.Jobs}.ForItems(len(rows))
+	workers := cfg.Workers()
+	if workers <= 1 {
+		bp.PredictInto(dst, rows)
+		return
+	}
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	chunks := make([][2]int, workers)
+	for w := range chunks {
+		chunks[w] = [2]int{w * len(rows) / workers, (w + 1) * len(rows) / workers}
+	}
+	_, _ = parallel.Map(cfg, chunks, func(_ int, c [2]int) (struct{}, error) {
+		bp.PredictInto(dst[c[0]:c[1]], rows[c[0]:c[1]])
+		return struct{}{}, nil
+	})
 }
 
 // classifier is the optional classification surface: single trees route
