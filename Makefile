@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race cover bench bench-parallel bench-serve bench-predict bench-micro bench-json bench-compare experiments serve-smoke monitor-smoke fuzz-short
+.PHONY: build test check vet race cover bench bench-parallel bench-serve bench-predict bench-micro bench-json bench-compare experiments serve-smoke monitor-smoke loadgen-smoke bench-load fuzz-short
 
 build:
 	$(GO) build ./...
@@ -146,6 +146,55 @@ serve-smoke:
 	echo "serve-smoke: predict OK (2x HTTP 200):"; cat $(SMOKE_BIN).predict.json; \
 	echo "serve-smoke: metrics:"; curl -s http://$(SMOKE_ADDR)/metrics; \
 	echo "serve-smoke: PASS"
+
+# End-to-end smoke test of the load-generation harness: start cmd/serve
+# with a self-trained demo model, replay a short seeded mixed trace
+# through cmd/loadgen, and fail unless the error budget is zero AND the
+# client's counters match the server's /v1/metrics.json deltas exactly
+# (the -max-error-budget 0 / validation gate inside loadgen). Always
+# kills the server on exit.
+LOADGEN_ADDR ?= 127.0.0.1:18467
+LOADGEN_BIN  ?= /tmp/repro-loadgen-smoke
+
+loadgen-smoke:
+	@set -e; \
+	$(GO) build -o $(LOADGEN_BIN).serve ./cmd/serve; \
+	$(GO) build -o $(LOADGEN_BIN) ./cmd/loadgen; \
+	$(LOADGEN_BIN).serve -demo -demo-scale 0.05 -addr $(LOADGEN_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT INT TERM; \
+	ok=0; for i in $$(seq 1 150); do \
+	  curl -sf http://$(LOADGEN_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; \
+	  sleep 0.2; \
+	done; \
+	test $$ok -eq 1 || { echo "loadgen-smoke: server never became healthy"; exit 1; }; \
+	$(LOADGEN_BIN) -target http://$(LOADGEN_ADDR) -model demo \
+	  -mode steady -duration 2s -rps 150 -seed 1 \
+	  -out $(LOADGEN_BIN).report.json -max-error-budget 0; \
+	echo "loadgen-smoke: PASS"
+
+# Load benchmark snapshot: replay steady and burst traces against a demo
+# server and append benchdiff-compatible latency events (p50/p95/p99 per
+# traffic kind) to a dated BENCH_LOAD_*.json, diffable across commits
+# with `go run ./cmd/benchdiff`. Latency numbers from shared CI machines
+# wobble; treat the diff as a signal, like bench-compare.
+BENCH_LOAD_JSON ?= BENCH_LOAD_$(shell date +%Y-%m-%d).json
+bench-load:
+	@set -e; : > $(BENCH_LOAD_JSON); \
+	$(GO) build -o $(LOADGEN_BIN).serve ./cmd/serve; \
+	$(GO) build -o $(LOADGEN_BIN) ./cmd/loadgen; \
+	$(LOADGEN_BIN).serve -demo -demo-scale 0.05 -addr $(LOADGEN_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT INT TERM; \
+	ok=0; for i in $$(seq 1 150); do \
+	  curl -sf http://$(LOADGEN_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; \
+	  sleep 0.2; \
+	done; \
+	test $$ok -eq 1 || { echo "bench-load: server never became healthy"; exit 1; }; \
+	for mode in steady burst; do \
+	  $(LOADGEN_BIN) -target http://$(LOADGEN_ADDR) -model demo \
+	    -mode $$mode -duration 5s -rps 200 -seed 1 \
+	    -out /dev/null -bench-json $(BENCH_LOAD_JSON); \
+	done; \
+	echo "wrote $(BENCH_LOAD_JSON)"
 
 # End-to-end smoke test of the streaming monitor: cmd/monitor -demo
 # trains a model, streams a synthetic two-phase trace with an injected

@@ -6,7 +6,11 @@
 // and served at /v1/predict (single +
 // batch, optional per-event contribution breakdown), /v1/classify (leaf
 // id + decision path), /v1/stream (NDJSON ingestion into a persistent
-// per-model phase/drift monitor), /v1/models, /healthz and /metrics.
+// per-model phase/drift monitor), /v1/models (listing) and
+// /v1/models/{ref} (schema, versions, source format, evaluator kind),
+// /healthz, /metrics (text exposition) and /v1/metrics.json (structured
+// per-route counters + latency histograms). Errors are uniform
+// {"error":{"code","message"}} envelopes with stable codes.
 //
 // Usage:
 //

@@ -78,6 +78,22 @@ func loadBinary(data []byte) (model.Model, error) {
 	}
 }
 
+// SniffFile reports which on-disk format the file at path uses
+// (FormatJSON or FormatBinary) without parsing the whole model.
+func SniffFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("modelio: %w", err)
+	}
+	defer f.Close()
+	head := make([]byte, len(binfmt.Magic))
+	n, _ := io.ReadFull(f, head)
+	if binfmt.Sniff(head[:n]) {
+		return FormatBinary, nil
+	}
+	return FormatJSON, nil
+}
+
 // LoadFile loads one persisted model from a file path.
 func LoadFile(path string) (model.Model, error) {
 	f, err := os.Open(path)

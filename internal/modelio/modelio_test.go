@@ -3,11 +3,13 @@ package modelio
 import (
 	"bytes"
 	"math/rand"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/ensemble"
+	"repro/internal/model"
 	"repro/internal/mtree"
 )
 
@@ -89,5 +91,76 @@ func TestLoadRejectsGarbage(t *testing.T) {
 func TestLoadFileMissing(t *testing.T) {
 	if _, err := LoadFile("/nonexistent/model.json"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestWriteLoadRoundTrip drives Write/WriteFile/LoadFile/SniffFile
+// through every format for both model kinds, including the
+// compiled-form bridges: a compiled tree must decompile for JSON and
+// write natively for binary, and either file must load back to a model
+// with identical predictions.
+func TestWriteLoadRoundTrip(t *testing.T) {
+	d := trainData(600, 4)
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 50
+	tree, err := mtree.Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := mtree.Compile(tree)
+
+	for _, tc := range []struct {
+		name   string
+		m      model.Model
+		format string
+	}{
+		{"tree-json", tree, FormatJSON},
+		{"tree-binary", tree, FormatBinary},
+		{"compiled-json", compiled, FormatJSON},
+		{"compiled-binary", compiled, FormatBinary},
+	} {
+		path := filepath.Join(t.TempDir(), tc.name)
+		if err := WriteFile(path, tc.m, tc.format); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		format, err := SniffFile(path)
+		if err != nil {
+			t.Fatalf("%s: sniff: %v", tc.name, err)
+		}
+		if format != tc.format {
+			t.Errorf("%s: sniffed %q, want %q", tc.name, format, tc.format)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", tc.name, err)
+		}
+		for i := 0; i < 20; i++ {
+			if g, w := got.Predict(d.Row(i)), tc.m.Predict(d.Row(i)); g != w {
+				t.Fatalf("%s: row %d predicts %v, want %v", tc.name, i, g, w)
+			}
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	d := trainData(300, 5)
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 50
+	tree, err := mtree.Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := Write(&b, tree, "parquet"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := WriteFile("/nonexistent/dir/model.json", tree, FormatJSON); err == nil {
+		t.Error("uncreatable path accepted")
+	}
+}
+
+func TestSniffFileMissing(t *testing.T) {
+	if _, err := SniffFile("/nonexistent/model.json"); err == nil {
+		t.Error("missing file sniffed")
 	}
 }

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Every error the API emits — handler rejections, the timeout wrapper,
+// the mux's method fallbacks — shares one JSON envelope:
+//
+//	{"error":{"code":"<stable-code>","message":"<human detail>"}}
+//
+// The code is the machine-readable half of the contract: clients (and
+// cmd/loadgen's error-budget accounting) branch on it, while the
+// message stays free to change wording. Codes are deliberately coarse —
+// one per failure family, not per call site — so a client switch
+// statement stays short and adding a handler never forces a new code.
+const (
+	// ErrCodeBadRequest: malformed body, schema mismatch, missing or
+	// contradictory fields (HTTP 400).
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeNotFound: unknown model name or version (HTTP 404).
+	ErrCodeNotFound = "not_found"
+	// ErrCodeMethodNotAllowed: wrong HTTP method on a known route
+	// (HTTP 405, with an Allow header).
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	// ErrCodeTooLarge: body over MaxBodyBytes or batch over MaxBatch
+	// (HTTP 413).
+	ErrCodeTooLarge = "payload_too_large"
+	// ErrCodeUnsupported: the model cannot answer this endpoint, e.g.
+	// classify on an ensemble (HTTP 422).
+	ErrCodeUnsupported = "unsupported"
+	// ErrCodeTimeout: the request exceeded RequestTimeout (HTTP 503,
+	// written by http.TimeoutHandler with a pre-rendered envelope).
+	ErrCodeTimeout = "timeout"
+	// ErrCodeInternal: server-side failure (HTTP 500).
+	ErrCodeInternal = "internal"
+	// ErrCodeStreamAborted: in-band NDJSON error line on /v1/stream
+	// after the 200 header is already out.
+	ErrCodeStreamAborted = "stream_aborted"
+)
+
+// apiError is the envelope payload.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorEnvelope is the full error response body.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// timeoutBody is the envelope http.TimeoutHandler writes on 503; it
+// must be pre-rendered because the wrapper takes a fixed string.
+var timeoutBody = func() string {
+	b, _ := json.Marshal(errorEnvelope{Error: apiError{
+		Code: ErrCodeTimeout, Message: "request timed out"}})
+	return string(b)
+}()
+
+// writeError writes the unified envelope with the given status, code
+// and formatted message.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: apiError{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}

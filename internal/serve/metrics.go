@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bytes"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,9 +11,12 @@ import (
 
 // Observability counters for the prediction service, expvar-style: plain
 // in-process counters and fixed-bucket latency histograms, rendered as
-// one JSON document at GET /metrics. No external metrics dependency; the
-// histograms give the latency quantiles a scrape would want (p50/p90/p99)
-// at a few hundred bytes of state per endpoint.
+// one JSON document at GET /v1/metrics.json (with cumulative histogram
+// buckets, so external load generators can cross-validate their own
+// counts) and as a flat text exposition at GET /metrics. No external
+// metrics dependency; the histograms give the latency quantiles a
+// scrape would want (p50/p90/p99) at a few hundred bytes of state per
+// endpoint.
 
 // latencyBucketsMs are the histogram upper bounds in milliseconds,
 // log-spaced from 10µs to 10s. Samples above the last bound land in a
@@ -54,7 +59,7 @@ func (h *histogram) observe(d time.Duration) {
 func (h *histogram) snapshot() latencySnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := latencySnapshot{MaxMs: h.maxMs}
+	s := latencySnapshot{MaxMs: h.maxMs, Count: h.total}
 	if h.total == 0 {
 		return s
 	}
@@ -79,15 +84,32 @@ func (h *histogram) snapshot() latencySnapshot {
 	s.P50Ms = quantile(0.50)
 	s.P90Ms = quantile(0.90)
 	s.P99Ms = quantile(0.99)
+	// Cumulative finite buckets; observations above the last bound are
+	// the difference between the last bucket's count and Count.
+	s.Buckets = make([]latencyBucket, len(latencyBucketsMs))
+	var cum uint64
+	for i := range latencyBucketsMs {
+		cum += h.counts[i]
+		s.Buckets[i] = latencyBucket{LeMs: latencyBucketsMs[i], Count: cum}
+	}
 	return s
 }
 
+// latencyBucket is one cumulative histogram bucket: Count observations
+// were at or under LeMs milliseconds.
+type latencyBucket struct {
+	LeMs  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
 type latencySnapshot struct {
-	MeanMs float64 `json:"mean_ms"`
-	P50Ms  float64 `json:"p50_ms"`
-	P90Ms  float64 `json:"p90_ms"`
-	P99Ms  float64 `json:"p99_ms"`
-	MaxMs  float64 `json:"max_ms"`
+	Count  uint64          `json:"count"`
+	MeanMs float64         `json:"mean_ms"`
+	P50Ms  float64         `json:"p50_ms"`
+	P90Ms  float64         `json:"p90_ms"`
+	P99Ms  float64         `json:"p99_ms"`
+	MaxMs  float64         `json:"max_ms"`
+	Buckets []latencyBucket `json:"buckets,omitempty"`
 }
 
 // endpointMetrics tracks one route.
@@ -176,4 +198,55 @@ func (m *metricsRegistry) snapshot() metricsSnapshot {
 		s.Streams = m.streams.snapshot()
 	}
 	return s
+}
+
+// renderText flattens the snapshot into a prometheus-flavoured text
+// exposition: one `name{labels} value` line per counter, routes sorted
+// so the output is deterministic. The structured form with histogram
+// buckets lives at /v1/metrics.json; this rendering keeps only the
+// quantile summaries per endpoint.
+func (s metricsSnapshot) renderText() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "serve_uptime_seconds %g\n", s.UptimeSeconds)
+	fmt.Fprintf(&b, "serve_models %d\n", s.Models)
+	routes := make([]string, 0, len(s.Endpoints))
+	for r := range s.Endpoints {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		ep := s.Endpoints[r]
+		fmt.Fprintf(&b, "serve_requests_total{route=%q} %d\n", r, ep.Requests)
+		fmt.Fprintf(&b, "serve_errors_total{route=%q} %d\n", r, ep.Errors)
+		fmt.Fprintf(&b, "serve_in_flight{route=%q} %d\n", r, ep.InFlight)
+		l := ep.LatencyMs
+		fmt.Fprintf(&b, "serve_latency_ms{route=%q,stat=\"mean\"} %g\n", r, l.MeanMs)
+		fmt.Fprintf(&b, "serve_latency_ms{route=%q,stat=\"p50\"} %g\n", r, l.P50Ms)
+		fmt.Fprintf(&b, "serve_latency_ms{route=%q,stat=\"p90\"} %g\n", r, l.P90Ms)
+		fmt.Fprintf(&b, "serve_latency_ms{route=%q,stat=\"p99\"} %g\n", r, l.P99Ms)
+		fmt.Fprintf(&b, "serve_latency_ms{route=%q,stat=\"max\"} %g\n", r, l.MaxMs)
+	}
+	fmt.Fprintf(&b, "serve_cache_enabled %d\n", boolToInt(s.Cache.Enabled))
+	fmt.Fprintf(&b, "serve_cache_size %d\n", s.Cache.Size)
+	fmt.Fprintf(&b, "serve_cache_cap %d\n", s.Cache.Cap)
+	fmt.Fprintf(&b, "serve_cache_hits_total %d\n", s.Cache.Hits)
+	fmt.Fprintf(&b, "serve_cache_misses_total %d\n", s.Cache.Misses)
+	fmt.Fprintf(&b, "serve_cache_hit_rate %g\n", s.Cache.HitRate)
+	fmt.Fprintf(&b, "serve_stream_sessions %d\n", s.Streams.Sessions)
+	fmt.Fprintf(&b, "serve_stream_depth %d\n", s.Streams.Depth)
+	fmt.Fprintf(&b, "serve_stream_accepted_total %d\n", s.Streams.Accepted)
+	fmt.Fprintf(&b, "serve_stream_scored_total %d\n", s.Streams.Scored)
+	fmt.Fprintf(&b, "serve_stream_invalid_total %d\n", s.Streams.Invalid)
+	fmt.Fprintf(&b, "serve_stream_dropped_total %d\n", s.Streams.Dropped)
+	fmt.Fprintf(&b, "serve_stream_windows_total %d\n", s.Streams.Windows)
+	fmt.Fprintf(&b, "serve_stream_phase_boundaries_total %d\n", s.Streams.PhaseBoundaries)
+	fmt.Fprintf(&b, "serve_stream_drift_alarms_total %d\n", s.Streams.DriftAlarms)
+	return b.Bytes()
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }

@@ -103,7 +103,7 @@ func TestCacheTransparency(t *testing.T) {
 	var snap struct {
 		Cache cacheSnapshot `json:"cache"`
 	}
-	if err := json.Unmarshal(get(hOn, "/metrics").Body.Bytes(), &snap); err != nil {
+	if err := json.Unmarshal(get(hOn, "/v1/metrics.json").Body.Bytes(), &snap); err != nil {
 		t.Fatal(err)
 	}
 	if !snap.Cache.Enabled || snap.Cache.Hits == 0 {
@@ -212,7 +212,7 @@ func TestStreamChunkingInvariance(t *testing.T) {
 				}
 				body.Write(rec.Body.Bytes())
 			}
-			return nonSummary(body.Bytes()), get(h, "/metrics").Body.Bytes()
+			return nonSummary(body.Bytes()), get(h, "/v1/metrics.json").Body.Bytes()
 		}
 
 		var chunks []string

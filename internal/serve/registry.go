@@ -27,6 +27,9 @@ type Entry struct {
 	// Path is the source file, empty for models registered in-process.
 	Path  string
 	Model model.Model
+	// Format is the source file's on-disk format (modelio.FormatJSON or
+	// modelio.FormatBinary), empty for models registered in-process.
+	Format string
 }
 
 // Ref is the entry's canonical reference, "name@version".
@@ -81,13 +84,24 @@ func (r *Registry) Register(name, version string, m model.Model, path string) er
 	return nil
 }
 
-// LoadFile loads a persisted model (tree or ensemble) and registers it.
+// LoadFile loads a persisted model (tree or ensemble) and registers it,
+// recording the file's format for the /v1/models/{ref} detail view.
 func (r *Registry) LoadFile(name, version, path string) error {
 	m, err := modelio.LoadFile(path)
 	if err != nil {
 		return err
 	}
-	return r.Register(name, version, m, path)
+	format, err := modelio.SniffFile(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Register(name, version, m, path); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.entries[name][version].Format = format
+	r.mu.Unlock()
+	return nil
 }
 
 // Get resolves a reference: "name" (latest registered version) or
@@ -108,6 +122,26 @@ func (r *Registry) Get(ref string) (*Entry, error) {
 		return nil, fmt.Errorf("serve: unknown version %q of model %q", version, name)
 	}
 	return e, nil
+}
+
+// Latest returns the most recently registered version of name, or ""
+// if the name is unknown.
+func (r *Registry) Latest(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.latest[name]
+}
+
+// Versions returns every registered version of name, sorted.
+func (r *Registry) Versions(name string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries[name]))
+	for v := range r.entries[name] {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Len returns the number of registered (name, version) entries.

@@ -231,21 +231,29 @@ func TestPredictErrors(t *testing.T) {
 	cases := []struct {
 		name, path, body string
 		want             int
+		code             string
 	}{
-		{"malformed JSON", "/v1/predict", `{"model":`, http.StatusBadRequest},
-		{"unknown field", "/v1/predict", `{"model":"cpi","bogus":1}`, http.StatusBadRequest},
-		{"missing model", "/v1/predict", `{"row":[0,0,0,0]}`, http.StatusBadRequest},
-		{"unknown model", "/v1/predict", `{"model":"nope","row":[0,0,0,0]}`, http.StatusNotFound},
-		{"unknown version", "/v1/predict", `{"model":"cpi@v9","row":[0,0,0,0]}`, http.StatusNotFound},
-		{"no instances", "/v1/predict", `{"model":"cpi"}`, http.StatusBadRequest},
-		{"empty rows", "/v1/predict", `{"model":"cpi","rows":[]}`, http.StatusBadRequest},
-		{"two forms", "/v1/predict", `{"model":"cpi","row":[0,0,0,0],"rows":[[0,0,0,0]]}`, http.StatusBadRequest},
-		{"bad width", "/v1/predict", `{"model":"cpi","row":[1,2]}`, http.StatusBadRequest},
-		{"oversized batch", "/v1/predict", fmt.Sprintf(`{"model":"cpi","rows":%s}`, rowsJSON(d, 0, 9)), http.StatusRequestEntityTooLarge},
+		{"malformed JSON", "/v1/predict", `{"model":`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"unknown field", "/v1/predict", `{"model":"cpi","bogus":1}`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"missing model", "/v1/predict", `{"row":[0,0,0,0]}`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"unknown model", "/v1/predict", `{"model":"nope","row":[0,0,0,0]}`, http.StatusNotFound, ErrCodeNotFound},
+		{"unknown version", "/v1/predict", `{"model":"cpi@v9","row":[0,0,0,0]}`, http.StatusNotFound, ErrCodeNotFound},
+		{"no instances", "/v1/predict", `{"model":"cpi"}`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"empty rows", "/v1/predict", `{"model":"cpi","rows":[]}`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"two forms", "/v1/predict", `{"model":"cpi","row":[0,0,0,0],"rows":[[0,0,0,0]]}`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"bad width", "/v1/predict", `{"model":"cpi","row":[1,2]}`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"oversized batch", "/v1/predict", fmt.Sprintf(`{"model":"cpi","rows":%s}`, rowsJSON(d, 0, 9)), http.StatusRequestEntityTooLarge, ErrCodeTooLarge},
 	}
 	for _, tc := range cases {
-		if rec := post(h, tc.path, tc.body); rec.Code != tc.want {
+		rec := post(h, tc.path, tc.body)
+		if rec.Code != tc.want {
 			t.Errorf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body)
+			continue
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil ||
+			env.Error.Code != tc.code || env.Error.Message == "" {
+			t.Errorf("%s: bad error envelope (want code %q): %s", tc.name, tc.code, rec.Body)
 		}
 	}
 
@@ -428,8 +436,9 @@ func TestHealthz(t *testing.T) {
 }
 
 // TestMetricsEndpoint drives traffic (including a repeated request that
-// must hit the cache) and checks the /metrics report: request counts,
-// error counts, latency quantiles and the cache hit rate.
+// must hit the cache) and checks the /v1/metrics.json report: request
+// counts, error counts, latency quantiles, histogram buckets and the
+// cache hit rate, plus the text rendering at /metrics.
 func TestMetricsEndpoint(t *testing.T) {
 	s, _, d := newTestServer(t, DefaultConfig())
 	h := s.Handler()
@@ -442,7 +451,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	post(h, "/v1/predict", `{"model":"ghost","row":[0,0,0,0]}`) // one 404
 
-	rec := get(h, "/metrics")
+	rec := get(h, "/v1/metrics.json")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("metrics status %d", rec.Code)
 	}
@@ -453,9 +462,14 @@ func TestMetricsEndpoint(t *testing.T) {
 			Errors    uint64 `json:"errors"`
 			InFlight  int64  `json:"in_flight"`
 			LatencyMs struct {
-				P50 float64 `json:"p50_ms"`
-				P90 float64 `json:"p90_ms"`
-				P99 float64 `json:"p99_ms"`
+				Count   uint64  `json:"count"`
+				P50     float64 `json:"p50_ms"`
+				P90     float64 `json:"p90_ms"`
+				P99     float64 `json:"p99_ms"`
+				Buckets []struct {
+					LeMs  float64 `json:"le_ms"`
+					Count uint64  `json:"count"`
+				} `json:"buckets"`
 			} `json:"latency_ms"`
 		} `json:"endpoints"`
 		Cache struct {
@@ -481,6 +495,22 @@ func TestMetricsEndpoint(t *testing.T) {
 	if ep.LatencyMs.P50 <= 0 || ep.LatencyMs.P99 < ep.LatencyMs.P50 {
 		t.Errorf("implausible latency quantiles: %+v", ep.LatencyMs)
 	}
+	if ep.LatencyMs.Count != 4 {
+		t.Errorf("latency count = %d, want 4", ep.LatencyMs.Count)
+	}
+	if n := len(ep.LatencyMs.Buckets); n == 0 {
+		t.Error("no histogram buckets in metrics.json")
+	} else {
+		last := ep.LatencyMs.Buckets[n-1]
+		if last.Count > ep.LatencyMs.Count {
+			t.Errorf("cumulative bucket count %d exceeds total %d", last.Count, ep.LatencyMs.Count)
+		}
+		for i := 1; i < n; i++ {
+			if ep.LatencyMs.Buckets[i].Count < ep.LatencyMs.Buckets[i-1].Count {
+				t.Fatalf("bucket counts not cumulative at %d: %+v", i, ep.LatencyMs.Buckets)
+			}
+		}
+	}
 	if !snap.Cache.Enabled {
 		t.Fatal("cache not reported enabled")
 	}
@@ -492,6 +522,110 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if snap.Models != 1 {
 		t.Errorf("models = %d, want 1", snap.Models)
+	}
+}
+
+// TestMetricsText checks the flat text exposition at /metrics: plain
+// text content type, deterministic `name{labels} value` lines carrying
+// the same counters as /v1/metrics.json.
+func TestMetricsText(t *testing.T) {
+	s, _, d := newTestServer(t, DefaultConfig())
+	h := s.Handler()
+	row, _ := json.Marshal(d.Row(0))
+	if rec := post(h, "/v1/predict", fmt.Sprintf(`{"model":"cpi","row":%s}`, row)); rec.Code != http.StatusOK {
+		t.Fatalf("predict: %d", rec.Code)
+	}
+	rec := get(h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain", ct)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"serve_models 1\n",
+		`serve_requests_total{route="/v1/predict"} 1` + "\n",
+		`serve_errors_total{route="/v1/predict"} 0` + "\n",
+		`serve_latency_ms{route="/v1/predict",stat="p50"} `,
+		"serve_cache_enabled 1\n",
+		"serve_stream_sessions 0\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestModelDetail checks GET /v1/models/{ref}: schema, evaluator kind,
+// classifiability and the versions listing — the surface cmd/loadgen
+// uses to shape payloads per model.
+func TestModelDetail(t *testing.T) {
+	d := perfData(1200, 5)
+	tree := buildTree(t, d)
+	reg := NewRegistry()
+	if err := reg.Register("cpi", "v1", tree, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("cpi", "v2", tree, ""); err != nil {
+		t.Fatal(err)
+	}
+	h := New(reg, DefaultConfig()).Handler()
+
+	var det struct {
+		Name         string   `json:"name"`
+		Version      string   `json:"version"`
+		Latest       bool     `json:"latest"`
+		Kind         string   `json:"kind"`
+		Attrs        []string `json:"attrs"`
+		Target       string   `json:"target"`
+		Evaluator    string   `json:"evaluator"`
+		BatchKernel  bool     `json:"batch_kernel"`
+		Classifiable bool     `json:"classifiable"`
+		Versions     []string `json:"versions"`
+	}
+	rec := get(h, "/v1/models/cpi")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detail status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &det); err != nil {
+		t.Fatal(err)
+	}
+	if det.Name != "cpi" || det.Version != "v2" || !det.Latest {
+		t.Errorf("bare name should resolve to latest: %s", rec.Body)
+	}
+	if det.Target != "CPI" || len(det.Attrs) != 4 {
+		t.Errorf("schema not populated: %s", rec.Body)
+	}
+	// The registry compiles trees at registration, so the detail must
+	// report the compiled evaluator with the batch kernel available.
+	if det.Evaluator != "compiled" || !det.BatchKernel || !det.Classifiable {
+		t.Errorf("evaluator detail wrong: %s", rec.Body)
+	}
+	if len(det.Versions) != 2 || det.Versions[0] != "v1" || det.Versions[1] != "v2" {
+		t.Errorf("versions = %v, want [v1 v2]", det.Versions)
+	}
+
+	// A pinned reference resolves that exact version.
+	rec = get(h, "/v1/models/cpi@v1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pinned detail status %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &det); err != nil {
+		t.Fatal(err)
+	}
+	if det.Version != "v1" || det.Latest {
+		t.Errorf("pinned detail wrong: %s", rec.Body)
+	}
+
+	// Unknown models 404 with the envelope.
+	rec = get(h, "/v1/models/ghost")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown model detail status %d", rec.Code)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Code != ErrCodeNotFound {
+		t.Errorf("bad 404 envelope: %s", rec.Body)
 	}
 }
 

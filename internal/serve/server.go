@@ -9,8 +9,17 @@
 //	POST /v1/stream    NDJSON sample ingestion into a persistent per-model
 //	                   monitor session (phase boundaries + drift alarms)
 //	GET  /v1/models    registry listing with model descriptions
+//	GET  /v1/models/{ref}  one model's detail: description, evaluator
+//	                   kind, source format, registered versions
+//	GET  /v1/metrics.json  machine-readable counters: per-endpoint
+//	                   request/error counts, latency histogram buckets,
+//	                   cache and stream stats
 //	GET  /healthz      liveness + model count
-//	GET  /metrics      request counts, latency quantiles, cache hit rate
+//	GET  /metrics      the same counters as a text exposition
+//
+// Every error response shares the envelope
+// {"error":{"code","message"}} (see errors.go); clients branch on the
+// stable code, never on message wording.
 //
 // The registry compiles every Compilable model at registration (and
 // binary model files load pre-compiled), so the hot path evaluates the
@@ -87,17 +96,23 @@ type Server struct {
 	streams *streamSessions
 }
 
-var routes = []string{"/v1/predict", "/v1/classify", "/v1/stream", "/v1/models", "/healthz", "/metrics"}
+var routes = []string{
+	"/v1/predict", "/v1/classify", "/v1/stream",
+	"/v1/models", "/v1/models/{ref}", "/v1/metrics.json",
+	"/healthz", "/metrics",
+}
 
 // routeMethods maps each route to its Allow header value; requests with
 // any other method get a JSON 405 instead of a mux-level miss.
 var routeMethods = map[string]string{
-	"/v1/predict":  "POST",
-	"/v1/classify": "POST",
-	"/v1/stream":   "POST",
-	"/v1/models":   "GET, HEAD",
-	"/healthz":     "GET, HEAD",
-	"/metrics":     "GET, HEAD",
+	"/v1/predict":      "POST",
+	"/v1/classify":     "POST",
+	"/v1/stream":       "POST",
+	"/v1/models":       "GET, HEAD",
+	"/v1/models/{ref}": "GET, HEAD",
+	"/v1/metrics.json": "GET, HEAD",
+	"/healthz":         "GET, HEAD",
+	"/metrics":         "GET, HEAD",
 }
 
 // New creates a Server over a registry.
@@ -125,7 +140,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	withTimeout := func(h http.Handler) http.Handler {
 		if s.cfg.RequestTimeout > 0 {
-			return http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+			return http.TimeoutHandler(h, s.cfg.RequestTimeout, timeoutBody)
 		}
 		return h
 	}
@@ -133,6 +148,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/classify", withTimeout(s.instrument("/v1/classify", s.handleClassify)))
 	mux.Handle("POST /v1/stream", s.instrument("/v1/stream", s.handleStream))
 	mux.Handle("GET /v1/models", withTimeout(s.instrument("/v1/models", s.handleModels)))
+	mux.Handle("GET /v1/models/{ref}", withTimeout(s.instrument("/v1/models/{ref}", s.handleModelDetail)))
+	mux.Handle("GET /v1/metrics.json", withTimeout(s.instrument("/v1/metrics.json", s.handleMetricsJSON)))
 	mux.Handle("GET /healthz", withTimeout(s.instrument("/healthz", s.handleHealthz)))
 	mux.Handle("GET /metrics", withTimeout(s.instrument("/metrics", s.handleMetrics)))
 	// Method-generic fallbacks: the mux routes a wrong-method request
@@ -148,7 +165,7 @@ func (s *Server) Handler() http.Handler {
 func methodNotAllowed(allow string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", allow)
-		writeError(w, http.StatusMethodNotAllowed,
+		writeError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed,
 			"method %s not allowed; allowed: %s", r.Method, allow)
 	}
 }
@@ -199,10 +216,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 // predictRequest addresses a model and carries instances in one of three
 // forms: a single full-width row, a batch of rows, or named event maps
 // ("events") that the server expands against the model's schema.
@@ -235,10 +248,11 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, http.StatusRequestEntityTooLarge, ErrCodeTooLarge,
 				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
 		} else {
-			writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+			writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
+				"malformed request body: %v", err)
 		}
 		return false
 	}
@@ -305,12 +319,12 @@ func resolveRows(req *predictRequest, desc model.Description) ([]dataset.Instanc
 // itself on failure.
 func (s *Server) lookup(w http.ResponseWriter, ref string) *Entry {
 	if ref == "" {
-		writeError(w, http.StatusBadRequest, `missing "model" reference`)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, `missing "model" reference`)
 		return nil
 	}
 	e, err := s.reg.Get(ref)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "%v", err)
 		return nil
 	}
 	return e
@@ -327,11 +341,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	rows, err := resolveRows(&req, e.Model.Describe())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	if len(rows) > s.cfg.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeError(w, http.StatusRequestEntityTooLarge, ErrCodeTooLarge,
 			"batch of %d rows exceeds limit %d", len(rows), s.cfg.MaxBatch)
 		return
 	}
@@ -479,7 +493,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Contributions {
-		writeError(w, http.StatusBadRequest, `"contributions" is a /v1/predict option`)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, `"contributions" is a /v1/predict option`)
 		return
 	}
 	e := s.lookup(w, req.Model)
@@ -488,18 +502,18 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	cl, ok := e.Model.(classifier)
 	if !ok {
-		writeError(w, http.StatusUnprocessableEntity,
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeUnsupported,
 			"model %s (%s) does not expose leaf classes; classify requires a single tree",
 			e.Ref(), e.Model.Describe().Kind)
 		return
 	}
 	rows, err := resolveRows(&req, e.Model.Describe())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	if len(rows) > s.cfg.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeError(w, http.StatusRequestEntityTooLarge, ErrCodeTooLarge,
 			"batch of %d rows exceeds limit %d", len(rows), s.cfg.MaxBatch)
 		return
 	}
@@ -527,6 +541,57 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
 }
 
+// modelDetail is the GET /v1/models/{ref} response: the listing entry
+// plus everything a traffic generator needs to shape payloads for the
+// model — the schema to synthesize rows against, whether the hot path
+// runs the compiled kernel, and whether /v1/classify will answer.
+type modelDetail struct {
+	EntryInfo
+	// Evaluator is "compiled" (flat-array walk + batch kernel) or
+	// "plain" (pointer-walk fallback).
+	Evaluator string `json:"evaluator"`
+	// BatchKernel reports whether prediction-only batches take the
+	// zero-allocation PredictInto path.
+	BatchKernel bool `json:"batch_kernel"`
+	// Classifiable reports whether /v1/classify answers for this model
+	// (single trees only).
+	Classifiable bool `json:"classifiable"`
+	// Format is the source file format ("json", "binary"), or empty for
+	// models registered in-process.
+	Format string `json:"format,omitempty"`
+	// Versions lists every registered version of this name, sorted.
+	Versions []string `json:"versions"`
+}
+
+func (s *Server) handleModelDetail(w http.ResponseWriter, r *http.Request) {
+	ref := r.PathValue("ref")
+	e, err := s.reg.Get(ref)
+	if err != nil {
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "%v", err)
+		return
+	}
+	_, kernel := e.Model.(model.BatchPredictor)
+	_, classifiable := e.Model.(classifier)
+	evaluator := "plain"
+	if kernel {
+		evaluator = "compiled"
+	}
+	writeJSON(w, http.StatusOK, modelDetail{
+		EntryInfo: EntryInfo{
+			Name:        e.Name,
+			Version:     e.Version,
+			Latest:      s.reg.Latest(e.Name) == e.Version,
+			Path:        e.Path,
+			Description: e.Model.Describe(),
+		},
+		Evaluator:    evaluator,
+		BatchKernel:  kernel,
+		Classifiable: classifiable,
+		Format:       e.Format,
+		Versions:     s.reg.Versions(e.Name),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
@@ -534,10 +599,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetricsJSON is the machine-readable counter surface: the full
+// snapshot including per-endpoint latency histogram buckets, which
+// lets a client (cmd/loadgen) cross-validate its own counts against
+// the server's.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.metrics.snapshot())
+}
+
+// handleMetrics renders the same snapshot as a flat text exposition
+// (one `name{labels} value` line per counter) for eyeballs and
+// scrapers that want text; /v1/metrics.json is the structured form.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.metrics.snapshot().renderText())
 }

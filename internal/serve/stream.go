@@ -93,6 +93,16 @@ func (s *Server) streamConfig() stream.Config {
 	return cfg
 }
 
+// streamErrorLine builds the in-band NDJSON error object emitted when
+// a stream fails after the 200 header is out; it carries the same
+// envelope as out-of-band errors so clients classify both the same way.
+func streamErrorLine(err error) map[string]any {
+	return map[string]any{
+		"type":  "error",
+		"error": apiError{Code: ErrCodeStreamAborted, Message: err.Error()},
+	}
+}
+
 // streamSummary is the final NDJSON line of every /v1/stream response.
 type streamSummary struct {
 	Type     string       `json:"type"`
@@ -125,22 +135,22 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
-				writeError(w, http.StatusRequestEntityTooLarge,
+				writeError(w, http.StatusRequestEntityTooLarge, ErrCodeTooLarge,
 					"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
 			} else {
-				writeError(w, http.StatusBadRequest, "%v", err)
+				writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 			}
 			return
 		}
 		samples = append(samples, smp)
 		if len(samples) > s.cfg.MaxBatch {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, http.StatusRequestEntityTooLarge, ErrCodeTooLarge,
 				"batch exceeds %d samples", s.cfg.MaxBatch)
 			return
 		}
 	}
 	if len(samples) == 0 {
-		writeError(w, http.StatusBadRequest, "no samples in request body")
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "no samples in request body")
 		return
 	}
 
@@ -148,14 +158,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return stream.NewProcessor(e.Model, s.streamConfig())
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	for i := range samples {
 		if err := sess.p.Check(samples[i]); err != nil {
-			writeError(w, http.StatusBadRequest, "sample %d: %v", i, err)
+			writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "sample %d: %v", i, err)
 			return
 		}
 	}
@@ -184,7 +194,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// Only ring errors can land here; report on the stream since
 			// the 200 header is already out.
-			_ = enc.Encode(map[string]string{"type": "error", "error": err.Error()})
+			_ = enc.Encode(streamErrorLine(err))
 			return
 		}
 		if !emit(events) {
@@ -195,7 +205,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// for every sample it accepted, not leave a remainder buffered.
 	events, err := sess.p.Flush()
 	if err != nil {
-		_ = enc.Encode(map[string]string{"type": "error", "error": err.Error()})
+		_ = enc.Encode(streamErrorLine(err))
 		return
 	}
 	if !emit(events) {

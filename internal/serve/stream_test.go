@@ -172,7 +172,7 @@ func TestStreamMetrics(t *testing.T) {
 	if rec := postNDJSON(h, "/v1/stream?model=cpi", trace); rec.Code != http.StatusOK {
 		t.Fatalf("stream status %d: %s", rec.Code, rec.Body)
 	}
-	rec := get(h, "/metrics")
+	rec := get(h, "/v1/metrics.json")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("metrics status %d", rec.Code)
 	}
@@ -239,7 +239,7 @@ func TestStreamErrors(t *testing.T) {
 	var snap struct {
 		Streams streamsSnapshot `json:"streams"`
 	}
-	if err := json.Unmarshal(get(h, "/metrics").Body.Bytes(), &snap); err != nil {
+	if err := json.Unmarshal(get(h, "/v1/metrics.json").Body.Bytes(), &snap); err != nil {
 		t.Fatal(err)
 	}
 	if snap.Streams.Scored != 0 || snap.Streams.Accepted != 0 {
@@ -274,11 +274,10 @@ func TestMethodNotAllowed(t *testing.T) {
 		if got := rec.Header().Get("Allow"); got != tc.allow {
 			t.Errorf("%s %s: Allow %q, want %q", tc.method, tc.path, got, tc.allow)
 		}
-		var body struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
-			t.Errorf("%s %s: non-JSON 405 body: %s", tc.method, tc.path, rec.Body)
+		var body errorEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil ||
+			body.Error.Code != ErrCodeMethodNotAllowed || body.Error.Message == "" {
+			t.Errorf("%s %s: bad 405 envelope: %s", tc.method, tc.path, rec.Body)
 		}
 	}
 	// HEAD on a GET route is allowed, not 405.
@@ -327,7 +326,7 @@ func TestStreamSessionsIndependent(t *testing.T) {
 	var snap struct {
 		Streams streamsSnapshot `json:"streams"`
 	}
-	if err := json.Unmarshal(get(h, "/metrics").Body.Bytes(), &snap); err != nil {
+	if err := json.Unmarshal(get(h, "/v1/metrics.json").Body.Bytes(), &snap); err != nil {
 		t.Fatal(err)
 	}
 	if snap.Streams.Sessions != 2 {
