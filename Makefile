@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race cover bench bench-parallel bench-serve bench-predict bench-micro bench-json bench-compare experiments serve-smoke monitor-smoke loadgen-smoke bench-load fuzz-short
+.PHONY: build test check vet race cover bench bench-parallel bench-serve bench-predict bench-micro bench-json bench-compare experiments crossarch-smoke serve-smoke monitor-smoke loadgen-smoke bench-load fuzz-short
 
 build:
 	$(GO) build ./...
@@ -101,7 +101,8 @@ bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $$tmp -threshold $(BENCH_THRESHOLD)
 
 # Brief runs of every fuzz target (NDJSON sample decoder, CSV dataset
-# parser, persisted-tree loader, binary model loader) — long enough to
+# parser, persisted-tree loader, machine-spec loader, binary model
+# loader) — long enough to
 # catch parser regressions in CI, short enough to not dominate it. Each
 # target has a checked-in seed corpus under its package's testdata/fuzz/.
 # The binary-model target caps per-input minimization: its seeds are
@@ -113,10 +114,21 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecoderStream' -fuzztime $(FUZZTIME) ./internal/stream/
 	$(GO) test -run '^$$' -fuzz 'FuzzReadCSV' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz 'FuzzTreeReadJSON' -fuzztime $(FUZZTIME) ./internal/mtree/
+	$(GO) test -run '^$$' -fuzz 'FuzzMachineSpecReadJSON' -fuzztime $(FUZZTIME) ./internal/march/
 	$(GO) test -run '^$$' -fuzz 'FuzzModelReadBinary' -fuzztime $(FUZZTIME) -fuzzminimizetime 1000x ./internal/modelio/
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# Determinism smoke test of the cross-architecture experiment: run the
+# reduced-scale machine sweep twice at different worker counts and fail
+# unless the two reports hash identically — the enforcement of the
+# "byte-identical at any -jobs value" contract for the (machine,
+# benchmark) fan-out. The report itself is printed for eyeballing the
+# per-machine tree table and LOAO transfer numbers.
+CROSSARCH_SCALE ?= 0.3
+crossarch-smoke:
+	@set -e; 	a=$$(mktemp /tmp/crossarch.a.XXXXXX.txt); b=$$(mktemp /tmp/crossarch.b.XXXXXX.txt); 	trap 'rm -f $$a $$b' EXIT; 	$(GO) run ./cmd/experiments -crossarch -scale $(CROSSARCH_SCALE) -jobs 1 > $$a; 	$(GO) run ./cmd/experiments -crossarch -scale $(CROSSARCH_SCALE) -jobs 0 > $$b; 	grep -v 'completed in' $$a > $$a.clean; grep -v 'completed in' $$b > $$b.clean; 	cmp $$a.clean $$b.clean || { echo "crossarch-smoke: report differs between -jobs 1 and -jobs 0"; rm -f $$a.clean $$b.clean; exit 1; }; 	cat $$a.clean; rm -f $$a.clean $$b.clean; 	echo "crossarch-smoke: PASS (reports byte-identical across worker counts)"
 
 # End-to-end smoke test of the prediction service: build cmd/serve, start
 # it with a self-trained demo model, wait for /healthz, POST the same

@@ -15,9 +15,9 @@ import (
 	"repro/internal/ensemble"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/march"
 	"repro/internal/mtree"
 	"repro/internal/parallel"
-	"repro/internal/sim/branch"
 	"repro/internal/sim/cpu"
 	"repro/internal/sim/mem"
 	"repro/internal/sim/trace"
@@ -228,7 +228,8 @@ func BenchmarkParallelBagging(b *testing.B) {
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	p := workload.Suite()[0].Phases[0].Params
 	gen := workload.NewGenerator(p, 1)
-	core := cpu.New(cpu.DefaultConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	spec := march.Core2()
+	core := cpu.New(spec.CPUConfig(), spec.Geometry(), spec.BranchConfig())
 	var in trace.Inst
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

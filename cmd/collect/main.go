@@ -1,11 +1,13 @@
-// Command collect runs the simulated SPEC-like suite on the Core-2-Duo-like
-// core and writes the section dataset (Table I per-instruction ratios plus
-// CPI) as CSV, one row per section.
+// Command collect runs the simulated SPEC-like suite on a registry
+// machine (default: the Core-2-Duo-like seed core) and writes the
+// section dataset (Table I per-instruction ratios plus CPI) as CSV, one
+// row per section.
 //
 // Usage:
 //
 //	collect [-out data.csv] [-labels labels.csv] [-scale 1.0]
 //	        [-section 20000] [-seed 42] [-bench 429.mcf] [-summary]
+//	        [-march nehalem | -march-file spec.json] [-arch-features]
 //	        [-jobs N] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/counters"
+	"repro/internal/march"
 	"repro/internal/profiling"
 	"repro/internal/workload"
 )
@@ -42,6 +45,9 @@ func run(args []string, stdout io.Writer) error {
 		bench   = fs.String("bench", "", "collect a single named benchmark (default: whole suite)")
 		summary = fs.Bool("summary", false, "print a per-column summary instead of CSV")
 		jobs    = fs.Int("jobs", 0, "benchmarks simulated concurrently (0 = all cores, 1 = serial; output is identical)")
+		marchN  = fs.String("march", "", "built-in machine preset to simulate (default core2; see internal/march)")
+		marchF  = fs.String("march-file", "", "JSON machine-spec file to simulate (mutually exclusive with -march)")
+		archF   = fs.Bool("arch-features", false, "append the machine's Arch* feature columns to every row (for pooled cross-architecture training sets)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the collection to this file")
 		memProf = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -60,7 +66,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}()
 
-	cfg := counters.DefaultCollectConfig()
+	spec, err := march.Resolve(*marchN, *marchF)
+	if err != nil {
+		return err
+	}
+	cfg := counters.CollectConfigFor(spec)
 	cfg.SectionLen = *section
 	cfg.Seed = *seed
 	cfg.Jobs = *jobs
@@ -83,6 +93,12 @@ func run(args []string, stdout io.Writer) error {
 	col, err := counters.CollectSuite(suite, cfg)
 	if err != nil {
 		return err
+	}
+	if *archF {
+		col, err = col.WithArchFeatures(spec)
+		if err != nil {
+			return err
+		}
 	}
 	if *summary {
 		fmt.Fprint(stdout, col.Data.Summary())

@@ -197,5 +197,6 @@ func trainDemo(scale float64, jobs int) (*mtree.Tree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("demo training: %w", err)
 	}
+	tree.Machine = ccfg.Machine
 	return tree, nil
 }

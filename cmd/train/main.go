@@ -6,7 +6,8 @@
 // Usage:
 //
 //	train -in data.csv [-minleaf 430] [-cv 10] [-out tree.json]
-//	      [-format json|binary] [-target CPI] [-nosmooth] [-noprune] [-jobs N]
+//	      [-format json|binary] [-target CPI] [-march core2]
+//	      [-nosmooth] [-noprune] [-jobs N]
 package main
 
 import (
@@ -48,6 +49,7 @@ func run(args []string, stdout io.Writer) error {
 		prune   = fs.Bool("prune", true, "enable post-pruning")
 		global  = fs.Bool("global", false, "also fit/evaluate a single global linear model")
 		jobs    = fs.Int("jobs", 0, "worker count for CV folds, bootstrap resamples and split scoring (0 = all cores, 1 = serial; results are identical)")
+		machine = fs.String("march", "", "machine the training data was collected on; recorded as the model's provenance tag (carried through persistence and GET /v1/models)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +81,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	tree.Machine = *machine
 	fmt.Fprintln(stdout, tree.Summary())
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, tree.String())

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ensemble"
 	"repro/internal/eval"
+	"repro/internal/march"
 	"repro/internal/mtree"
 	"repro/internal/parallel"
 	"repro/internal/workload"
@@ -225,6 +226,66 @@ func TestEnsembleDeterministicAcrossJobs(t *testing.T) {
 	for ti := 0; ti < base.Trees; ti++ {
 		if got, exp := bb.Trees[ti].Predict(probe), want.Trees[ti].Predict(probe); got != exp {
 			t.Errorf("member %d changed when Trees grew from %d to %d", ti, base.Trees, bigger.Trees)
+		}
+	}
+}
+
+// TestCollectSuiteMachinesDeterministicAcrossJobs asserts the
+// cross-architecture fan-out keeps both halves of its contract: every
+// machine's collection hashes identically at every worker count, and
+// each equals the collection a standalone CollectSuite would produce for
+// that machine alone — so pooled cross-architecture datasets are
+// byte-stable no matter how the (machine, benchmark) units were
+// scheduled.
+func TestCollectSuiteMachinesDeterministicAcrossJobs(t *testing.T) {
+	suite := workload.SuiteScaled(0.02)
+	specs := march.CrossArchSet()[:3]
+	var want []([32]byte)
+	for i, jobs := range jobVariants() {
+		base := counters.DefaultCollectConfig()
+		base.Jobs = jobs
+		mcols, err := counters.CollectSuiteMachines(suite, specs, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mcols) != len(specs) {
+			t.Fatalf("jobs=%d returned %d collections, want %d", jobs, len(mcols), len(specs))
+		}
+		hashes := make([][32]byte, len(mcols))
+		for m, mc := range mcols {
+			if mc.Machine.Name != specs[m].Name {
+				t.Fatalf("jobs=%d collection %d is for %q, want %q", jobs, m, mc.Machine.Name, specs[m].Name)
+			}
+			var buf bytes.Buffer
+			if err := mc.Col.Data.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			hashes[m] = sha256.Sum256(buf.Bytes())
+		}
+		if i == 0 {
+			want = hashes
+			// The fan-out must be unobservable: machine m's collection is
+			// exactly what a dedicated CollectSuite produces for m.
+			for m, spec := range specs {
+				solo := counters.CollectConfigFor(spec)
+				col, err := counters.CollectSuite(suite, solo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := col.Data.WriteCSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if sha256.Sum256(buf.Bytes()) != hashes[m] {
+					t.Errorf("machine %s: fan-out collection differs from standalone CollectSuite", spec.Name)
+				}
+			}
+			continue
+		}
+		for m := range hashes {
+			if hashes[m] != want[m] {
+				t.Errorf("jobs=%d machine %s hash differs from jobs=1", jobs, specs[m].Name)
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/march"
 	"repro/internal/parallel"
 	"repro/internal/sim/branch"
 	"repro/internal/sim/cpu"
@@ -21,12 +22,18 @@ type CollectConfig struct {
 	// WarmupSections are run and discarded at the start of each benchmark
 	// so cold-start transients do not pollute the training set.
 	WarmupSections int
-	// CPU, Geometry and Branch configure the simulated machine.
+	// CPU, Geometry and Branch configure the simulated machine; they are
+	// normally materialized together from a march.MachineSpec (see
+	// CollectConfigFor).
 	CPU      cpu.Config
-	Geometry mem.Core2Geometry
+	Geometry mem.Geometry
 	Branch   branch.Config
-	// DisablePrefetch turns off the hardware stream prefetchers, for
-	// substrate ablations.
+	// Machine is the name of the machine the three configs above came
+	// from ("core2" for the default), recorded so downstream artifacts
+	// (models, experiment reports) can carry the provenance tag.
+	Machine string
+	// DisablePrefetch turns off the hardware stream prefetchers
+	// regardless of the machine's prefetch spec, for substrate ablations.
 	DisablePrefetch bool
 	// Seed drives workload synthesis.
 	Seed int64
@@ -38,17 +45,25 @@ type CollectConfig struct {
 	Jobs int
 }
 
-// DefaultCollectConfig returns the configuration used by the experiments:
-// 20k-instruction sections on the Core-2-Duo-like machine.
-func DefaultCollectConfig() CollectConfig {
+// CollectConfigFor returns the collection configuration for one machine:
+// 20k-instruction sections, two warmup sections, workload seed 42, with
+// the simulated machine materialized from the spec.
+func CollectConfigFor(spec march.MachineSpec) CollectConfig {
 	return CollectConfig{
 		SectionLen:     20000,
 		WarmupSections: 2,
-		CPU:            cpu.DefaultConfig(),
-		Geometry:       mem.DefaultCore2Geometry(),
-		Branch:         branch.DefaultConfig(),
+		CPU:            spec.CPUConfig(),
+		Geometry:       spec.Geometry(),
+		Branch:         spec.BranchConfig(),
+		Machine:        spec.Name,
 		Seed:           42,
 	}
+}
+
+// DefaultCollectConfig returns the configuration used by the experiments:
+// 20k-instruction sections on the Core-2-Duo-like seed machine.
+func DefaultCollectConfig() CollectConfig {
+	return CollectConfigFor(march.Core2())
 }
 
 // SectionLabel identifies the provenance of one dataset row.
@@ -147,4 +162,102 @@ func CollectSuite(suite []workload.Benchmark, cfg CollectConfig) (*Collection, e
 		all.Breakdowns = append(all.Breakdowns, col.Breakdowns...)
 	}
 	return all, nil
+}
+
+// MachineCollection is one machine's labeled suite collection.
+type MachineCollection struct {
+	Machine march.MachineSpec
+	Col     *Collection
+}
+
+// CollectSuiteMachines runs the whole suite on every machine and returns
+// one collection per machine, in spec order. The (machine, benchmark)
+// pairs fan out over one worker pool, so a five-machine sweep keeps all
+// cores busy even on a short suite.
+//
+// Every machine sees byte-identical instruction traces: workload
+// synthesis is seeded from base.Seed only (and the per-benchmark
+// wrong-path seed derives from base.Seed and the benchmark name, not the
+// machine), so cross-machine CPI differences measure the architecture,
+// not workload noise. Consequently each machine's collection is exactly
+// what CollectSuite would produce for that machine alone, and the merged
+// result is identical for every value of base.Jobs.
+func CollectSuiteMachines(suite []workload.Benchmark, specs []march.MachineSpec, base CollectConfig) ([]MachineCollection, error) {
+	type unit struct {
+		machine int
+		bench   workload.Benchmark
+	}
+	units := make([]unit, 0, len(specs)*len(suite))
+	cfgs := make([]CollectConfig, len(specs))
+	for m, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("counters: machine %d: %w", m, err)
+		}
+		cfg := base
+		cfg.CPU = spec.CPUConfig()
+		cfg.Geometry = spec.Geometry()
+		cfg.Branch = spec.BranchConfig()
+		cfg.Machine = spec.Name
+		cfgs[m] = cfg
+		for _, b := range suite {
+			units = append(units, unit{machine: m, bench: b})
+		}
+	}
+	cols, err := parallel.Map(parallel.Config{Jobs: base.Jobs}, units,
+		func(_ int, u unit) (*Collection, error) {
+			return CollectBenchmark(u.bench, cfgs[u.machine])
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MachineCollection, len(specs))
+	for m, spec := range specs {
+		out[m] = MachineCollection{Machine: spec, Col: &Collection{Data: NewDataset()}}
+	}
+	for i, col := range cols {
+		mc := out[units[i].machine]
+		if err := mc.Col.Data.Merge(col.Data); err != nil {
+			return nil, fmt.Errorf("counters: merging %s on %s: %w", units[i].bench.Name, mc.Machine.Name, err)
+		}
+		mc.Col.Labels = append(mc.Col.Labels, col.Labels...)
+		mc.Col.Breakdowns = append(mc.Col.Breakdowns, col.Breakdowns...)
+		out[units[i].machine] = mc
+	}
+	return out, nil
+}
+
+// ArchAttributes returns the Table I schema extended with the
+// architecture feature columns (march.FeatureNames), the schema of
+// pooled cross-architecture datasets.
+func ArchAttributes() []dataset.Attribute {
+	attrs := Attributes()
+	for _, n := range march.FeatureNames() {
+		attrs = append(attrs, dataset.Attribute{Name: n, Description: "architecture feature (constant per machine)"})
+	}
+	return attrs
+}
+
+// NewArchDataset returns an empty dataset with the pooled
+// cross-architecture schema (Table I plus the architecture features).
+func NewArchDataset() *dataset.Dataset {
+	return dataset.MustNew(ArchAttributes(), 0)
+}
+
+// WithArchFeatures returns a copy of the collection whose dataset gains
+// the machine's architecture feature columns — constant within one
+// machine, discriminating between machines once collections are pooled.
+// Labels and breakdowns are shared with the receiver.
+func (c *Collection) WithArchFeatures(spec march.MachineSpec) (*Collection, error) {
+	feats := spec.Features()
+	d := NewArchDataset()
+	for i := 0; i < c.Data.Len(); i++ {
+		row := c.Data.Row(i)
+		wide := make(dataset.Instance, 0, len(row)+len(feats))
+		wide = append(wide, row...)
+		wide = append(wide, feats...)
+		if err := d.Append(wide); err != nil {
+			return nil, fmt.Errorf("counters: widening row %d for %s: %w", i, spec.Name, err)
+		}
+	}
+	return &Collection{Data: d, Labels: c.Labels, Breakdowns: c.Breakdowns}, nil
 }

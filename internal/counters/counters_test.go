@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/march"
 	"repro/internal/sim/cpu"
 	"repro/internal/workload"
 )
@@ -215,4 +216,121 @@ func TestNoPrefetchRaisesMisses(t *testing.T) {
 		t.Errorf("prefetch-off L2M %v not above prefetch-on %v",
 			without.Data.ColumnMean(l2), with.Data.ColumnMean(l2))
 	}
+}
+
+func TestCollectConfigFor(t *testing.T) {
+	spec := march.Nehalem()
+	cfg := CollectConfigFor(spec)
+	if cfg.Machine != "nehalem" {
+		t.Errorf("Machine = %q, want nehalem", cfg.Machine)
+	}
+	if cfg.SectionLen != 20000 || cfg.WarmupSections != 2 || cfg.Seed != 42 {
+		t.Errorf("unexpected base knobs: %+v", cfg)
+	}
+	if cfg.CPU.ROBWindow != spec.Pipeline.ROBWindow {
+		t.Errorf("CPU config not materialized from spec")
+	}
+	if def := DefaultCollectConfig(); def.Machine != "core2" {
+		t.Errorf("default machine = %q, want core2", def.Machine)
+	}
+}
+
+// TestCollectSuiteMachines: the fan-out returns one collection per spec
+// in spec order, each byte-identical to a standalone CollectSuite on
+// that machine, and rejects invalid specs up front.
+func TestCollectSuiteMachines(t *testing.T) {
+	suite := []workload.Benchmark{mustBench(t, "429.mcf", 4), mustBench(t, "403.gcc", 4)}
+	specs := []march.MachineSpec{march.Core2(), march.Atom()}
+	base := DefaultCollectConfig()
+	base.SectionLen = 2000
+	base.WarmupSections = 1
+	mcols, err := CollectSuiteMachines(suite, specs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mcols) != 2 || mcols[0].Machine.Name != "core2" || mcols[1].Machine.Name != "atom" {
+		t.Fatalf("wrong collections: %d returned", len(mcols))
+	}
+	for i, mc := range mcols {
+		solo := CollectConfigFor(specs[i])
+		solo.SectionLen = base.SectionLen
+		solo.WarmupSections = base.WarmupSections
+		want, err := CollectSuite(suite, solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.Col.Data.Len() != want.Data.Len() || len(mc.Col.Labels) != len(want.Labels) {
+			t.Fatalf("%s: fan-out shape differs from standalone collection", specs[i].Name)
+		}
+		for r := 0; r < want.Data.Len(); r++ {
+			got, exp := mc.Col.Data.Row(r), want.Data.Row(r)
+			for c := range exp {
+				if got[c] != exp[c] {
+					t.Fatalf("%s row %d col %d: fan-out %v != standalone %v", specs[i].Name, r, c, got[c], exp[c])
+				}
+			}
+		}
+	}
+	// Atom is in-order with tiny caches: its CPI must differ from core2's
+	// on the same traces, or the sweep is not measuring the machine.
+	if c0, c1 := mcols[0].Col.Data.Row(0)[0], mcols[1].Col.Data.Row(0)[0]; c0 == c1 {
+		t.Error("core2 and atom produced identical CPI; machines not applied")
+	}
+
+	bad := march.Core2()
+	bad.Pipeline.IssueWidth = 0
+	if _, err := CollectSuiteMachines(suite, []march.MachineSpec{bad}, base); err == nil {
+		t.Error("invalid spec accepted by CollectSuiteMachines")
+	}
+}
+
+func TestWithArchFeatures(t *testing.T) {
+	spec := march.K10()
+	base := CollectConfigFor(spec)
+	base.SectionLen = 2000
+	base.WarmupSections = 1
+	col, err := CollectBenchmark(mustBench(t, "429.mcf", 4), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := col.WithArchFeatures(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := march.FeatureNames()
+	if got, want := wide.Data.NumAttrs(), col.Data.NumAttrs()+len(names); got != want {
+		t.Fatalf("widened to %d attrs, want %d", got, want)
+	}
+	if len(ArchAttributes()) != wide.Data.NumAttrs() {
+		t.Errorf("ArchAttributes() does not match the widened schema")
+	}
+	feats := spec.Features()
+	for r := 0; r < wide.Data.Len(); r++ {
+		row := wide.Data.Row(r)
+		// Original columns are untouched; the appended tail is the
+		// machine's constant feature vector.
+		for c, v := range col.Data.Row(r) {
+			if row[c] != v {
+				t.Fatalf("row %d col %d changed during widening", r, c)
+			}
+		}
+		for j, f := range feats {
+			if row[col.Data.NumAttrs()+j] != f {
+				t.Fatalf("row %d arch feature %s = %v, want %v", r, names[j], row[col.Data.NumAttrs()+j], f)
+			}
+		}
+	}
+	if len(wide.Labels) != len(col.Labels) {
+		t.Errorf("widening dropped labels")
+	}
+}
+
+// mustBench scales one named benchmark down to a handful of sections.
+func mustBench(t *testing.T, name string, sections int) workload.Benchmark {
+	t.Helper()
+	b, ok := workload.BenchmarkByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return b.Scale(float64(sections) / float64(b.TotalSections()))
 }

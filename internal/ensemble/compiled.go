@@ -116,6 +116,7 @@ func (c *CompiledBagger) Describe() model.Description {
 		d.Target = td.Target
 		d.AttrNames = td.AttrNames
 		d.TrainN = td.TrainN
+		d.Machine = td.Machine
 	}
 	return d
 }

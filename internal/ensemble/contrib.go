@@ -32,6 +32,7 @@ func (b *Bagger) Describe() model.Description {
 		d.Target = t.TargetName
 		d.AttrNames = t.AttrNames
 		d.TrainN = t.TrainN
+		d.Machine = t.Machine
 	}
 	return d
 }

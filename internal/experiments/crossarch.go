@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/counters"
+	"repro/internal/eval"
+	"repro/internal/march"
+	"repro/internal/mtree"
+	"repro/internal/workload"
+)
+
+// CrossArchExp is the multi-machine training scenario the march registry
+// exists for. It collects the same suite (byte-identical instruction
+// traces) on every machine of march.CrossArchSet and asks three
+// questions the single-machine paper cannot:
+//
+//  1. Structure: does the learned tree's split ordering track the
+//     machine? (Per-machine trees, root-split diff table.)
+//  2. Pooling: can one tree model all machines at once if given the
+//     architecture parameters as extra attributes? (Pooled tree over the
+//     arch-feature-widened datasets.)
+//  3. Transfer: does the pooled arch-aware tree predict CPI on a machine
+//     it never saw — leave-one-architecture-out — better than an
+//     arch-blind tree trained on the same rows without the architecture
+//     columns?
+//
+// Everything is deterministic: collection fans the (machine, benchmark)
+// pairs over one ordered worker pool, and tree training is seeded, so the
+// report is byte-identical for every -jobs value.
+func CrossArchExp(ctx *Context) (Result, error) {
+	scale := ctx.Cfg.Scale * 0.2
+	suite := workload.SuiteScaled(scale)
+	minLeaf := int(float64(ctx.Cfg.MinLeaf) * scale)
+	if minLeaf < 16 {
+		minLeaf = 16
+	}
+
+	base := counters.DefaultCollectConfig()
+	base.Seed = ctx.Cfg.Seed
+	base.SectionLen = ctx.Cfg.SectionLen
+	base.Jobs = ctx.Cfg.Jobs
+	specs := march.CrossArchSet()
+	mcols, err := counters.CollectSuiteMachines(suite, specs, base)
+	if err != nil {
+		return Result{}, err
+	}
+
+	tcfg := mtree.DefaultConfig()
+	tcfg.MinLeaf = minLeaf
+
+	// 1. Per-machine trees: fit quality and split structure.
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-machine trees (%d sections each, MinLeaf=%d):\n", mcols[0].Col.Data.Len(), minLeaf)
+	fmt.Fprintf(&b, "  %-12s %9s %7s %7s %-12s\n", "machine", "mean CPI", "RAE", "leaves", "root split")
+	rootSplits := map[string]bool{}
+	for _, mc := range mcols {
+		tree, err := mtree.Build(mc.Col.Data, tcfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("crossarch: %s: %w", mc.Machine.Name, err)
+		}
+		m, err := eval.Evaluate(tree, mc.Col.Data)
+		if err != nil {
+			return Result{}, err
+		}
+		mean := 0.0
+		for r := 0; r < mc.Col.Data.Len(); r++ {
+			mean += mc.Col.Data.Row(r)[0]
+		}
+		mean /= float64(mc.Col.Data.Len())
+		root := "<leaf>"
+		rootAttr := "<leaf>"
+		if tree.Root.SplitAttr >= 0 {
+			rootAttr = tree.AttrNames[tree.Root.SplitAttr]
+			root = fmt.Sprintf("%s <= %.4g", rootAttr, tree.Root.Threshold)
+		}
+		rootSplits[rootAttr] = true
+		fmt.Fprintf(&b, "  %-12s %9.3f %6.1f%% %7d %-12s\n",
+			mc.Machine.Name, mean, 100*m.RAE, tree.NumLeaves(), root)
+	}
+
+	// 2. Pooled arch-aware tree: widen each machine's rows with its
+	// architecture features and merge.
+	pooledAware := counters.NewArchDataset()
+	pooledBlind := counters.NewDataset()
+	for _, mc := range mcols {
+		wide, err := mc.Col.WithArchFeatures(mc.Machine)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := pooledAware.Merge(wide.Data); err != nil {
+			return Result{}, err
+		}
+		if err := pooledBlind.Merge(mc.Col.Data); err != nil {
+			return Result{}, err
+		}
+	}
+	pooledCfg := tcfg
+	pooledCfg.MinLeaf = minLeaf * 2 // pooled set is |machines| times larger
+	awareTree, err := mtree.Build(pooledAware, pooledCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	awareFit, err := eval.Evaluate(awareTree, pooledAware)
+	if err != nil {
+		return Result{}, err
+	}
+	blindTree, err := mtree.Build(pooledBlind, pooledCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	blindFit, err := eval.Evaluate(blindTree, pooledBlind)
+	if err != nil {
+		return Result{}, err
+	}
+	archSplits := countArchSplits(awareTree.Root, awareTree.AttrNames)
+	fmt.Fprintf(&b, "\npooled over %d machines (%d sections):\n", len(mcols), pooledAware.Len())
+	fmt.Fprintf(&b, "  arch-aware tree: RAE %5.1f%%, %d leaves, %d splits on Arch* features\n",
+		100*awareFit.RAE, awareTree.NumLeaves(), archSplits)
+	fmt.Fprintf(&b, "  arch-blind tree: RAE %5.1f%%, %d leaves\n",
+		100*blindFit.RAE, blindTree.NumLeaves())
+
+	// 3. Leave-one-architecture-out transfer.
+	fmt.Fprintf(&b, "\nleave-one-architecture-out CPI error (train on the other %d machines):\n", len(mcols)-1)
+	fmt.Fprintf(&b, "  %-12s %12s %12s %12s\n", "held out", "aware MAE", "blind MAE", "aware RAE")
+	var awareMAESum, blindMAESum float64
+	awareWins := 0
+	for hold := range mcols {
+		trainAware := counters.NewArchDataset()
+		trainBlind := counters.NewDataset()
+		for i, mc := range mcols {
+			if i == hold {
+				continue
+			}
+			wide, err := mc.Col.WithArchFeatures(mc.Machine)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := trainAware.Merge(wide.Data); err != nil {
+				return Result{}, err
+			}
+			if err := trainBlind.Merge(mc.Col.Data); err != nil {
+				return Result{}, err
+			}
+		}
+		aTree, err := mtree.Build(trainAware, pooledCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		bTree, err := mtree.Build(trainBlind, pooledCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		heldWide, err := mcols[hold].Col.WithArchFeatures(mcols[hold].Machine)
+		if err != nil {
+			return Result{}, err
+		}
+		aM, err := eval.Evaluate(aTree, heldWide.Data)
+		if err != nil {
+			return Result{}, err
+		}
+		bM, err := eval.Evaluate(bTree, mcols[hold].Col.Data)
+		if err != nil {
+			return Result{}, err
+		}
+		awareMAESum += aM.MAE
+		blindMAESum += bM.MAE
+		if aM.MAE < bM.MAE {
+			awareWins++
+		}
+		fmt.Fprintf(&b, "  %-12s %12.4f %12.4f %11.1f%%\n",
+			mcols[hold].Machine.Name, aM.MAE, bM.MAE, 100*aM.RAE)
+	}
+	nm := float64(len(mcols))
+	fmt.Fprintf(&b, "  %-12s %12.4f %12.4f\n", "mean", awareMAESum/nm, blindMAESum/nm)
+
+	return Result{
+		Name:   "Cross-architecture: per-machine vs pooled arch-feature trees",
+		Report: b.String(),
+		Claims: []Claim{
+			{
+				Paper:    "the learned tree structure is specific to the measured machine",
+				Measured: fmt.Sprintf("%d distinct root splits across %d machines", len(rootSplits), len(mcols)),
+				Holds:    len(rootSplits) >= 2,
+			},
+			{
+				Paper:    "a pooled tree can separate machines given architecture attributes",
+				Measured: fmt.Sprintf("arch-aware pooled RAE %.1f%% vs arch-blind %.1f%% (%d Arch* splits)", 100*awareFit.RAE, 100*blindFit.RAE, archSplits),
+				Holds:    archSplits >= 1 && awareFit.RAE < blindFit.RAE,
+			},
+			{
+				Paper:    "architecture features transfer to unseen machines (LOAO)",
+				Measured: fmt.Sprintf("arch-aware mean LOAO MAE %.4f vs arch-blind %.4f (aware wins %d/%d)", awareMAESum/nm, blindMAESum/nm, awareWins, len(mcols)),
+				Holds:    awareMAESum < blindMAESum,
+			},
+		},
+	}, nil
+}
+
+// countArchSplits counts interior nodes testing an architecture feature
+// column (names carry the "Arch" prefix by construction).
+func countArchSplits(n *mtree.Node, attrNames []string) int {
+	if n == nil || n.SplitAttr < 0 {
+		return 0
+	}
+	c := 0
+	if n.SplitAttr < len(attrNames) && strings.HasPrefix(attrNames[n.SplitAttr], "Arch") {
+		c = 1
+	}
+	return c + countArchSplits(n.Left, attrNames) + countArchSplits(n.Right, attrNames)
+}

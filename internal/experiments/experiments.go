@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/counters"
 	"repro/internal/dataset"
+	"repro/internal/march"
 	"repro/internal/parallel"
 	"repro/internal/workload"
 )
@@ -47,6 +48,10 @@ type Config struct {
 	// simulation, CV folds, bagged trees, split scoring (0 = GOMAXPROCS,
 	// 1 = serial). Results are identical for every value.
 	Jobs int
+	// Machine is the simulated machine the shared collection runs on. The
+	// zero value means the core2 seed machine, so struct-literal configs
+	// keep reproducing the paper's numbers.
+	Machine march.MachineSpec
 }
 
 // DefaultConfig returns the paper-scale setup.
@@ -79,10 +84,20 @@ type Context struct {
 // NewContext creates an experiment context.
 func NewContext(cfg Config) *Context { return &Context{Cfg: cfg} }
 
-// Collection simulates the suite once and caches the labeled dataset.
+// Machine returns the configured machine, defaulting to the core2 seed
+// machine when Cfg.Machine is the zero value.
+func (c Config) MachineSpec() march.MachineSpec {
+	if c.Machine.Name == "" {
+		return march.Core2()
+	}
+	return c.Machine
+}
+
+// Collection simulates the suite once on the configured machine and
+// caches the labeled dataset.
 func (ctx *Context) Collection() (*counters.Collection, error) {
 	ctx.once.Do(func() {
-		ccfg := counters.DefaultCollectConfig()
+		ccfg := counters.CollectConfigFor(ctx.Cfg.MachineSpec())
 		ccfg.Seed = ctx.Cfg.Seed
 		ccfg.SectionLen = ctx.Cfg.SectionLen
 		ccfg.Jobs = ctx.Cfg.Jobs
@@ -149,6 +164,7 @@ func All() []Experiment {
 		{"ablation-attrdrop", "Ablation: leaf-model attribute dropping", AblationAttrDrop},
 		{"ablation-prefetch", "Ablation: hardware prefetcher off", AblationPrefetch},
 		{"netburst", "Cross-architecture: Core 2 vs NetBurst branch cost", NetBurstExp},
+		{"crossarch", "Cross-architecture: per-machine vs pooled arch-feature trees", CrossArchExp},
 		{"inorder", "Cross-architecture: out-of-order vs in-order penalties", InOrderExp},
 		{"groundtruth", "Validation: model attribution vs true cycle stack", GroundTruthExp},
 		{"bagging", "Extension: bagged M5' vs the single interpretable tree", BaggingExp},

@@ -7,9 +7,9 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/counters"
 	"repro/internal/eval"
+	"repro/internal/march"
 	"repro/internal/mtree"
 	"repro/internal/naive"
-	"repro/internal/sim/cpu"
 	"repro/internal/workload"
 )
 
@@ -30,11 +30,11 @@ func NetBurstExp(ctx *Context) (Result, error) {
 		minLeaf = 20
 	}
 
-	core2, err := machineShare(suite, ctx, false, minLeaf)
+	core2, err := machineShare(suite, ctx, march.Core2(), minLeaf)
 	if err != nil {
 		return Result{}, err
 	}
-	netburst, err := machineShare(suite, ctx, true, minLeaf)
+	netburst, err := machineShare(suite, ctx, march.NetBurst(), minLeaf)
 	if err != nil {
 		return Result{}, err
 	}
@@ -94,8 +94,10 @@ func InOrderExp(ctx *Context) (Result, error) {
 	oooCfg.Seed = ctx.Cfg.Seed
 	oooCfg.SectionLen = ctx.Cfg.SectionLen
 	oooCfg.Jobs = ctx.Cfg.Jobs
-	inoCfg := oooCfg
-	inoCfg.CPU = cpu.InOrderConfig()
+	inoCfg := counters.CollectConfigFor(inOrderCore2())
+	inoCfg.Seed = ctx.Cfg.Seed
+	inoCfg.SectionLen = ctx.Cfg.SectionLen
+	inoCfg.Jobs = ctx.Cfg.Jobs
 
 	oooRAE, err := evalFixed(oooCfg)
 	if err != nil {
@@ -120,6 +122,23 @@ func InOrderExp(ctx *Context) (Result, error) {
 	}, nil
 }
 
+// inOrderCore2 is the Core-2 machine with every latency-hiding mechanism
+// disabled: a one-entry window and fully exposed penalties (all residuals
+// and exposures at 1). It keeps the Core 2 issue width and penalty book so
+// the comparison isolates dynamic execution, not machine sizing.
+func inOrderCore2() march.MachineSpec {
+	s := march.Core2()
+	s.Name = "core2-inorder"
+	s.Description = "Core 2 front end with in-order execution (no latency hiding)"
+	s.Pipeline.ROBWindow = 1
+	s.Pipeline.MLPResidual = 1
+	s.Pipeline.OOOHidingResidual = 1
+	s.Pipeline.ShadowResidual = 1
+	s.Pipeline.StoreExposure = 1
+	s.Pipeline.FrontEndExposure = 1
+	return s
+}
+
 type machineProfile struct {
 	meanCPI     float64
 	branchShare float64 // mean fraction of CPI attributed to BrMisPr
@@ -127,14 +146,11 @@ type machineProfile struct {
 	memShare    float64
 }
 
-func machineShare(suite []workload.Benchmark, ctx *Context, netburst bool, minLeaf int) (machineProfile, error) {
-	ccfg := counters.DefaultCollectConfig()
+func machineShare(suite []workload.Benchmark, ctx *Context, spec march.MachineSpec, minLeaf int) (machineProfile, error) {
+	ccfg := counters.CollectConfigFor(spec)
 	ccfg.Seed = ctx.Cfg.Seed
 	ccfg.SectionLen = ctx.Cfg.SectionLen
 	ccfg.Jobs = ctx.Cfg.Jobs
-	if netburst {
-		ccfg.CPU = cpu.NetBurstConfig()
-	}
 	col, err := counters.CollectSuite(suite, ccfg)
 	if err != nil {
 		return machineProfile{}, err

@@ -1,0 +1,57 @@
+package march
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMachineSpecReadJSON hammers the strict spec reader: arbitrary bytes
+// must never panic it, and any spec it accepts must be valid and must
+// re-persist to a stable fixed point (write→read→write byte-identical) —
+// so a fuzzer-found input can never smuggle an unvalidated machine into
+// the simulator.
+func FuzzMachineSpecReadJSON(f *testing.F) {
+	for _, s := range All() {
+		var b bytes.Buffer
+		if err := s.WriteJSON(&b); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema_version":1,"name":"x"}`))
+	f.Add([]byte(`{"schema_version":99,"name":"future"}`))
+	f.Add([]byte(`{"schema_version":1,"name":"x","pipeline":{"issue_width":-1}}`))
+	f.Add([]byte(`{"schema_version":1,"name":"x","unknown_field":{}}`))
+	f.Add([]byte(`{"schema_version":1,"name":"x","caches":{"l1d":{"size_b":31337,"ways":3,"line_b":48}}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid spec: %v", err)
+		}
+		var first bytes.Buffer
+		if err := s.WriteJSON(&first); err != nil {
+			t.Fatalf("accepted spec does not write: %v", err)
+		}
+		again, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of persisted accepted spec failed: %v", err)
+		}
+		if again != s {
+			t.Fatal("spec changed across write->read")
+		}
+		var second bytes.Buffer
+		if err := again.WriteJSON(&second); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("write->read->write is not a fixed point")
+		}
+	})
+}

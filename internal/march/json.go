@@ -1,0 +1,61 @@
+package march
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JSON persistence for machine specs. Reading is deliberately strict:
+// unknown fields are rejected (a typo'd penalty name must not silently
+// simulate the default machine), the schema version must be declared and
+// supported, and the decoded spec must pass Validate before it is
+// returned. Writing is deterministic — the same spec always produces the
+// same bytes — so spec files diff cleanly and round-trip byte-stably.
+
+// WriteJSON serializes the spec with stable two-space indentation.
+func (s MachineSpec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("march: encoding machine %q: %w", s.Name, err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes and validates one machine spec. Malformed JSON,
+// unknown fields, undeclared or future schema versions, trailing data
+// and invalid parameter values are all errors; it never panics on
+// adversarial input (see FuzzMachineSpecReadJSON).
+func ReadJSON(r io.Reader) (MachineSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s MachineSpec
+	if err := dec.Decode(&s); err != nil {
+		return MachineSpec{}, fmt.Errorf("march: decoding machine spec: %w", err)
+	}
+	// A spec file holds exactly one document; trailing garbage is a sign
+	// of a truncated edit or a concatenation mistake.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return MachineSpec{}, fmt.Errorf("march: trailing data after machine spec")
+	}
+	if err := s.Validate(); err != nil {
+		return MachineSpec{}, err
+	}
+	return s, nil
+}
+
+// ReadFile loads a user-supplied spec file.
+func ReadFile(path string) (MachineSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return MachineSpec{}, fmt.Errorf("march: %w", err)
+	}
+	s, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		return MachineSpec{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}

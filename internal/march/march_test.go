@@ -1,0 +1,272 @@
+package march
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/sim/cpu"
+	"repro/internal/sim/mem"
+)
+
+// TestPresetsValidate: every built-in machine passes its own strict
+// validation — the registry can never ship a machine a spec file would
+// be rejected for.
+func TestPresetsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %s: %v", s.Name, err)
+		}
+	}
+	if len(All()) < 4 {
+		t.Fatalf("registry has %d presets, want at least 4", len(All()))
+	}
+}
+
+// TestCore2Materialization pins the seed machine bit-for-bit: the golden
+// collection hashes depend on exactly these numbers, and the in-package
+// sim test fixtures restate them. Any drift fails here first, with a
+// field-level diff.
+func TestCore2Materialization(t *testing.T) {
+	wantCPU := cpu.Config{
+		IssueWidth:         4,
+		DepSerialization:   0.45,
+		MemLatency:         165,
+		L2HitLatency:       14,
+		MispredictPenalty:  13,
+		Dtlb0Penalty:       2,
+		WalkPenalty:        30,
+		LdBlockSTAPenalty:  5,
+		LdBlockSTDPenalty:  6,
+		LdBlockOvStPenalty: 5,
+		MisalignPenalty:    1.5,
+		SplitLoadPenalty:   9,
+		SplitStorePenalty:  9,
+		LCPPenalty:         6,
+		ROBWindow:          96,
+		MLPResidual:        0.22,
+		OOOHidingResidual:  0.18,
+		ShadowResidual:     0.25,
+		StoreExposure:      0.15,
+		FrontEndExposure:   0.8,
+		WrongPathFetches:   2,
+		WrongPathLoads:     1,
+		Seed:               1,
+	}
+	wantGeom := mem.Geometry{
+		L1I:            mem.CacheConfig{Name: "L1I", SizeB: 32 << 10, Ways: 8, LineB: 64},
+		L1D:            mem.CacheConfig{Name: "L1D", SizeB: 32 << 10, Ways: 8, LineB: 64},
+		L2:             mem.CacheConfig{Name: "L2", SizeB: 4 << 20, Ways: 16, LineB: 64},
+		DTLB0:          mem.TLBConfig{Name: "DTLB0", Entries: 16, Ways: 4, PageB: 4 << 10},
+		DTLB:           mem.TLBConfig{Name: "DTLB", Entries: 256, Ways: 4, PageB: 4 << 10},
+		ITLB:           mem.TLBConfig{Name: "ITLB", Entries: 128, Ways: 4, PageB: 4 << 10},
+		PrefetchDegree: 2,
+	}
+	s := Core2()
+	if got := s.CPUConfig(); got != wantCPU {
+		t.Errorf("core2 CPUConfig drifted:\ngot  %+v\nwant %+v", got, wantCPU)
+	}
+	if got := s.Geometry(); got != wantGeom {
+		t.Errorf("core2 Geometry drifted:\ngot  %+v\nwant %+v", got, wantGeom)
+	}
+	if bc := s.BranchConfig(); bc.HistoryBits != 14 || bc.BTBEntries != 2048 {
+		t.Errorf("core2 BranchConfig drifted: %+v", bc)
+	}
+}
+
+// TestNetBurstMatchesRetiredPreset pins the netburst preset to the values
+// the pre-registry cpu.NetBurstConfig constructor used, so the dedicated
+// NetBurst experiment keeps measuring the same machine.
+func TestNetBurstMatchesRetiredPreset(t *testing.T) {
+	want := Core2().CPUConfig()
+	want.IssueWidth = 3
+	want.ROBWindow = 126
+	want.MemLatency = 220
+	want.L2HitLatency = 18
+	want.MispredictPenalty = 31
+	if got := NetBurst().CPUConfig(); got != want {
+		t.Errorf("netburst CPUConfig drifted:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRoundTripByteStable: spec -> JSON -> spec -> JSON produces identical
+// bytes and an identical spec, for every preset.
+func TestRoundTripByteStable(t *testing.T) {
+	for _, s := range All() {
+		var first bytes.Buffer
+		if err := s.WriteJSON(&first); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		back, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: re-reading own output: %v", s.Name, err)
+		}
+		if back != s {
+			t.Errorf("%s: spec changed across round trip:\ngot  %+v\nwant %+v", s.Name, back, s)
+		}
+		var second bytes.Buffer
+		if err := back.WriteJSON(&second); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("%s: serialization not byte-stable", s.Name)
+		}
+	}
+}
+
+// TestReadJSONRejects: the strict reader refuses every malformation with
+// a descriptive error, and names the offense.
+func TestReadJSONRejects(t *testing.T) {
+	valid := func(mutate func(*MachineSpec)) string {
+		s := Core2()
+		mutate(&s)
+		var b bytes.Buffer
+		if err := s.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	cases := []struct {
+		name    string
+		input   string
+		wantSub string
+	}{
+		{"malformed", `{`, "decoding"},
+		{"not an object", `42`, "decoding"},
+		{"unknown field", `{"schema_version":1,"name":"x","penalty_book":{}}`, "penalty_book"},
+		{"missing schema version", valid(func(s *MachineSpec) { s.SchemaVersion = 0 }), "schema_version"},
+		{"future schema version", valid(func(s *MachineSpec) { s.SchemaVersion = SchemaVersion + 1 }), "schema_version"},
+		{"trailing data", valid(func(*MachineSpec) {}) + "{}", "trailing data"},
+		{"empty name", valid(func(s *MachineSpec) { s.Name = "" }), "no name"},
+		{"bad name chars", valid(func(s *MachineSpec) { s.Name = "Core 2" }), "[a-z0-9_-]"},
+		{"zero issue width", valid(func(s *MachineSpec) { s.Pipeline.IssueWidth = 0 }), "issue_width"},
+		{"residual above 1", valid(func(s *MachineSpec) { s.Pipeline.MLPResidual = 1.5 }), "mlp_residual"},
+		{"zero rob", valid(func(s *MachineSpec) { s.Pipeline.ROBWindow = 0 }), "rob_window"},
+		{"mem below l2", valid(func(s *MachineSpec) { s.Penalties.MemLatency = 5 }), "mem_latency"},
+		{"negative penalty", valid(func(s *MachineSpec) { s.Penalties.Walk = -1 }), "walk"},
+		{"indivisible cache", valid(func(s *MachineSpec) { s.Caches.L1D.SizeB = 31 << 10 }), "L1D"},
+		{"non-pow2 tlb sets", valid(func(s *MachineSpec) { s.TLBs.DTLB.Entries = 24 }), "DTLB"},
+		{"disabled prefetch with degree", valid(func(s *MachineSpec) { s.Prefetch = PrefetchSpec{Enabled: false, Degree: 2} }), "prefetch"},
+		{"enabled prefetch degree 0", valid(func(s *MachineSpec) { s.Prefetch = PrefetchSpec{Enabled: true, Degree: 0} }), "prefetch"},
+		{"negative wrong path", valid(func(s *MachineSpec) { s.WrongPath.Loads = -1 }), "wrong_path"},
+	}
+	for _, tc := range cases {
+		_, err := ReadJSON(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestReadFile: a written file loads back; a missing file and a rejected
+// file both name the path.
+func TestReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	var b bytes.Buffer
+	if err := K10().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != K10() {
+		t.Error("loaded spec differs from the one written")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema_version":9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("rejected-file error %v does not name the path", err)
+	}
+}
+
+// TestRegistryLookup: Names is sorted and complete, Lookup hits every
+// name and misses unknowns, Resolve implements the flag contract.
+func TestRegistryLookup(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for _, n := range names {
+		s, ok := Lookup(n)
+		if !ok || s.Name != n {
+			t.Errorf("Lookup(%q) = %+v, %v", n, s.Name, ok)
+		}
+	}
+	if _, ok := Lookup("pentium-pro"); ok {
+		t.Error("Lookup accepted an unknown machine")
+	}
+
+	if s, err := Resolve("", ""); err != nil || s.Name != "core2" {
+		t.Errorf("Resolve defaults: %v, %v", s.Name, err)
+	}
+	if s, err := Resolve("atom", ""); err != nil || s.Name != "atom" {
+		t.Errorf("Resolve by name: %v, %v", s.Name, err)
+	}
+	if _, err := Resolve("486", ""); err == nil || !strings.Contains(err.Error(), "built-ins") {
+		t.Errorf("Resolve unknown name: %v", err)
+	}
+	if _, err := Resolve("atom", "x.json"); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("Resolve with both flags: %v", err)
+	}
+}
+
+// TestFeaturesAligned: the feature vector has one value per feature name,
+// and distinct machines in the cross-architecture set are separable by at
+// least one feature (otherwise a pooled tree could not tell them apart).
+func TestFeaturesAligned(t *testing.T) {
+	names := FeatureNames()
+	set := CrossArchSet()
+	if len(set) < 4 {
+		t.Fatalf("cross-arch set has %d machines, want at least 4", len(set))
+	}
+	seen := map[string]bool{}
+	for _, s := range set {
+		f := s.Features()
+		if len(f) != len(names) {
+			t.Fatalf("%s: %d features for %d names", s.Name, len(f), len(names))
+		}
+		key := fmt.Sprintf("%v", f)
+		if seen[key] {
+			t.Errorf("%s: feature vector %v duplicates another machine's", s.Name, f)
+		}
+		seen[key] = true
+	}
+}
+
+// TestGeometryScaledStillValid: the test-scale shrink used by sim unit
+// tests keeps every preset's geometry valid.
+func TestGeometryScaledStillValid(t *testing.T) {
+	for _, s := range All() {
+		for _, f := range []int64{2, 16, 256} {
+			g := s.Geometry().Scaled(f)
+			for _, c := range []mem.CacheConfig{g.L1I, g.L1D, g.L2} {
+				if err := c.Validate(); err != nil {
+					t.Errorf("%s /%d: %v", s.Name, f, err)
+				}
+			}
+			for _, tl := range []mem.TLBConfig{g.DTLB0, g.DTLB, g.ITLB} {
+				if err := tl.Validate(); err != nil {
+					t.Errorf("%s /%d: %v", s.Name, f, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package march
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The built-in preset registry. Each preset is a constructor returning a
+// fresh spec (callers may mutate their copy freely). `core2` is the
+// paper's test machine and the repository's bit-frozen seed
+// configuration: its materialized cpu/mem/branch parameters are pinned
+// by the golden collection hashes in golden_test.go, so its numbers must
+// never change. The other presets model neighboring machine classes the
+// cross-architecture experiments compare against.
+
+// Core2 returns the paper's 2.4 GHz Core-2-Duo-like test machine: 4-wide
+// out-of-order, 96-entry window, 32 KB L1s, 4 MB L2, degree-2 stream
+// prefetchers. This is the seed machine; every collected golden dataset
+// is bit-frozen against it.
+func Core2() MachineSpec {
+	return MachineSpec{
+		SchemaVersion: SchemaVersion,
+		Name:          "core2",
+		Description:   "Core-2-Duo-like 4-wide out-of-order core (the paper's test machine)",
+		Pipeline: PipelineSpec{
+			IssueWidth:        4,
+			DepSerialization:  0.45,
+			ROBWindow:         96,
+			MLPResidual:       0.22,
+			OOOHidingResidual: 0.18,
+			ShadowResidual:    0.25,
+			StoreExposure:     0.15,
+			FrontEndExposure:  0.8,
+		},
+		Penalties: PenaltySpec{
+			MemLatency:   165,
+			L2HitLatency: 14,
+			Mispredict:   13,
+			DTLB0:        2,
+			Walk:         30,
+			LdBlockSTA:   5,
+			LdBlockSTD:   6,
+			LdBlockOvSt:  5,
+			Misalign:     1.5,
+			SplitLoad:    9,
+			SplitStore:   9,
+			LCP:          6,
+		},
+		Caches: CacheSet{
+			L1I: CacheSpec{SizeB: 32 << 10, Ways: 8, LineB: 64},
+			L1D: CacheSpec{SizeB: 32 << 10, Ways: 8, LineB: 64},
+			L2:  CacheSpec{SizeB: 4 << 20, Ways: 16, LineB: 64},
+		},
+		TLBs: TLBSet{
+			DTLB0: TLBSpec{Entries: 16, Ways: 4, PageB: 4 << 10},
+			DTLB:  TLBSpec{Entries: 256, Ways: 4, PageB: 4 << 10},
+			ITLB:  TLBSpec{Entries: 128, Ways: 4, PageB: 4 << 10},
+		},
+		Branch:    BranchSpec{HistoryBits: 14, BTBEntries: 2048},
+		Prefetch:  PrefetchSpec{Enabled: true, Degree: 2},
+		WrongPath: WrongPathSpec{Fetches: 2, Loads: 1},
+	}
+}
+
+// Nehalem returns a Nehalem-class machine: same 4-wide front end as
+// Core 2 but a deeper window, an integrated memory controller (fewer
+// memory cycles), a larger last-level cache with higher hit latency, a
+// bigger predictor, and more aggressive prefetch.
+func Nehalem() MachineSpec {
+	s := Core2()
+	s.Name = "nehalem"
+	s.Description = "Nehalem-like 4-wide out-of-order core: deeper window, integrated memory controller, large LLC"
+	s.Pipeline.ROBWindow = 128
+	s.Pipeline.MLPResidual = 0.18
+	s.Pipeline.OOOHidingResidual = 0.15
+	s.Pipeline.ShadowResidual = 0.22
+	s.Penalties.MemLatency = 140
+	s.Penalties.L2HitLatency = 26 // LLC-like latency in this two-level model
+	s.Penalties.Mispredict = 17
+	s.Caches.L2 = CacheSpec{SizeB: 8 << 20, Ways: 16, LineB: 64}
+	s.TLBs.DTLB0 = TLBSpec{Entries: 64, Ways: 4, PageB: 4 << 10}
+	s.TLBs.DTLB = TLBSpec{Entries: 512, Ways: 4, PageB: 4 << 10}
+	s.Branch = BranchSpec{HistoryBits: 16, BTBEntries: 4096}
+	s.Prefetch.Degree = 4
+	return s
+}
+
+// K10 returns a K10-class (AMD Barcelona-like) machine: 3-wide, a
+// shallower window, big low-associativity L1s with a small exclusive-ish
+// L2, and a short pipeline with a cheap flush.
+func K10() MachineSpec {
+	s := Core2()
+	s.Name = "k10"
+	s.Description = "K10-like 3-wide out-of-order core: 64 KB 2-way L1s, small L2, short pipeline"
+	s.Pipeline.IssueWidth = 3
+	s.Pipeline.DepSerialization = 0.5
+	s.Pipeline.ROBWindow = 72
+	s.Pipeline.MLPResidual = 0.28
+	s.Pipeline.OOOHidingResidual = 0.22
+	s.Pipeline.ShadowResidual = 0.3
+	s.Pipeline.StoreExposure = 0.18
+	s.Penalties.MemLatency = 150
+	s.Penalties.L2HitLatency = 12
+	s.Penalties.Mispredict = 12
+	s.Penalties.Walk = 35
+	s.Caches.L1I = CacheSpec{SizeB: 64 << 10, Ways: 2, LineB: 64}
+	s.Caches.L1D = CacheSpec{SizeB: 64 << 10, Ways: 2, LineB: 64}
+	s.Caches.L2 = CacheSpec{SizeB: 512 << 10, Ways: 16, LineB: 64}
+	s.TLBs.DTLB0 = TLBSpec{Entries: 32, Ways: 4, PageB: 4 << 10}
+	s.TLBs.DTLB = TLBSpec{Entries: 512, Ways: 4, PageB: 4 << 10}
+	s.TLBs.ITLB = TLBSpec{Entries: 32, Ways: 4, PageB: 4 << 10}
+	s.Branch = BranchSpec{HistoryBits: 12, BTBEntries: 2048}
+	s.Prefetch.Degree = 1
+	return s
+}
+
+// Atom returns an Atom-class machine: a narrow in-order core (every
+// exposure residual is 1 — no miss overlap, no latency hiding, no
+// mispredict shadowing), small caches, small predictor. The machine for
+// which a fixed-penalty CPI model is actually correct.
+func Atom() MachineSpec {
+	s := Core2()
+	s.Name = "atom"
+	s.Description = "Atom-like 2-wide in-order core: every penalty fully exposed, small caches"
+	s.Pipeline.IssueWidth = 2
+	s.Pipeline.DepSerialization = 0.6
+	s.Pipeline.ROBWindow = 1
+	s.Pipeline.MLPResidual = 1
+	s.Pipeline.OOOHidingResidual = 1
+	s.Pipeline.ShadowResidual = 1
+	s.Pipeline.StoreExposure = 1
+	s.Pipeline.FrontEndExposure = 1
+	s.Penalties.MemLatency = 200
+	s.Penalties.L2HitLatency = 16
+	s.Caches.L1D = CacheSpec{SizeB: 24 << 10, Ways: 6, LineB: 64}
+	s.Caches.L2 = CacheSpec{SizeB: 512 << 10, Ways: 8, LineB: 64}
+	s.TLBs.DTLB = TLBSpec{Entries: 64, Ways: 4, PageB: 4 << 10}
+	s.TLBs.ITLB = TLBSpec{Entries: 32, Ways: 4, PageB: 4 << 10}
+	s.Branch = BranchSpec{HistoryBits: 12, BTBEntries: 128}
+	s.Prefetch.Degree = 1
+	return s
+}
+
+// NetBurst returns the Pentium-4-like variant the paper's §V.A remark
+// contrasts against: Core 2 geometry, but a 31-stage pipeline's flush
+// cost and a higher clock's memory latency in cycles.
+func NetBurst() MachineSpec {
+	s := Core2()
+	s.Name = "netburst"
+	s.Description = "NetBurst-like deep-pipeline core: 31-cycle flush, higher memory latency in cycles"
+	s.Pipeline.IssueWidth = 3
+	s.Pipeline.ROBWindow = 126
+	s.Penalties.MemLatency = 220
+	s.Penalties.L2HitLatency = 18
+	s.Penalties.Mispredict = 31
+	return s
+}
+
+// Core2NoPF returns the core2 machine with the hardware stream
+// prefetchers fused off — the substrate-ablation machine.
+func Core2NoPF() MachineSpec {
+	s := Core2()
+	s.Name = "core2-nopf"
+	s.Description = "core2 with the hardware stream prefetchers disabled"
+	s.Prefetch = PrefetchSpec{Enabled: false, Degree: 0}
+	return s
+}
+
+// presets maps preset names to constructors, in registry order.
+var presets = []struct {
+	name string
+	make func() MachineSpec
+}{
+	{"core2", Core2},
+	{"nehalem", Nehalem},
+	{"k10", K10},
+	{"atom", Atom},
+	{"netburst", NetBurst},
+	{"core2-nopf", Core2NoPF},
+}
+
+// Names returns the built-in preset names, sorted.
+func Names() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the named preset, or false.
+func Lookup(name string) (MachineSpec, bool) {
+	for _, p := range presets {
+		if p.name == name {
+			return p.make(), true
+		}
+	}
+	return MachineSpec{}, false
+}
+
+// All returns every built-in preset in registry order (core2 first).
+func All() []MachineSpec {
+	out := make([]MachineSpec, len(presets))
+	for i, p := range presets {
+		out[i] = p.make()
+	}
+	return out
+}
+
+// CrossArchSet returns the machines the cross-architecture experiment
+// trains over: the seed machine plus the four presets that vary width,
+// ordering, geometry and prefetch around it. NetBurst is excluded — it
+// shares core2's geometry and has its own dedicated experiment.
+func CrossArchSet() []MachineSpec {
+	return []MachineSpec{Core2(), Nehalem(), K10(), Atom(), Core2NoPF()}
+}
+
+// Resolve turns the CLI's -march/-march-file flag pair into a spec: a
+// non-empty file path wins (and may define any machine), otherwise the
+// name must be a built-in preset, and both empty means core2.
+func Resolve(name, file string) (MachineSpec, error) {
+	if file != "" {
+		if name != "" {
+			return MachineSpec{}, fmt.Errorf("march: -march and -march-file are mutually exclusive")
+		}
+		return ReadFile(file)
+	}
+	if name == "" {
+		return Core2(), nil
+	}
+	s, ok := Lookup(name)
+	if !ok {
+		return MachineSpec{}, fmt.Errorf("march: unknown machine %q; built-ins: %s", name, strings.Join(Names(), ", "))
+	}
+	return s, nil
+}

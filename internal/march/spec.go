@@ -1,0 +1,331 @@
+// Package march is the machine-architecture registry: a declarative
+// MachineSpec captures everything the simulated substrate is
+// parameterized by — pipeline shape, the context-dependent penalty book,
+// cache/TLB geometry, branch-predictor size, prefetcher flavor — as one
+// named, validated, JSON-persistable value. The sim packages
+// (internal/sim/cpu, internal/sim/mem, internal/sim/branch) hold the
+// mechanisms; this package holds the numbers.
+//
+// A registry of built-in presets (see registry.go) models a small family
+// of real microarchitectures around the paper's Core-2-Duo test machine:
+// `core2` is the bit-frozen seed configuration (its collected datasets
+// are pinned by golden hashes), and the other presets vary width,
+// geometry and penalties the way Nehalem-, K10- and Atom-class cores did.
+// User-supplied spec files load through ReadFile with strict validation,
+// so a typo'd field or a file from a future schema fails loudly instead
+// of silently simulating the wrong machine.
+package march
+
+import (
+	"fmt"
+
+	"repro/internal/sim/branch"
+	"repro/internal/sim/cpu"
+	"repro/internal/sim/mem"
+)
+
+// SchemaVersion is the current spec-file format version. Files declaring
+// a newer version are rejected (the fields they rely on do not exist in
+// this build); files must declare a version, so a stray JSON document
+// cannot pass for a machine spec.
+const SchemaVersion = 1
+
+// PipelineSpec describes the core's execution shape: superscalar width,
+// the reorder window, and the exposure residuals that make penalties
+// context-dependent (1.0 everywhere models an in-order core).
+type PipelineSpec struct {
+	// IssueWidth is the sustained superscalar width.
+	IssueWidth float64 `json:"issue_width"`
+	// DepSerialization is the extra cycle cost for an instruction with a
+	// producer within its dependency distance.
+	DepSerialization float64 `json:"dep_serialization"`
+	// ROBWindow is the reorder-buffer depth in instructions; independent
+	// long-latency misses within this distance overlap.
+	ROBWindow uint64 `json:"rob_window"`
+	// MLPResidual is the fraction of memory latency charged for an
+	// overlapped (memory-parallel) L2 miss.
+	MLPResidual float64 `json:"mlp_residual"`
+	// OOOHidingResidual is the fraction of L2-hit latency charged for an
+	// L1D miss whose consumer is far away.
+	OOOHidingResidual float64 `json:"ooo_hiding_residual"`
+	// ShadowResidual is the fraction of the mispredict penalty charged
+	// when the flush happens under an outstanding miss.
+	ShadowResidual float64 `json:"shadow_residual"`
+	// StoreExposure is the fraction of store-side miss latency charged.
+	StoreExposure float64 `json:"store_exposure"`
+	// FrontEndExposure is the fraction of instruction-side latency
+	// charged for an L1I miss.
+	FrontEndExposure float64 `json:"front_end_exposure"`
+}
+
+// PenaltySpec is the machine's penalty book in core cycles.
+type PenaltySpec struct {
+	// MemLatency is the L2-miss-to-DRAM latency.
+	MemLatency float64 `json:"mem_latency"`
+	// L2HitLatency is the L1-miss/L2-hit latency.
+	L2HitLatency float64 `json:"l2_hit_latency"`
+	// Mispredict is the fully exposed branch-flush cost.
+	Mispredict float64 `json:"mispredict"`
+	// DTLB0 is the cost of missing the L0 load DTLB but hitting the main
+	// DTLB.
+	DTLB0 float64 `json:"dtlb0"`
+	// Walk is the page-walk cost of a last-level TLB miss.
+	Walk float64 `json:"walk"`
+	// LdBlockSTA, LdBlockSTD and LdBlockOvSt price the three load-block
+	// conditions.
+	LdBlockSTA  float64 `json:"ld_block_sta"`
+	LdBlockSTD  float64 `json:"ld_block_std"`
+	LdBlockOvSt float64 `json:"ld_block_ov_st"`
+	// Misalign prices a misaligned memory reference.
+	Misalign float64 `json:"misalign"`
+	// SplitLoad and SplitStore price cache-line-crossing accesses.
+	SplitLoad  float64 `json:"split_load"`
+	SplitStore float64 `json:"split_store"`
+	// LCP is the pre-decoder stall for a length-changing prefix.
+	LCP float64 `json:"lcp"`
+}
+
+// CacheSpec is one cache's geometry.
+type CacheSpec struct {
+	SizeB int64 `json:"size_b"`
+	Ways  int   `json:"ways"`
+	LineB int64 `json:"line_b"`
+}
+
+// TLBSpec is one TLB's geometry.
+type TLBSpec struct {
+	Entries int   `json:"entries"`
+	Ways    int   `json:"ways"`
+	PageB   int64 `json:"page_b"`
+}
+
+// CacheSet names the three caches of the modeled hierarchy.
+type CacheSet struct {
+	L1I CacheSpec `json:"l1i"`
+	L1D CacheSpec `json:"l1d"`
+	L2  CacheSpec `json:"l2"`
+}
+
+// TLBSet names the three TLBs of the modeled hierarchy.
+type TLBSet struct {
+	DTLB0 TLBSpec `json:"dtlb0"`
+	DTLB  TLBSpec `json:"dtlb"`
+	ITLB  TLBSpec `json:"itlb"`
+}
+
+// BranchSpec describes the gshare + BTB branch predictor.
+type BranchSpec struct {
+	HistoryBits uint `json:"history_bits"`
+	BTBEntries  int  `json:"btb_entries"`
+}
+
+// PrefetchSpec describes the hardware stream prefetchers. Degree is the
+// number of lines run ahead of a detected stream; it must be 0 exactly
+// when Enabled is false, so a spec cannot half-disable prefetching.
+type PrefetchSpec struct {
+	Enabled bool `json:"enabled"`
+	Degree  int  `json:"degree"`
+}
+
+// WrongPathSpec controls speculative wrong-path activity after each
+// mispredict (it perturbs speculative-inclusive counters).
+type WrongPathSpec struct {
+	Fetches int `json:"fetches"`
+	Loads   int `json:"loads"`
+}
+
+// MachineSpec is one machine: a complete, declarative parameterization
+// of the simulated substrate. The zero value is invalid; start from a
+// preset (registry.go) or a spec file (ReadFile).
+type MachineSpec struct {
+	SchemaVersion int    `json:"schema_version"`
+	Name          string `json:"name"`
+	Description   string `json:"description,omitempty"`
+
+	Pipeline  PipelineSpec  `json:"pipeline"`
+	Penalties PenaltySpec   `json:"penalties"`
+	Caches    CacheSet      `json:"caches"`
+	TLBs      TLBSet        `json:"tlbs"`
+	Branch    BranchSpec    `json:"branch"`
+	Prefetch  PrefetchSpec  `json:"prefetch"`
+	WrongPath WrongPathSpec `json:"wrong_path"`
+}
+
+// Validate checks the spec end to end: name shape, pipeline and penalty
+// ranges, and — via the sim packages' own validators — cache, TLB and
+// predictor geometry. Errors name the failing field.
+func (s MachineSpec) Validate() error {
+	if s.SchemaVersion < 1 || s.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("march: machine %q declares schema_version %d; this build supports 1..%d",
+			s.Name, s.SchemaVersion, SchemaVersion)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("march: machine has no name")
+	}
+	for _, r := range s.Name {
+		if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
+			return fmt.Errorf("march: machine name %q may only contain [a-z0-9_-]", s.Name)
+		}
+	}
+	p := s.Pipeline
+	if p.IssueWidth <= 0 {
+		return fmt.Errorf("march: %s: pipeline.issue_width %v must be positive", s.Name, p.IssueWidth)
+	}
+	if p.DepSerialization < 0 {
+		return fmt.Errorf("march: %s: pipeline.dep_serialization %v must be non-negative", s.Name, p.DepSerialization)
+	}
+	if p.ROBWindow < 1 {
+		return fmt.Errorf("march: %s: pipeline.rob_window must be at least 1 (1 models an in-order core)", s.Name)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"mlp_residual", p.MLPResidual},
+		{"ooo_hiding_residual", p.OOOHidingResidual},
+		{"shadow_residual", p.ShadowResidual},
+		{"store_exposure", p.StoreExposure},
+		{"front_end_exposure", p.FrontEndExposure},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("march: %s: pipeline.%s %v outside [0, 1]", s.Name, f.name, f.v)
+		}
+	}
+	pen := s.Penalties
+	if pen.MemLatency <= 0 || pen.L2HitLatency <= 0 {
+		return fmt.Errorf("march: %s: penalties.mem_latency and penalties.l2_hit_latency must be positive", s.Name)
+	}
+	if pen.MemLatency < pen.L2HitLatency {
+		return fmt.Errorf("march: %s: penalties.mem_latency %v below penalties.l2_hit_latency %v", s.Name, pen.MemLatency, pen.L2HitLatency)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"mispredict", pen.Mispredict}, {"dtlb0", pen.DTLB0}, {"walk", pen.Walk},
+		{"ld_block_sta", pen.LdBlockSTA}, {"ld_block_std", pen.LdBlockSTD},
+		{"ld_block_ov_st", pen.LdBlockOvSt}, {"misalign", pen.Misalign},
+		{"split_load", pen.SplitLoad}, {"split_store", pen.SplitStore}, {"lcp", pen.LCP},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("march: %s: penalties.%s %v must be non-negative", s.Name, f.name, f.v)
+		}
+	}
+	// Geometry checks delegate to the sim packages so the rules cannot
+	// drift: sets and lines must be powers of two, sizes divisible.
+	g := s.Geometry()
+	for _, c := range []mem.CacheConfig{g.L1I, g.L1D, g.L2} {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("march: %s: %w", s.Name, err)
+		}
+	}
+	for _, t := range []mem.TLBConfig{g.DTLB0, g.DTLB, g.ITLB} {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("march: %s: %w", s.Name, err)
+		}
+	}
+	if err := s.BranchConfig().Validate(); err != nil {
+		return fmt.Errorf("march: %s: %w", s.Name, err)
+	}
+	pf := s.Prefetch
+	if pf.Enabled && (pf.Degree < 1 || pf.Degree > 8) {
+		return fmt.Errorf("march: %s: prefetch.degree %d outside 1..8", s.Name, pf.Degree)
+	}
+	if !pf.Enabled && pf.Degree != 0 {
+		return fmt.Errorf("march: %s: prefetch.degree must be 0 when prefetch is disabled", s.Name)
+	}
+	if s.WrongPath.Fetches < 0 || s.WrongPath.Loads < 0 {
+		return fmt.Errorf("march: %s: wrong_path counts must be non-negative", s.Name)
+	}
+	return nil
+}
+
+// CPUConfig materializes the timing configuration for internal/sim/cpu.
+// The Seed field is a default (collectors override it per benchmark).
+func (s MachineSpec) CPUConfig() cpu.Config {
+	return cpu.Config{
+		IssueWidth:         s.Pipeline.IssueWidth,
+		DepSerialization:   s.Pipeline.DepSerialization,
+		MemLatency:         s.Penalties.MemLatency,
+		L2HitLatency:       s.Penalties.L2HitLatency,
+		MispredictPenalty:  s.Penalties.Mispredict,
+		Dtlb0Penalty:       s.Penalties.DTLB0,
+		WalkPenalty:        s.Penalties.Walk,
+		LdBlockSTAPenalty:  s.Penalties.LdBlockSTA,
+		LdBlockSTDPenalty:  s.Penalties.LdBlockSTD,
+		LdBlockOvStPenalty: s.Penalties.LdBlockOvSt,
+		MisalignPenalty:    s.Penalties.Misalign,
+		SplitLoadPenalty:   s.Penalties.SplitLoad,
+		SplitStorePenalty:  s.Penalties.SplitStore,
+		LCPPenalty:         s.Penalties.LCP,
+		ROBWindow:          s.Pipeline.ROBWindow,
+		MLPResidual:        s.Pipeline.MLPResidual,
+		OOOHidingResidual:  s.Pipeline.OOOHidingResidual,
+		ShadowResidual:     s.Pipeline.ShadowResidual,
+		StoreExposure:      s.Pipeline.StoreExposure,
+		FrontEndExposure:   s.Pipeline.FrontEndExposure,
+		WrongPathFetches:   s.WrongPath.Fetches,
+		WrongPathLoads:     s.WrongPath.Loads,
+		Seed:               1,
+	}
+}
+
+// Geometry materializes the cache/TLB geometry for internal/sim/mem,
+// including the prefetch degree (0 when disabled).
+func (s MachineSpec) Geometry() mem.Geometry {
+	degree := 0
+	if s.Prefetch.Enabled {
+		degree = s.Prefetch.Degree
+	}
+	return mem.Geometry{
+		L1I:            mem.CacheConfig{Name: "L1I", SizeB: s.Caches.L1I.SizeB, Ways: s.Caches.L1I.Ways, LineB: s.Caches.L1I.LineB},
+		L1D:            mem.CacheConfig{Name: "L1D", SizeB: s.Caches.L1D.SizeB, Ways: s.Caches.L1D.Ways, LineB: s.Caches.L1D.LineB},
+		L2:             mem.CacheConfig{Name: "L2", SizeB: s.Caches.L2.SizeB, Ways: s.Caches.L2.Ways, LineB: s.Caches.L2.LineB},
+		DTLB0:          mem.TLBConfig{Name: "DTLB0", Entries: s.TLBs.DTLB0.Entries, Ways: s.TLBs.DTLB0.Ways, PageB: s.TLBs.DTLB0.PageB},
+		DTLB:           mem.TLBConfig{Name: "DTLB", Entries: s.TLBs.DTLB.Entries, Ways: s.TLBs.DTLB.Ways, PageB: s.TLBs.DTLB.PageB},
+		ITLB:           mem.TLBConfig{Name: "ITLB", Entries: s.TLBs.ITLB.Entries, Ways: s.TLBs.ITLB.Ways, PageB: s.TLBs.ITLB.PageB},
+		PrefetchDegree: degree,
+	}
+}
+
+// BranchConfig materializes the predictor geometry for
+// internal/sim/branch.
+func (s MachineSpec) BranchConfig() branch.Config {
+	return branch.Config{HistoryBits: s.Branch.HistoryBits, BTBEntries: s.Branch.BTBEntries}
+}
+
+// FeatureNames returns the architecture feature column names, in the
+// order Features emits them. They carry an "Arch" prefix so pooled
+// cross-architecture datasets cannot collide with Table I event names.
+func FeatureNames() []string {
+	return []string{
+		"ArchIssueW",  // issue width
+		"ArchROB",     // reorder-buffer window
+		"ArchMemLat",  // L2-miss-to-DRAM latency, cycles
+		"ArchL2Lat",   // L2 hit latency, cycles
+		"ArchMisp",    // exposed mispredict penalty, cycles
+		"ArchL1DKB",   // L1D size, KB
+		"ArchL2KB",    // L2 size, KB
+		"ArchPF",      // prefetch degree (0 = disabled)
+	}
+}
+
+// Features returns the spec's architecture feature vector, aligned with
+// FeatureNames. These are the columns a pooled cross-architecture tree
+// can split on to separate machines.
+func (s MachineSpec) Features() []float64 {
+	degree := 0
+	if s.Prefetch.Enabled {
+		degree = s.Prefetch.Degree
+	}
+	return []float64{
+		s.Pipeline.IssueWidth,
+		float64(s.Pipeline.ROBWindow),
+		s.Penalties.MemLatency,
+		s.Penalties.L2HitLatency,
+		s.Penalties.Mispredict,
+		float64(s.Caches.L1D.SizeB) / 1024,
+		float64(s.Caches.L2.SizeB) / 1024,
+		float64(degree),
+	}
+}

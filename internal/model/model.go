@@ -49,6 +49,10 @@ type Description struct {
 	NumLeaves int `json:"num_leaves"`
 	// Trees is the number of trees behind the model (1 for a single tree).
 	Trees int `json:"trees"`
+	// Machine names the simulated machine the training data was collected
+	// on (an internal/march registry name, e.g. "core2"); empty when the
+	// provenance was not recorded.
+	Machine string `json:"machine,omitempty"`
 }
 
 // Model is a trained CPI predictor. *mtree.Tree and *ensemble.Bagger

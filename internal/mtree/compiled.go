@@ -30,6 +30,7 @@ type CompiledTree struct {
 	attrNames  []string
 	trainN     int
 	globalSD   float64
+	machine    string
 
 	splitAttr []int32   // split column, -1 for leaves
 	threshold []float64 // split point, 0 for leaves
@@ -107,6 +108,7 @@ func Compile(t *Tree) *CompiledTree {
 		attrNames:   append([]string(nil), t.AttrNames...),
 		trainN:      t.TrainN,
 		globalSD:    t.GlobalSD,
+		machine:     t.Machine,
 		splitAttr:   make([]int32, nodes),
 		threshold:   make([]float64, nodes),
 		left:        make([]int32, nodes),
@@ -729,6 +731,7 @@ func (c *CompiledTree) Describe() model.Description {
 		TrainN:    c.trainN,
 		NumLeaves: c.numLeaves,
 		Trees:     1,
+		Machine:   c.machine,
 	}
 }
 
@@ -775,6 +778,7 @@ func (c *CompiledTree) Tree() *Tree {
 		AttrNames:  append([]string(nil), c.attrNames...),
 		TrainN:     c.trainN,
 		GlobalSD:   c.globalSD,
+		Machine:    c.machine,
 	}
 }
 

@@ -57,5 +57,6 @@ func (t *Tree) Describe() model.Description {
 		TrainN:    t.TrainN,
 		NumLeaves: t.NumLeaves(),
 		Trees:     1,
+		Machine:   t.Machine,
 	}
 }

@@ -25,6 +25,7 @@ type treeJSON struct {
 	AttrNames     []string  `json:"attrs"`
 	TrainN        int       `json:"train_n"`
 	GlobalSD      float64   `json:"global_sd"`
+	Machine       string    `json:"machine,omitempty"`
 	Root          *nodeJSON `json:"root"`
 }
 
@@ -78,6 +79,7 @@ func ReadJSON(r io.Reader) (*Tree, error) {
 		AttrNames:  tj.AttrNames,
 		TrainN:     tj.TrainN,
 		GlobalSD:   tj.GlobalSD,
+		Machine:    tj.Machine,
 		Root:       fromNodeJSON(tj.Root),
 	}
 	return t, nil
@@ -91,6 +93,7 @@ func toTreeJSON(t *Tree) *treeJSON {
 		AttrNames:     t.AttrNames,
 		TrainN:        t.TrainN,
 		GlobalSD:      t.GlobalSD,
+		Machine:       t.Machine,
 		Root:          toNodeJSON(t.Root),
 	}
 }

@@ -48,6 +48,7 @@ type treeBinMeta struct {
 	AttrNames     []string `json:"attrs"`
 	TrainN        int      `json:"train_n"`
 	GlobalSD      float64  `json:"global_sd"`
+	Machine       string   `json:"machine,omitempty"`
 	Nodes         int      `json:"nodes"`
 }
 
@@ -73,6 +74,7 @@ func (c *CompiledTree) addSections(bw *binfmt.Writer) error {
 		AttrNames:     c.attrNames,
 		TrainN:        c.trainN,
 		GlobalSD:      c.globalSD,
+		Machine:       c.machine,
 		Nodes:         len(c.splitAttr),
 	})
 	if err != nil {
@@ -148,6 +150,7 @@ func ReadBinaryFile(f *binfmt.File) (*CompiledTree, error) {
 		attrNames:  meta.AttrNames,
 		trainN:     meta.TrainN,
 		globalSD:   meta.GlobalSD,
+		machine:    meta.Machine,
 	}
 	type i32Sec struct {
 		dst  *[]int32

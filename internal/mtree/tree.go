@@ -59,6 +59,10 @@ type Tree struct {
 	TrainN int
 	// GlobalSD is the target standard deviation of the training set.
 	GlobalSD float64
+	// Machine names the simulated machine the training collection ran on
+	// (an internal/march registry name); empty when not recorded. Carried
+	// through persistence, compilation and serving as a provenance tag.
+	Machine string
 }
 
 // Build grows and (optionally) prunes an M5' tree on the dataset.

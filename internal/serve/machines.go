@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/march"
+)
+
+// GET /v1/machines and /v1/machines/{name} expose the march registry —
+// the machine presets training data can be collected on — so a client
+// shaping cross-architecture traffic can discover the spec behind a
+// model's "machine" tag without shipping the registry out of band.
+
+// machineInfo is one listing row: the identity plus the headline
+// parameters a client sorts or filters on; the per-machine detail view
+// returns the full spec.
+type machineInfo struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	IssueWidth  float64 `json:"issue_width"`
+	ROBWindow   uint64  `json:"rob_window"`
+	MemLatency  float64 `json:"mem_latency"`
+	// Models counts the registered models tagged with this machine.
+	Models int `json:"models"`
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	byMachine := s.reg.ModelsByMachine()
+	specs := march.All()
+	out := make([]machineInfo, len(specs))
+	for i, spec := range specs {
+		out[i] = machineInfo{
+			Name:        spec.Name,
+			Description: spec.Description,
+			IssueWidth:  spec.Pipeline.IssueWidth,
+			ROBWindow:   spec.Pipeline.ROBWindow,
+			MemLatency:  spec.Penalties.MemLatency,
+			Models:      byMachine[spec.Name],
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"machines": out})
+}
+
+// handleMachineDetail returns the full declarative spec — the same JSON
+// document -march-file accepts, so a client can round-trip a preset into
+// a user machine file.
+func (s *Server) handleMachineDetail(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec, ok := march.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrCodeNotFound,
+			"serve: unknown machine %q; known: %v", name, march.Names())
+		return
+	}
+	writeJSON(w, http.StatusOK, spec)
+}

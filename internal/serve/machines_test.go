@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/march"
+)
+
+// newMachineTaggedServer registers one tree tagged "core2" and one
+// untagged tree, so machine-count surfaces have something to report.
+func newMachineTaggedServer(t *testing.T) (*Server, http.Handler) {
+	t.Helper()
+	d := perfData(1200, 5)
+	tagged := buildTree(t, d)
+	tagged.Machine = "core2"
+	plain := buildTree(t, d)
+	reg := NewRegistry()
+	if err := reg.Register("cpi", "v1", tagged, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("cpi", "v2", tagged, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("other", "v1", plain, ""); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, DefaultConfig())
+	return s, s.Handler()
+}
+
+// TestMachinesList: GET /v1/machines returns every march preset with its
+// headline parameters and the registered-model counts per machine.
+func TestMachinesList(t *testing.T) {
+	_, h := newMachineTaggedServer(t)
+	rec := get(h, "/v1/machines")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Machines []struct {
+			Name        string  `json:"name"`
+			Description string  `json:"description"`
+			IssueWidth  float64 `json:"issue_width"`
+			Models      int     `json:"models"`
+		} `json:"machines"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want := march.Names()
+	if len(resp.Machines) != len(want) {
+		t.Fatalf("listed %d machines, want %d presets", len(resp.Machines), len(want))
+	}
+	byName := map[string]int{}
+	for _, m := range resp.Machines {
+		byName[m.Name] = m.Models
+		if m.Description == "" || m.IssueWidth <= 0 {
+			t.Errorf("machine %s listed without description/width: %+v", m.Name, m)
+		}
+	}
+	for _, n := range want {
+		if _, ok := byName[n]; !ok {
+			t.Errorf("preset %s missing from listing", n)
+		}
+	}
+	if byName["core2"] != 2 {
+		t.Errorf("core2 lists %d models, want 2", byName["core2"])
+	}
+	if byName["nehalem"] != 0 {
+		t.Errorf("nehalem lists %d models, want 0", byName["nehalem"])
+	}
+}
+
+// TestMachineDetail: the per-machine view returns the full spec — a
+// document ReadJSON would accept back, closing the round trip with
+// -march-file.
+func TestMachineDetail(t *testing.T) {
+	_, h := newMachineTaggedServer(t)
+	rec := get(h, "/v1/machines/nehalem")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	spec, err := march.ReadJSON(rec.Body)
+	if err != nil {
+		t.Fatalf("detail response is not a valid machine spec: %v", err)
+	}
+	if spec.Name != "nehalem" {
+		t.Errorf("detail spec name %q, want nehalem", spec.Name)
+	}
+
+	rec = get(h, "/v1/machines/pentium-pro")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown machine: status %d, want 404", rec.Code)
+	}
+	var e struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error.Code != ErrCodeNotFound {
+		t.Errorf("unknown machine error envelope = %s", rec.Body)
+	}
+
+	rec = post(h, "/v1/machines", "{}")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/machines: status %d, want 405", rec.Code)
+	}
+}
+
+// TestMachineTagInModelSurfaces: the model's machine tag must appear in
+// the listing, the detail view, the metrics snapshot (JSON and text) and
+// the stream summary line.
+func TestMachineTagInModelSurfaces(t *testing.T) {
+	_, h := newMachineTaggedServer(t)
+
+	rec := get(h, "/v1/models/cpi@v1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("model detail status %d", rec.Code)
+	}
+	var detail struct {
+		Machine string `json:"machine"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Machine != "core2" {
+		t.Errorf("model detail machine = %q, want core2", detail.Machine)
+	}
+
+	rec = get(h, "/v1/metrics.json")
+	var metrics struct {
+		Machines map[string]int `json:"machines"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Machines["core2"] != 2 || metrics.Machines[""] != 1 {
+		t.Errorf("metrics machines = %v, want core2:2 and untagged:1", metrics.Machines)
+	}
+
+	rec = get(h, "/metrics")
+	if body := rec.Body.String(); !strings.Contains(body, `serve_models_by_machine{machine="core2"} 2`) {
+		t.Errorf("text metrics missing machine line:\n%s", body)
+	}
+
+	rec = post(h, "/v1/stream?model=cpi", `{"events":{"L1IM":0.01,"L2M":0.001,"DtlbLdM":0.0001},"cpi":1.0}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream status %d: %s", rec.Code, rec.Body)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	var summary struct {
+		Type    string `json:"type"`
+		Machine string `json:"machine"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Type != "summary" || summary.Machine != "core2" {
+		t.Errorf("stream summary = %+v, want type=summary machine=core2", summary)
+	}
+}

@@ -103,12 +103,12 @@ type latencyBucket struct {
 }
 
 type latencySnapshot struct {
-	Count  uint64          `json:"count"`
-	MeanMs float64         `json:"mean_ms"`
-	P50Ms  float64         `json:"p50_ms"`
-	P90Ms  float64         `json:"p90_ms"`
-	P99Ms  float64         `json:"p99_ms"`
-	MaxMs  float64         `json:"max_ms"`
+	Count   uint64          `json:"count"`
+	MeanMs  float64         `json:"mean_ms"`
+	P50Ms   float64         `json:"p50_ms"`
+	P90Ms   float64         `json:"p90_ms"`
+	P99Ms   float64         `json:"p99_ms"`
+	MaxMs   float64         `json:"max_ms"`
 	Buckets []latencyBucket `json:"buckets,omitempty"`
 }
 
@@ -139,15 +139,17 @@ type metricsRegistry struct {
 	endpoints map[string]*endpointMetrics
 	cache     *PredictionCache // nil when caching is disabled
 	models    func() int
-	streams   *streamSessions // nil when the server has no stream surface
+	machines  func() map[string]int // nil when no registry is attached
+	streams   *streamSessions       // nil when the server has no stream surface
 }
 
-func newMetricsRegistry(routes []string, cache *PredictionCache, models func() int, streams *streamSessions) *metricsRegistry {
+func newMetricsRegistry(routes []string, cache *PredictionCache, models func() int, machines func() map[string]int, streams *streamSessions) *metricsRegistry {
 	m := &metricsRegistry{
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointMetrics, len(routes)),
 		cache:     cache,
 		models:    models,
+		machines:  machines,
 		streams:   streams,
 	}
 	for _, r := range routes {
@@ -166,11 +168,15 @@ type cacheSnapshot struct {
 }
 
 type metricsSnapshot struct {
-	UptimeSeconds float64                     `json:"uptime_seconds"`
-	Models        int                         `json:"models"`
-	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
-	Cache         cacheSnapshot               `json:"cache"`
-	Streams       streamsSnapshot             `json:"streams"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Models        int     `json:"models"`
+	// Machines counts the registered models per machine provenance tag
+	// (empty tag = models with no recorded machine); omitted while the
+	// registry is empty.
+	Machines  map[string]int              `json:"machines,omitempty"`
+	Endpoints map[string]endpointSnapshot `json:"endpoints"`
+	Cache     cacheSnapshot               `json:"cache"`
+	Streams   streamsSnapshot             `json:"streams"`
 }
 
 func (m *metricsRegistry) snapshot() metricsSnapshot {
@@ -178,6 +184,11 @@ func (m *metricsRegistry) snapshot() metricsSnapshot {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Models:        m.models(),
 		Endpoints:     make(map[string]endpointSnapshot, len(m.endpoints)),
+	}
+	if m.machines != nil {
+		if by := m.machines(); len(by) > 0 {
+			s.Machines = by
+		}
 	}
 	for route, em := range m.endpoints {
 		s.Endpoints[route] = endpointSnapshot{
@@ -209,6 +220,14 @@ func (s metricsSnapshot) renderText() []byte {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "serve_uptime_seconds %g\n", s.UptimeSeconds)
 	fmt.Fprintf(&b, "serve_models %d\n", s.Models)
+	machines := make([]string, 0, len(s.Machines))
+	for mn := range s.Machines {
+		machines = append(machines, mn)
+	}
+	sort.Strings(machines)
+	for _, mn := range machines {
+		fmt.Fprintf(&b, "serve_models_by_machine{machine=%q} %d\n", mn, s.Machines[mn])
+	}
 	routes := make([]string, 0, len(s.Endpoints))
 	for r := range s.Endpoints {
 		routes = append(routes, r)

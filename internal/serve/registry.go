@@ -155,6 +155,20 @@ func (r *Registry) Len() int {
 	return n
 }
 
+// ModelsByMachine counts the registered entries per machine provenance
+// tag (model.Description.Machine); untagged models are counted under "".
+func (r *Registry) ModelsByMachine() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := map[string]int{}
+	for _, vs := range r.entries {
+		for _, e := range vs {
+			out[e.Model.Describe().Machine]++
+		}
+	}
+	return out
+}
+
 // EntryInfo is the listing view of one entry, as served by GET /v1/models.
 type EntryInfo struct {
 	Name    string `json:"name"`

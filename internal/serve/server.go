@@ -11,6 +11,10 @@
 //	GET  /v1/models    registry listing with model descriptions
 //	GET  /v1/models/{ref}  one model's detail: description, evaluator
 //	                   kind, source format, registered versions
+//	GET  /v1/machines  the march machine-preset registry, with per-machine
+//	                   registered-model counts
+//	GET  /v1/machines/{name}  one machine's full declarative spec (the
+//	                   same JSON document -march-file accepts)
 //	GET  /v1/metrics.json  machine-readable counters: per-endpoint
 //	                   request/error counts, latency histogram buckets,
 //	                   cache and stream stats
@@ -98,21 +102,24 @@ type Server struct {
 
 var routes = []string{
 	"/v1/predict", "/v1/classify", "/v1/stream",
-	"/v1/models", "/v1/models/{ref}", "/v1/metrics.json",
+	"/v1/models", "/v1/models/{ref}",
+	"/v1/machines", "/v1/machines/{name}", "/v1/metrics.json",
 	"/healthz", "/metrics",
 }
 
 // routeMethods maps each route to its Allow header value; requests with
 // any other method get a JSON 405 instead of a mux-level miss.
 var routeMethods = map[string]string{
-	"/v1/predict":      "POST",
-	"/v1/classify":     "POST",
-	"/v1/stream":       "POST",
-	"/v1/models":       "GET, HEAD",
-	"/v1/models/{ref}": "GET, HEAD",
-	"/v1/metrics.json": "GET, HEAD",
-	"/healthz":         "GET, HEAD",
-	"/metrics":         "GET, HEAD",
+	"/v1/predict":         "POST",
+	"/v1/classify":        "POST",
+	"/v1/stream":          "POST",
+	"/v1/models":          "GET, HEAD",
+	"/v1/models/{ref}":    "GET, HEAD",
+	"/v1/machines":        "GET, HEAD",
+	"/v1/machines/{name}": "GET, HEAD",
+	"/v1/metrics.json":    "GET, HEAD",
+	"/healthz":            "GET, HEAD",
+	"/metrics":            "GET, HEAD",
 }
 
 // New creates a Server over a registry.
@@ -121,7 +128,7 @@ func New(reg *Registry, cfg Config) *Server {
 	if cfg.CacheSize > 0 {
 		s.cache = NewPredictionCache(cfg.CacheSize)
 	}
-	s.metrics = newMetricsRegistry(routes, s.cache, reg.Len, s.streams)
+	s.metrics = newMetricsRegistry(routes, s.cache, reg.Len, reg.ModelsByMachine, s.streams)
 	return s
 }
 
@@ -149,6 +156,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/stream", s.instrument("/v1/stream", s.handleStream))
 	mux.Handle("GET /v1/models", withTimeout(s.instrument("/v1/models", s.handleModels)))
 	mux.Handle("GET /v1/models/{ref}", withTimeout(s.instrument("/v1/models/{ref}", s.handleModelDetail)))
+	mux.Handle("GET /v1/machines", withTimeout(s.instrument("/v1/machines", s.handleMachines)))
+	mux.Handle("GET /v1/machines/{name}", withTimeout(s.instrument("/v1/machines/{name}", s.handleMachineDetail)))
 	mux.Handle("GET /v1/metrics.json", withTimeout(s.instrument("/v1/metrics.json", s.handleMetricsJSON)))
 	mux.Handle("GET /healthz", withTimeout(s.instrument("/healthz", s.handleHealthz)))
 	mux.Handle("GET /metrics", withTimeout(s.instrument("/metrics", s.handleMetrics)))

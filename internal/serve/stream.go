@@ -105,8 +105,13 @@ func streamErrorLine(err error) map[string]any {
 
 // streamSummary is the final NDJSON line of every /v1/stream response.
 type streamSummary struct {
-	Type     string       `json:"type"`
-	Model    string       `json:"model"`
+	Type  string `json:"type"`
+	Model string `json:"model"`
+	// Machine is the model's machine provenance tag (empty when the
+	// model carries none), so a monitoring pipeline fanning over
+	// cross-architecture models can attribute a session without a
+	// second lookup.
+	Machine  string       `json:"machine,omitempty"`
 	Ingested int          `json:"ingested"`
 	Stats    stream.Stats `json:"stats"`
 }
@@ -214,6 +219,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(streamSummary{
 		Type:     "summary",
 		Model:    e.Ref(),
+		Machine:  e.Model.Describe().Machine,
 		Ingested: len(samples),
 		Stats:    sess.p.Stats(),
 	})

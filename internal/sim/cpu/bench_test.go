@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/sim/branch"
-	"repro/internal/sim/mem"
 	"repro/internal/sim/trace"
 	"repro/internal/workload"
 )
@@ -14,7 +13,7 @@ import (
 // path must not allocate (the harness reports allocs/op; steady state is
 // zero).
 func BenchmarkStep(b *testing.B) {
-	core := New(DefaultConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	core := New(defaultConfig(), core2Geometry(), branch.DefaultConfig())
 	bench := workload.Suite()[0]
 	gen, _ := workload.NewSectionSource(bench, 42).Next()
 	var block [trace.DefaultBlockLen]trace.Inst

@@ -92,62 +92,6 @@ type Config struct {
 	Seed int64
 }
 
-// NetBurstConfig returns Pentium-4-like timing parameters: a much deeper
-// pipeline (31 stages vs ~14) makes the mispredict flush-and-resteer cost
-// roughly 2.5x the Core 2 value, and the higher clock multiplies memory
-// latency in cycles. The paper's §V.A discussion contrasts exactly this:
-// branch mispredicts had a "controlling role" on NetBurst but matter much
-// less on Core 2.
-func NetBurstConfig() Config {
-	c := DefaultConfig()
-	c.IssueWidth = 3
-	c.MispredictPenalty = 31
-	c.MemLatency = 220 // higher clock, similar DRAM: more cycles
-	c.L2HitLatency = 18
-	c.ROBWindow = 126
-	return c
-}
-
-// InOrderConfig returns the timing of an in-order core of the same width:
-// no miss overlap, no out-of-order latency hiding, no mispredict
-// shadowing. Every penalty is fully exposed — the machine for which the
-// traditional fixed-penalty model is actually correct.
-func InOrderConfig() Config {
-	c := DefaultConfig()
-	c.MLPResidual = 1
-	c.OOOHidingResidual = 1
-	c.ShadowResidual = 1
-	c.StoreExposure = 1
-	c.FrontEndExposure = 1
-	c.ROBWindow = 1
-	return c
-}
-
-// DefaultConfig returns Core-2-Duo-like timing parameters.
-func DefaultConfig() Config {
-	return Config{
-		IssueWidth:         4,
-		DepSerialization:   0.45,
-		MemLatency:         165,
-		L2HitLatency:       14,
-		MispredictPenalty:  13,
-		Dtlb0Penalty:       2,
-		WalkPenalty:        30,
-		LdBlockSTAPenalty:  5,
-		LdBlockSTDPenalty:  6,
-		LdBlockOvStPenalty: 5,
-		MisalignPenalty:    1.5,
-		SplitLoadPenalty:   9,
-		SplitStorePenalty:  9,
-		LCPPenalty:         6,
-		ROBWindow:          96,
-		MLPResidual:        0.22,
-		OOOHidingResidual:  0.18,
-		ShadowResidual:     0.25,
-		StoreExposure:      0.15,
-		FrontEndExposure:   0.8,
-		WrongPathFetches:   2,
-		WrongPathLoads:     1,
-		Seed:               1,
-	}
-}
+// This package holds no preset values: concrete machine parameters
+// (Core 2, NetBurst, in-order cores, ...) are declared in internal/march
+// and materialize into a Config via MachineSpec.CPUConfig.

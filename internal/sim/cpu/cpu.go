@@ -89,7 +89,7 @@ type CPU struct {
 
 // New builds a core with the given timing config, cache geometry and
 // branch-predictor geometry.
-func New(cfg Config, geom mem.Core2Geometry, bp branch.Config) *CPU {
+func New(cfg Config, geom mem.Geometry, bp branch.Config) *CPU {
 	return &CPU{
 		cfg: cfg,
 		drv: deriveConfig(cfg, geom.L1D.LineB),

@@ -5,12 +5,11 @@ import (
 	"testing"
 
 	"repro/internal/sim/branch"
-	"repro/internal/sim/mem"
 	"repro/internal/sim/trace"
 )
 
 func newCore() *CPU {
-	return New(DefaultConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	return New(defaultConfig(), core2Geometry(), branch.DefaultConfig())
 }
 
 // run drives a slice of instructions through a fresh core and returns it.
@@ -88,7 +87,7 @@ func TestIsolatedMissesBetweenClusteredAndChase(t *testing.T) {
 	// Per-miss cost ordering holds even though isolated runs have more
 	// filler (compare per-miss penalty, not raw CPI).
 	perMiss := func(cpi float64, instPerMiss int) float64 {
-		base := 1 / DefaultConfig().IssueWidth
+		base := 1 / defaultConfig().IssueWidth
 		return (cpi - base) * float64(instPerMiss)
 	}
 	pClustered := perMiss(clustered, 11)

@@ -1,0 +1,70 @@
+package cpu
+
+import "repro/internal/sim/mem"
+
+// These fixtures mirror the march "core2" preset (and its NetBurst and
+// in-order variants). In-package tests cannot import internal/march — the
+// march package imports cpu — so the values are restated here as literals;
+// internal/march's registry tests pin the materialized presets to the same
+// numbers, so a drift between the two fails over there.
+
+func defaultConfig() Config {
+	return Config{
+		IssueWidth:         4,
+		DepSerialization:   0.45,
+		MemLatency:         165,
+		L2HitLatency:       14,
+		MispredictPenalty:  13,
+		Dtlb0Penalty:       2,
+		WalkPenalty:        30,
+		LdBlockSTAPenalty:  5,
+		LdBlockSTDPenalty:  6,
+		LdBlockOvStPenalty: 5,
+		MisalignPenalty:    1.5,
+		SplitLoadPenalty:   9,
+		SplitStorePenalty:  9,
+		LCPPenalty:         6,
+		ROBWindow:          96,
+		MLPResidual:        0.22,
+		OOOHidingResidual:  0.18,
+		ShadowResidual:     0.25,
+		StoreExposure:      0.15,
+		FrontEndExposure:   0.8,
+		WrongPathFetches:   2,
+		WrongPathLoads:     1,
+		Seed:               1,
+	}
+}
+
+func netBurstConfig() Config {
+	c := defaultConfig()
+	c.IssueWidth = 3
+	c.ROBWindow = 126
+	c.MemLatency = 220
+	c.L2HitLatency = 18
+	c.MispredictPenalty = 31
+	return c
+}
+
+func inOrderConfig() Config {
+	c := defaultConfig()
+	c.MLPResidual = 1
+	c.OOOHidingResidual = 1
+	c.ShadowResidual = 1
+	c.StoreExposure = 1
+	c.FrontEndExposure = 1
+	c.ROBWindow = 1
+	return c
+}
+
+func core2Geometry() mem.Geometry {
+	return mem.Geometry{
+		L1I:            mem.CacheConfig{Name: "L1I", SizeB: 32 << 10, Ways: 8, LineB: 64},
+		L1D:            mem.CacheConfig{Name: "L1D", SizeB: 32 << 10, Ways: 8, LineB: 64},
+		L2:             mem.CacheConfig{Name: "L2", SizeB: 4 << 20, Ways: 16, LineB: 64},
+		DTLB0:          mem.TLBConfig{Name: "DTLB0", Entries: 16, Ways: 4, PageB: 4 << 10},
+		DTLB:           mem.TLBConfig{Name: "DTLB", Entries: 256, Ways: 4, PageB: 4 << 10},
+		ITLB:           mem.TLBConfig{Name: "ITLB", Entries: 128, Ways: 4, PageB: 4 << 10},
+		PrefetchDegree: 2,
+	}
+}

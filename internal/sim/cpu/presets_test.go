@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/sim/branch"
-	"repro/internal/sim/mem"
 	"repro/internal/sim/trace"
 )
 
@@ -24,9 +23,9 @@ func mispredictTrace(n int) []trace.Inst {
 
 func TestNetBurstMispredictsCostMore(t *testing.T) {
 	insts := mispredictTrace(500)
-	core2 := New(DefaultConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	core2 := New(defaultConfig(), core2Geometry(), branch.DefaultConfig())
 	core2.Run(&trace.SliceStream{Insts: insts})
-	nb := New(NetBurstConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	nb := New(netBurstConfig(), core2Geometry(), branch.DefaultConfig())
 	nb.Run(&trace.SliceStream{Insts: insts})
 	c2, cn := core2.Counters(), nb.Counters()
 	if cn.BrMispred != c2.BrMispred {
@@ -41,9 +40,9 @@ func TestInOrderExposesAllPenalties(t *testing.T) {
 	// Clustered independent misses: nearly free on the OOO core (MLP),
 	// fully exposed in order.
 	insts := coldLoads(200, 10, 0)
-	ooo := New(DefaultConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	ooo := New(defaultConfig(), core2Geometry(), branch.DefaultConfig())
 	ooo.Run(&trace.SliceStream{Insts: insts})
-	ino := New(InOrderConfig(), mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	ino := New(inOrderConfig(), core2Geometry(), branch.DefaultConfig())
 	ino.Run(&trace.SliceStream{Insts: insts})
 	if ino.Counters().CPI() < ooo.Counters().CPI()*2 {
 		t.Errorf("in-order CPI %v not far above OOO CPI %v on overlappable misses",
@@ -55,8 +54,8 @@ func TestInOrderMatchesNominalPenalties(t *testing.T) {
 	// On the in-order core a single isolated cold load costs the full
 	// nominal walk + memory latency — the regime where the traditional
 	// fixed-penalty model is exact.
-	cfg := InOrderConfig()
-	core := New(cfg, mem.DefaultCore2Geometry(), branch.DefaultConfig())
+	cfg := inOrderConfig()
+	core := New(cfg, core2Geometry(), branch.DefaultConfig())
 	warm := fill(1000, 0x1000)
 	core.Run(&trace.SliceStream{Insts: warm})
 	before := core.Counters().Cycles

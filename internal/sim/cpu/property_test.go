@@ -12,6 +12,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/march"
 	"repro/internal/proptest"
 	"repro/internal/sim/branch"
 	"repro/internal/sim/cpu"
@@ -19,11 +20,12 @@ import (
 	"repro/internal/sim/trace"
 )
 
-// genConfig picks one of the three timing profiles with a generated
-// wrong-path seed, so the properties hold across machines, not just the
-// Core 2 point.
+// genConfig materializes one of the registry machines with a generated
+// wrong-path seed, so the properties hold across every preset (including
+// the in-order Atom-like core), not just the Core 2 point.
 func genConfig(r *proptest.Rand) cpu.Config {
-	cfg := [3]func() cpu.Config{cpu.DefaultConfig, cpu.NetBurstConfig, cpu.InOrderConfig}[r.Intn(3)]()
+	specs := march.All()
+	cfg := specs[r.Intn(len(specs))].CPUConfig()
 	cfg.Seed = r.Int63()
 	return cfg
 }
@@ -31,11 +33,11 @@ func genConfig(r *proptest.Rand) cpu.Config {
 // genGeometry shrinks the Core 2 geometry so generated traces actually
 // miss: tiny structures excite every Table I event within a few thousand
 // instructions.
-func genGeometry(r *proptest.Rand) mem.Core2Geometry {
-	return mem.ScaledGeometry(int64([]int{16, 64, 256}[r.Intn(3)]))
+func genGeometry(r *proptest.Rand) mem.Geometry {
+	return march.Core2().Geometry().Scaled(int64([]int{16, 64, 256}[r.Intn(3)]))
 }
 
-func runTrace(cfg cpu.Config, geom mem.Core2Geometry, insts []trace.Inst) *cpu.CPU {
+func runTrace(cfg cpu.Config, geom mem.Geometry, insts []trace.Inst) *cpu.CPU {
 	c := cpu.New(cfg, geom, branch.DefaultConfig())
 	c.Run(&trace.SliceStream{Insts: insts})
 	return c
@@ -235,20 +237,20 @@ func enlargeTLB(t mem.TLBConfig) mem.TLBConfig {
 func TestEnlargementMonotonic(t *testing.T) {
 	structures := []struct {
 		name    string
-		enlarge func(g mem.Core2Geometry) mem.Core2Geometry
+		enlarge func(g mem.Geometry) mem.Geometry
 		misses  func(c *cpu.CPU) uint64
 	}{
-		{"L1D", func(g mem.Core2Geometry) mem.Core2Geometry { g.L1D = enlargeCache(g.L1D); return g },
+		{"L1D", func(g mem.Geometry) mem.Geometry { g.L1D = enlargeCache(g.L1D); return g },
 			func(c *cpu.CPU) uint64 { return c.Counters().L1DMiss }},
-		{"L1I", func(g mem.Core2Geometry) mem.Core2Geometry { g.L1I = enlargeCache(g.L1I); return g },
+		{"L1I", func(g mem.Geometry) mem.Geometry { g.L1I = enlargeCache(g.L1I); return g },
 			func(c *cpu.CPU) uint64 { return c.Counters().L1IMiss }},
-		{"L2", func(g mem.Core2Geometry) mem.Core2Geometry { g.L2 = enlargeCache(g.L2); return g },
+		{"L2", func(g mem.Geometry) mem.Geometry { g.L2 = enlargeCache(g.L2); return g },
 			func(c *cpu.CPU) uint64 { return c.Mem.L2.Misses }},
-		{"DTLB0", func(g mem.Core2Geometry) mem.Core2Geometry { g.DTLB0 = enlargeTLB(g.DTLB0); return g },
+		{"DTLB0", func(g mem.Geometry) mem.Geometry { g.DTLB0 = enlargeTLB(g.DTLB0); return g },
 			func(c *cpu.CPU) uint64 { return c.Counters().Dtlb0LdMiss }},
-		{"DTLB", func(g mem.Core2Geometry) mem.Core2Geometry { g.DTLB = enlargeTLB(g.DTLB); return g },
+		{"DTLB", func(g mem.Geometry) mem.Geometry { g.DTLB = enlargeTLB(g.DTLB); return g },
 			func(c *cpu.CPU) uint64 { return c.Mem.DTLB.Misses() }},
-		{"ITLB", func(g mem.Core2Geometry) mem.Core2Geometry { g.ITLB = enlargeTLB(g.ITLB); return g },
+		{"ITLB", func(g mem.Geometry) mem.Geometry { g.ITLB = enlargeTLB(g.ITLB); return g },
 			func(c *cpu.CPU) uint64 { return c.Counters().ItlbMiss }},
 	}
 	for _, s := range structures {

@@ -36,7 +36,7 @@ func BenchmarkTLBAccess(b *testing.B) {
 // BenchmarkHierarchyData runs full data accesses (TLBs, L1D, L2, stream
 // prefetcher) alternating a sequential load stream with strided stores.
 func BenchmarkHierarchyData(b *testing.B) {
-	h := NewHierarchy(DefaultCore2Geometry())
+	h := NewHierarchy(testCore2Geometry())
 	b.ReportAllocs()
 	seq, strided := uint64(0), uint64(1<<30)
 	for i := 0; i < b.N; i++ {
@@ -51,7 +51,7 @@ func BenchmarkHierarchyData(b *testing.B) {
 // a taken branch every 32 instructions, the pattern the repeat-line fast
 // path is built for.
 func BenchmarkHierarchyFetch(b *testing.B) {
-	h := NewHierarchy(DefaultCore2Geometry())
+	h := NewHierarchy(testCore2Geometry())
 	b.ReportAllocs()
 	pc := uint64(0x400000)
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,18 @@
+package mem
+
+// testCore2Geometry mirrors the march "core2" preset's hierarchy. This
+// in-package test file cannot import internal/march (march imports this
+// package's consumers), so the numbers are restated as literals;
+// internal/march's registry tests pin the materialized preset to the same
+// values.
+func testCore2Geometry() Geometry {
+	return Geometry{
+		L1I:            CacheConfig{Name: "L1I", SizeB: 32 << 10, Ways: 8, LineB: 64},
+		L1D:            CacheConfig{Name: "L1D", SizeB: 32 << 10, Ways: 8, LineB: 64},
+		L2:             CacheConfig{Name: "L2", SizeB: 4 << 20, Ways: 16, LineB: 64},
+		DTLB0:          TLBConfig{Name: "DTLB0", Entries: 16, Ways: 4, PageB: 4 << 10},
+		DTLB:           TLBConfig{Name: "DTLB", Entries: 256, Ways: 4, PageB: 4 << 10},
+		ITLB:           TLBConfig{Name: "ITLB", Entries: 128, Ways: 4, PageB: 4 << 10},
+		PrefetchDegree: 2,
+	}
+}

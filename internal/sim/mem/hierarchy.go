@@ -2,33 +2,24 @@ package mem
 
 import "math/bits"
 
-// Core2Geometry returns the cache/TLB geometry of the paper's test machine,
-// a 2.4 GHz Core 2 Duo: per-core 32 KB L1I and 32 KB L1D (8-way, 64 B
-// lines), a shared 4 MB 16-way L2, a 16-entry L0 load DTLB in front of a
-// 256-entry DTLB, and a 128-entry ITLB. (We model one core; the paper's
-// workloads are single-threaded SPEC runs.)
-type Core2Geometry struct {
+// Geometry describes a machine's cache/TLB hierarchy: L1I, L1D, a
+// unified last-level L2, a small L0 load DTLB in front of the main DTLB,
+// and an ITLB, plus the stream-prefetcher degree. The numbers for
+// concrete machines live in internal/march; this package only holds the
+// mechanisms. (We model one core; the paper's workloads are
+// single-threaded SPEC runs.)
+type Geometry struct {
 	L1I, L1D, L2      CacheConfig
 	DTLB0, DTLB, ITLB TLBConfig
+	// PrefetchDegree is the number of lines the stream prefetchers run
+	// ahead of a detected stream on each side; 0 disables prefetching.
+	PrefetchDegree int
 }
 
-// DefaultCore2Geometry returns the standard Core 2 Duo parameters.
-func DefaultCore2Geometry() Core2Geometry {
-	return Core2Geometry{
-		L1I:   CacheConfig{Name: "L1I", SizeB: 32 << 10, Ways: 8, LineB: 64},
-		L1D:   CacheConfig{Name: "L1D", SizeB: 32 << 10, Ways: 8, LineB: 64},
-		L2:    CacheConfig{Name: "L2", SizeB: 4 << 20, Ways: 16, LineB: 64},
-		DTLB0: TLBConfig{Name: "DTLB0", Entries: 16, Ways: 4, PageB: 4 << 10},
-		DTLB:  TLBConfig{Name: "DTLB", Entries: 256, Ways: 4, PageB: 4 << 10},
-		ITLB:  TLBConfig{Name: "ITLB", Entries: 128, Ways: 4, PageB: 4 << 10},
-	}
-}
-
-// ScaledGeometry returns the Core 2 geometry divided by factor (minimum one
-// way / line). Small geometries make the miss events easy to excite in unit
-// tests without large footprints.
-func ScaledGeometry(factor int64) Core2Geometry {
-	g := DefaultCore2Geometry()
+// Scaled returns the geometry divided by factor (minimum one way / line
+// per structure, prefetch degree unchanged). Small geometries make the
+// miss events easy to excite in unit tests without large footprints.
+func (g Geometry) Scaled(factor int64) Geometry {
 	shrinkCache := func(c CacheConfig) CacheConfig {
 		c.SizeB /= factor
 		min := int64(c.Ways) * c.LineB
@@ -96,22 +87,26 @@ type Hierarchy struct {
 	fetchLine uint64
 }
 
-// NewHierarchy constructs the hierarchy for a geometry, with stream
-// prefetchers enabled on both sides.
-func NewHierarchy(g Core2Geometry) *Hierarchy {
-	return &Hierarchy{
+// NewHierarchy constructs the hierarchy for a geometry. Stream
+// prefetchers of the geometry's degree watch both sides; a degree of 0
+// (or below) builds the machine without prefetchers.
+func NewHierarchy(g Geometry) *Hierarchy {
+	h := &Hierarchy{
 		L1I:           NewCache(g.L1I),
 		L1D:           NewCache(g.L1D),
 		L2:            NewCache(g.L2),
 		DTLB0:         NewTLB(g.DTLB0),
 		DTLB:          NewTLB(g.DTLB),
 		ITLB:          NewTLB(g.ITLB),
-		DataPF:        NewPrefetcher(2),
-		InstPF:        NewPrefetcher(2),
 		dataLineShift: uint(bits.TrailingZeros64(uint64(g.L2.LineB))),
 		instLineShift: uint(bits.TrailingZeros64(uint64(g.L1I.LineB))),
 		fetchLine:     noLine,
 	}
+	if g.PrefetchDegree > 0 {
+		h.DataPF = NewPrefetcher(g.PrefetchDegree)
+		h.InstPF = NewPrefetcher(g.PrefetchDegree)
+	}
+	return h
 }
 
 // Data performs a data access (load when isLoad, else store) at addr.

@@ -165,7 +165,7 @@ func TestTLBPageGranularity(t *testing.T) {
 }
 
 func TestHierarchyDataPath(t *testing.T) {
-	h := NewHierarchy(ScaledGeometry(8))
+	h := NewHierarchy(testCore2Geometry().Scaled(8))
 	h.DataPF = nil // isolate demand behaviour
 	r := h.Data(0x10_0000, true)
 	if !r.L1Miss || !r.L2Miss {
@@ -184,7 +184,7 @@ func TestHierarchyDataPath(t *testing.T) {
 }
 
 func TestHierarchyStoreSkipsDTLB0(t *testing.T) {
-	h := NewHierarchy(ScaledGeometry(8))
+	h := NewHierarchy(testCore2Geometry().Scaled(8))
 	r := h.Data(0x20_0000, false)
 	if r.Dtlb0Miss {
 		t.Error("stores must not consult the L0 load DTLB")
@@ -195,7 +195,7 @@ func TestHierarchyStoreSkipsDTLB0(t *testing.T) {
 }
 
 func TestHierarchyFetchPath(t *testing.T) {
-	h := NewHierarchy(ScaledGeometry(8))
+	h := NewHierarchy(testCore2Geometry().Scaled(8))
 	h.InstPF = nil
 	r := h.Fetch(0x40_0000)
 	if !r.L1Miss || !r.L2Miss || !r.ItlbMiss {
@@ -268,7 +268,7 @@ func TestPrefetcherRepeatedLineNoOp(t *testing.T) {
 }
 
 func TestHierarchyPrefetchHidesStreamFromL2(t *testing.T) {
-	h := NewHierarchy(DefaultCore2Geometry())
+	h := NewHierarchy(testCore2Geometry())
 	// Stream reads through 1 MB at 64B stride: after training, L2 demand
 	// misses should be far below one per line.
 	for addr := uint64(0); addr < 1<<20; addr += 64 {
@@ -286,7 +286,7 @@ func TestHierarchyPrefetchHidesStreamFromL2(t *testing.T) {
 
 func TestScaledGeometryValid(t *testing.T) {
 	for _, f := range []int64{1, 2, 8, 64, 1024} {
-		g := ScaledGeometry(f)
+		g := testCore2Geometry().Scaled(f)
 		for _, c := range []CacheConfig{g.L1I, g.L1D, g.L2} {
 			if err := c.Validate(); err != nil {
 				t.Errorf("scale %d: %v", f, err)
