@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race cover bench bench-parallel bench-serve bench-predict bench-micro bench-json bench-compare experiments crossarch-smoke serve-smoke monitor-smoke loadgen-smoke bench-load fuzz-short
+.PHONY: build test check vet race race-serve cover bench bench-parallel bench-serve bench-predict bench-micro bench-json bench-compare experiments crossarch-smoke serve-smoke monitor-smoke loadgen-smoke loadgen-smoke-race bench-load fuzz-short
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,14 @@ vet:
 # regression tests, which drive every stage at Jobs=1 and Jobs=4.
 race:
 	$(GO) test -race -short ./...
+
+# Full (not -short) race run of the serving hot path: the lock-striped
+# session table, the atomic histogram and sharded prediction cache, and
+# the stream/phase machinery behind them. These packages carry the
+# concurrency added for multi-session serving, so they get a dedicated
+# race gate beyond the -short sweep above.
+race-serve:
+	$(GO) test -race ./internal/serve/... ./internal/stream/... ./internal/shard/...
 
 check: vet race
 
@@ -80,6 +88,7 @@ bench-json:
 	@set -e; : > $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 2x -json . >> $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench 'BenchmarkServePredict' -benchtime 50x -json ./internal/serve/ >> $(BENCH_JSON); \
+	$(GO) test -run '^$$' -bench 'BenchmarkServeConcurrent' -benchtime 50x -cpu 1,4,8 -json ./internal/serve/ >> $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench 'BenchmarkPredictCompiled' -benchtime 2s -json ./internal/mtree/ >> $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamIngest' -benchtime 20x -json ./internal/stream/ >> $(BENCH_JSON); \
 	$(GO) test -run '^$$' -bench . -benchtime 2s -json ./internal/sim/... ./internal/counters/ >> $(BENCH_JSON); \
@@ -167,12 +176,16 @@ serve-smoke:
 # kills the server on exit.
 LOADGEN_ADDR ?= 127.0.0.1:18467
 LOADGEN_BIN  ?= /tmp/repro-loadgen-smoke
+# Extra build flags for the server under test (loadgen-smoke-race sets
+# -race). GORACE=halt_on_error=1 is inert without -race; with it, the
+# first data race kills the server mid-replay and the smoke test fails.
+LOADGEN_SERVE_BUILDFLAGS ?=
 
 loadgen-smoke:
 	@set -e; \
-	$(GO) build -o $(LOADGEN_BIN).serve ./cmd/serve; \
+	$(GO) build $(LOADGEN_SERVE_BUILDFLAGS) -o $(LOADGEN_BIN).serve ./cmd/serve; \
 	$(GO) build -o $(LOADGEN_BIN) ./cmd/loadgen; \
-	$(LOADGEN_BIN).serve -demo -demo-scale 0.05 -addr $(LOADGEN_ADDR) & pid=$$!; \
+	GORACE=halt_on_error=1 $(LOADGEN_BIN).serve -demo -demo-scale 0.05 -addr $(LOADGEN_ADDR) & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null' EXIT INT TERM; \
 	ok=0; for i in $$(seq 1 150); do \
 	  curl -sf http://$(LOADGEN_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; \
@@ -183,6 +196,16 @@ loadgen-smoke:
 	  -mode steady -duration 2s -rps 150 -seed 1 \
 	  -out $(LOADGEN_BIN).report.json -max-error-budget 0; \
 	echo "loadgen-smoke: PASS"
+
+# loadgen-smoke with the server built under the race detector: a seeded
+# mixed trace (predict/classify/stream across several sessions) is the
+# closest thing to production concurrency the repo can generate, so any
+# race the unit tests miss shows up here.
+loadgen-smoke-race:
+	@$(MAKE) --no-print-directory loadgen-smoke \
+	  LOADGEN_SERVE_BUILDFLAGS=-race \
+	  LOADGEN_ADDR=127.0.0.1:18468 \
+	  LOADGEN_BIN=/tmp/repro-loadgen-smoke-race
 
 # Load benchmark snapshot: replay steady and burst traces against a demo
 # server and append benchdiff-compatible latency events (p50/p95/p99 per

@@ -19,7 +19,13 @@
 //	      [-max-body 1048576] [-max-batch 4096]
 //	      [-stream-window 32] [-stream-buffer 256]
 //	      [-stream-policy block|drop-oldest|reject]
+//	      [-session-ttl 15m] [-session-shards 16]
+//	      [-pprof 127.0.0.1:6060]
 //	serve -demo                 # no files: trains a small tree in-process
+//
+// -pprof serves net/http/pprof on its own listener (keep it off the
+// public address) with mutex and block profiling enabled, so lock
+// contention in the serving hot path is observable in production.
 //
 // Model flags take name=path or name@version=path; an unversioned name
 // registers as v1, and a bare reference in requests resolves to the most
@@ -34,8 +40,10 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -66,9 +74,17 @@ func main() {
 }
 
 func run(args []string, logOut io.Writer) error {
-	srv, nmodels, err := newServer(args, logOut)
+	srv, pprofSrv, nmodels, err := newServer(args, logOut)
 	if err != nil {
 		return err
+	}
+	if pprofSrv != nil {
+		fmt.Fprintf(logOut, "serve: pprof on %s\n", pprofSrv.Addr)
+		go func() {
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(logOut, "serve: pprof server: %v\n", err)
+			}
+		}()
 	}
 
 	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then let
@@ -79,6 +95,9 @@ func run(args []string, logOut io.Writer) error {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Fprintln(logOut, "serve: shutting down...")
+		if pprofSrv != nil {
+			_ = pprofSrv.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		done <- srv.Shutdown(ctx)
@@ -96,8 +115,9 @@ func run(args []string, logOut io.Writer) error {
 
 // newServer parses the command line and assembles the HTTP server; it
 // performs no network I/O, so tests can drive the returned handler
-// directly. The second result is the number of registered models.
-func newServer(args []string, logOut io.Writer) (*http.Server, int, error) {
+// directly. The second server is the optional -pprof debug listener
+// (nil when disabled); the int is the number of registered models.
+func newServer(args []string, logOut io.Writer) (*http.Server, *http.Server, int, error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(logOut)
 	var models modelFlags
@@ -113,29 +133,32 @@ func newServer(args []string, logOut io.Writer) (*http.Server, int, error) {
 		streamWin = fs.Int("stream-window", stream.DefaultConfig().Window, "/v1/stream samples scored per parallel batch")
 		streamBuf = fs.Int("stream-buffer", stream.DefaultConfig().Buffer, "/v1/stream sample ring capacity")
 		streamPol = fs.String("stream-policy", "block", "/v1/stream ring overflow policy: block, drop-oldest or reject")
+		sessTTL   = fs.Duration("session-ttl", serve.DefaultConfig().SessionTTL, "evict /v1/stream sessions idle this long (0 keeps them forever)")
+		sessShard = fs.Int("session-shards", serve.DefaultConfig().SessionShards, "stream session table stripes (rounded up to a power of two)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this extra address with mutex/block profiling on (empty disables)")
 		demo      = fs.Bool("demo", false, "train a small tree on the built-in simulator and serve it as \"demo\"")
 		demoScale = fs.Float64("demo-scale", 0.05, "suite scale for -demo training")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	if len(models) == 0 && !*demo {
 		fs.Usage()
-		return nil, 0, errors.New("at least one -model (or -demo) is required")
+		return nil, nil, 0, errors.New("at least one -model (or -demo) is required")
 	}
 
 	reg := serve.NewRegistry()
 	for _, spec := range models {
 		ref, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			return nil, 0, fmt.Errorf("-model %q: want name=path or name@version=path", spec)
+			return nil, nil, 0, fmt.Errorf("-model %q: want name=path or name@version=path", spec)
 		}
 		name, version, pinned := strings.Cut(ref, "@")
 		if !pinned {
 			version = "v1"
 		}
 		if err := reg.LoadFile(name, version, path); err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		e, _ := reg.Get(name + "@" + version)
 		d := e.Model.Describe()
@@ -145,10 +168,10 @@ func newServer(args []string, logOut io.Writer) (*http.Server, int, error) {
 	if *demo {
 		tree, err := trainDemo(*demoScale, *jobs)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		if err := reg.Register("demo", "v1", tree, ""); err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		d := tree.Describe()
 		fmt.Fprintf(logOut, "serve: trained demo@v1 in-process: %d leaves over %d sections\n", d.NumLeaves, d.TrainN)
@@ -165,15 +188,41 @@ func newServer(args []string, logOut io.Writer) (*http.Server, int, error) {
 	cfg.Stream.Buffer = *streamBuf
 	pol, err := stream.ParsePolicy(*streamPol)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	cfg.Stream.Policy = pol
+	cfg.SessionTTL = *sessTTL
+	cfg.SessionShards = *sessShard
 
-	return &http.Server{
+	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           serve.New(reg, cfg).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
-	}, reg.Len(), nil
+	}
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pprofSrv = newPprofServer(*pprofAddr)
+	}
+	return srv, pprofSrv, reg.Len(), nil
+}
+
+// newPprofServer builds the optional debug listener: the net/http/pprof
+// handlers on a dedicated mux (never the service mux, and never
+// http.DefaultServeMux), with the runtime's mutex and block profilers
+// sampling so /debug/pprof/mutex and /debug/pprof/block actually show
+// the serving hot path's lock contention.
+func newPprofServer(addr string) *http.Server {
+	// Sample a fraction of contention events: cheap enough to leave on,
+	// dense enough that a loadgen run paints the contended locks.
+	runtime.SetMutexProfileFraction(100)
+	runtime.SetBlockProfileRate(1_000_000) // one sample per ~1ms blocked
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 }
 
 // trainDemo collects a reduced-scale suite on the built-in simulator and

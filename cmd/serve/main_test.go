@@ -42,7 +42,7 @@ func writeTreeFile(t *testing.T) string {
 func TestNewServerServesLoadedModel(t *testing.T) {
 	treePath := writeTreeFile(t)
 	var logBuf bytes.Buffer
-	srv, nmodels, err := newServer([]string{
+	srv, pprofSrv, nmodels, err := newServer([]string{
 		"-model", "cpi=" + treePath,
 		"-model", "cpi@v2=" + treePath,
 		"-addr", "127.0.0.1:0",
@@ -52,6 +52,9 @@ func TestNewServerServesLoadedModel(t *testing.T) {
 	}
 	if nmodels != 2 {
 		t.Fatalf("registered %d models, want 2", nmodels)
+	}
+	if pprofSrv != nil {
+		t.Fatal("pprof server built without -pprof")
 	}
 	h := srv.Handler
 
@@ -79,26 +82,56 @@ func TestNewServerServesLoadedModel(t *testing.T) {
 
 func TestNewServerFlagErrors(t *testing.T) {
 	var logBuf bytes.Buffer
-	if _, _, err := newServer(nil, &logBuf); err == nil {
+	if _, _, _, err := newServer(nil, &logBuf); err == nil {
 		t.Error("no -model and no -demo was accepted")
 	}
-	if _, _, err := newServer([]string{"-model", "missing-equals"}, &logBuf); err == nil {
+	if _, _, _, err := newServer([]string{"-model", "missing-equals"}, &logBuf); err == nil {
 		t.Error("malformed -model spec was accepted")
 	}
-	if _, _, err := newServer([]string{"-model", "cpi=/no/such/file.json"}, &logBuf); err == nil {
+	if _, _, _, err := newServer([]string{"-model", "cpi=/no/such/file.json"}, &logBuf); err == nil {
 		t.Error("unreadable model path was accepted")
 	}
 	treePath := writeTreeFile(t)
-	if _, _, err := newServer([]string{
+	if _, _, _, err := newServer([]string{
 		"-model", "cpi=" + treePath, "-stream-policy", "bogus",
 	}, &logBuf); err == nil {
 		t.Error("unknown -stream-policy was accepted")
 	}
 }
 
+// TestNewServerPprofFlag checks the optional debug listener: -pprof
+// assembles a second server on its own address whose mux answers the
+// pprof index (mutex and block profiles included) while the service
+// handler stays pprof-free.
+func TestNewServerPprofFlag(t *testing.T) {
+	treePath := writeTreeFile(t)
+	var logBuf bytes.Buffer
+	srv, pprofSrv, _, err := newServer([]string{
+		"-model", "cpi=" + treePath,
+		"-addr", "127.0.0.1:0",
+		"-pprof", "127.0.0.1:0",
+	}, &logBuf)
+	if err != nil {
+		t.Fatalf("newServer: %v\n%s", err, logBuf.String())
+	}
+	if pprofSrv == nil {
+		t.Fatal("-pprof did not build a debug server")
+	}
+	rec := httptest.NewRecorder()
+	pprofSrv.Handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "mutex") {
+		t.Fatalf("pprof index status %d body %.200s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code == http.StatusOK {
+		t.Fatal("service handler answers /debug/pprof/ — profiling leaked onto the public mux")
+	}
+}
+
 func TestNewServerDemoMode(t *testing.T) {
 	var logBuf bytes.Buffer
-	srv, nmodels, err := newServer([]string{"-demo", "-demo-scale", "0.02", "-addr", "127.0.0.1:0"}, &logBuf)
+	srv, _, nmodels, err := newServer([]string{"-demo", "-demo-scale", "0.02", "-addr", "127.0.0.1:0"}, &logBuf)
 	if err != nil {
 		t.Fatalf("newServer -demo: %v\n%s", err, logBuf.String())
 	}

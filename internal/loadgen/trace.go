@@ -169,7 +169,10 @@ type TraceConfig struct {
 	// Sessions is the number of distinct synthetic clients. Each
 	// session draws its own base event-rate profile, so payloads
 	// cluster per session — a prediction cache sees realistic reuse
-	// instead of all-unique or all-identical keys.
+	// instead of all-unique or all-identical keys. Stream requests
+	// carry their session id (?session=sN), so the server keeps one
+	// monitor timeline per synthetic client and the run spreads over
+	// the session table's shards.
 	Sessions int `json:"sessions"`
 	// BatchSize is the row count of each batch predict request.
 	BatchSize int `json:"batch_size"`
@@ -442,8 +445,12 @@ func buildRequest(cfg *TraceConfig, kind string, sess int,
 			b.Write(line)
 			b.WriteByte('\n')
 		}
+		// Each synthetic session streams into its own server-side monitor
+		// timeline (?session=sN), so a run with -sessions N exercises the
+		// session table's shard spread and TTL bookkeeping instead of
+		// funnelling every stream request into one session lock.
 		return Request{Kind: kind, Route: "/v1/stream",
-			Path:        "/v1/stream?model=" + cfg.Model,
+			Path:        fmt.Sprintf("/v1/stream?model=%s&session=s%d", cfg.Model, sess),
 			ContentType: "application/x-ndjson", Body: []byte(b.String()),
 			Rows: cfg.StreamBatch}, nil
 	}

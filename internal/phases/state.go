@@ -1,0 +1,133 @@
+package phases
+
+import "fmt"
+
+// Serializable monitor state, for the serve layer's session
+// snapshot/restore (drain a live monitor on one replica, restore it on
+// another). Every field is a plain value that survives a JSON round
+// trip bit-exactly — Go marshals float64 in shortest-round-trip form —
+// so a restored detector continues the section stream exactly where
+// the drained one stopped: same phase numbering, same centroid, same
+// debounce counter.
+
+// StreamState is the full state of an incremental phase tracker plus
+// the normalization scales of the detector behind it.
+type StreamState struct {
+	// Scale is the detector's per-feature noise normalization.
+	Scale []float64 `json:"scale"`
+	// N is the number of sections fed so far.
+	N int `json:"n"`
+	// Cur is the open phase (End is unset until it closes).
+	Cur Segment `json:"cur"`
+	// Count is the open phase's centroid weight.
+	Count float64 `json:"count"`
+	// OutOfPhase is the current deviating-run length (debounce state).
+	OutOfPhase int `json:"out_of_phase"`
+	// Recent is the ring of the last MinRun normalized vectors, in ring
+	// storage order, with Pos the next write position. Unfilled slots
+	// are null.
+	Recent [][]float64 `json:"recent"`
+	Pos    int         `json:"pos"`
+	// Segs are the closed phases.
+	Segs []Segment `json:"segs,omitempty"`
+}
+
+// State snapshots the tracker. The snapshot shares no mutable memory
+// with the stream: every slice is copied.
+func (s *Stream) State() StreamState {
+	st := StreamState{
+		Scale:      append([]float64(nil), s.det.scale...),
+		N:          s.n,
+		Cur:        copySegment(s.cur),
+		Count:      s.count,
+		OutOfPhase: s.outOfPhase,
+		Recent:     copyVectors(s.recent),
+		Pos:        s.pos,
+	}
+	if len(s.segs) > 0 {
+		st.Segs = make([]Segment, len(s.segs))
+		for i, seg := range s.segs {
+			st.Segs[i] = copySegment(seg)
+		}
+	}
+	return st
+}
+
+// RestoreStream rebuilds a tracker from a snapshot under cfg. The
+// config's MinRun must match the snapshot's debounce ring length —
+// restoring under a different debounce window would silently change
+// boundary detection, so it is an error instead.
+func RestoreStream(cfg Config, st StreamState) (*Stream, error) {
+	det := NewDetectorFromScales(st.Scale, cfg)
+	if len(st.Recent) != det.cfg.MinRun {
+		return nil, fmt.Errorf("phases: snapshot debounce ring has %d slots, config MinRun is %d",
+			len(st.Recent), det.cfg.MinRun)
+	}
+	s := det.Stream()
+	s.n = st.N
+	s.cur = copySegment(st.Cur)
+	s.count = st.Count
+	s.outOfPhase = st.OutOfPhase
+	s.recent = copyVectors(st.Recent)
+	s.pos = st.Pos
+	for _, seg := range st.Segs {
+		s.segs = append(s.segs, copySegment(seg))
+	}
+	return s, nil
+}
+
+// OnlineState is the full state of a self-calibrating detector: either
+// still buffering its calibration prefix (Buf set, Stream nil) or
+// tracking (Stream set).
+type OnlineState struct {
+	Calibration int           `json:"calibration"`
+	Buf         [][]float64   `json:"buf,omitempty"`
+	Stream      *StreamState  `json:"stream,omitempty"`
+}
+
+// State snapshots the detector.
+func (o *Online) State() OnlineState {
+	st := OnlineState{Calibration: o.calibration}
+	if o.stream != nil {
+		ss := o.stream.State()
+		st.Stream = &ss
+		return st
+	}
+	st.Buf = copyVectors(o.buf)
+	return st
+}
+
+// RestoreOnline rebuilds a self-calibrating detector from a snapshot
+// under cfg (which must carry the same thresholds the drained detector
+// ran with for behavior to continue unchanged).
+func RestoreOnline(cfg Config, st OnlineState) (*Online, error) {
+	o := NewOnline(cfg, st.Calibration)
+	if st.Stream == nil {
+		o.buf = copyVectors(st.Buf)
+		return o, nil
+	}
+	s, err := RestoreStream(cfg, *st.Stream)
+	if err != nil {
+		return nil, err
+	}
+	o.stream = s
+	return o, nil
+}
+
+func copySegment(s Segment) Segment {
+	s.Centroid = append([]float64(nil), s.Centroid...)
+	return s
+}
+
+func copyVectors(v [][]float64) [][]float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([][]float64, len(v))
+	for i, row := range v {
+		if row != nil {
+			out[i] = append([]float64(nil), row...)
+		}
+	}
+	return out
+}

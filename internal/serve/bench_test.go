@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/ensemble"
@@ -115,6 +118,100 @@ func BenchmarkServePredictBatch(b *testing.B) {
 	b.Run("tree-fallback", func(b *testing.B) { run(b, plainModel{tree}) })
 	b.Run("ensemble-kernel", func(b *testing.B) { run(b, bag) })
 	b.Run("ensemble-fallback", func(b *testing.B) { run(b, plainModel{bag}) })
+}
+
+// BenchmarkServeConcurrentPredict measures the request path under
+// concurrent clients (run with -cpu 1,4,8 to see core scaling): every
+// goroutine posts single-row predictions against the same model, so
+// the cache shards, the atomic histogram and the endpoint counters are
+// all on the contended path. Jobs=1 keeps each request serial — the
+// parallelism under test is request concurrency, not batch fan-out.
+func BenchmarkServeConcurrentPredict(b *testing.B) {
+	d := perfData(2000, 17)
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 60
+	tree, err := mtree.Build(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.Register("cpi", "v1", tree, ""); err != nil {
+		b.Fatal(err)
+	}
+	scfg := DefaultConfig()
+	scfg.Jobs = 1
+	scfg.RequestTimeout = 0
+	h := New(reg, scfg).Handler()
+
+	bodies := make([]string, 64)
+	for i := range bodies {
+		row, _ := json.Marshal(d.Row(i))
+		bodies[i] = fmt.Sprintf(`{"model":"cpi","row":%s}`, row)
+	}
+	if rec := post(h, "/v1/predict", bodies[0]); rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rec := post(h, "/v1/predict", bodies[i&63])
+			i++
+			if rec.Code != http.StatusOK {
+				b.Errorf("status %d", rec.Code)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServeConcurrentStream measures /v1/stream under concurrent
+// producers of the SAME model, each on its own session (run with
+// -cpu 1,4,8). Before sessions were sharded this serialized on the
+// model's one session lock — held across the response write — so the
+// benchmark pins the scaling the shard table buys.
+func BenchmarkServeConcurrentStream(b *testing.B) {
+	d := perfData(2000, 17)
+	cfg := mtree.DefaultConfig()
+	cfg.MinLeaf = 60
+	tree, err := mtree.Build(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.Register("cpi", "v1", tree, ""); err != nil {
+		b.Fatal(err)
+	}
+	scfg := DefaultConfig()
+	scfg.Jobs = 1
+	scfg.Stream.Window = 16
+	h := New(reg, scfg).Handler()
+
+	// Pre-render the trace as 16-line request chunks.
+	const chunkLines = 16
+	lines := strings.Split(strings.TrimSuffix(streamTrace(256, 128, 1000, 0, 9), "\n"), "\n")
+	var chunks []string
+	for i := 0; i+chunkLines <= len(lines); i += chunkLines {
+		chunks = append(chunks, strings.Join(lines[i:i+chunkLines], "\n")+"\n")
+	}
+
+	var sid atomic.Uint64
+	b.ReportAllocs()
+	b.SetBytes(int64(len(chunks[0])))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		path := fmt.Sprintf("/v1/stream?model=cpi&session=g%d", sid.Add(1))
+		i := 0
+		for pb.Next() {
+			rec := postNDJSON(h, path, chunks[i%len(chunks)])
+			i++
+			if rec.Code != http.StatusOK {
+				b.Errorf("status %d: %s", rec.Code, rec.Body)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkPredictionCache isolates the cache itself.

@@ -7,15 +7,25 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dataset"
+	"repro/internal/shard"
 )
 
 // PredictionCache is a bounded cache from (model ref, feature vector) to a
 // predicted value with clock (second-chance) eviction. Tree prediction is
 // already cheap — a handful of comparisons plus a dot product — so the hit
-// path has to be cheaper still to be worth having: it takes a read lock,
-// one map probe and two atomic operations, with no per-hit list surgery or
-// allocation. Evictions approximate LRU: a clock hand sweeps the entry
-// ring and reclaims the first entry not referenced since its last pass.
+// path has to be cheaper still to be worth having: it takes one shard's
+// read lock, one map probe and two atomic operations, with no per-hit list
+// surgery or allocation. Evictions approximate LRU: each shard's clock
+// hand sweeps its entry ring and reclaims the first entry not referenced
+// since its last pass.
+//
+// The cache is lock-striped the same way as the session table: keys route
+// to a power-of-two number of independently locked shards by the shared
+// shard.Hash, so concurrent inserts and refreshes contend only when they
+// collide on a shard. Small caches stay single-shard, which keeps the
+// clock sweep global and eviction order exactly what a capacity-N clock
+// would do; capacity splits across shards as evenly as possible
+// (remainders go to the low shards), so the configured bound is exact.
 //
 // Keys are built by AppendKey from the bit patterns of the (optionally
 // quantized) feature values, so with quantum 0 a hit is only possible for
@@ -23,6 +33,14 @@ import (
 // positive quantum trades that guarantee for a higher hit rate by
 // snapping each value to the nearest multiple before keying.
 type PredictionCache struct {
+	shards []*cacheShard
+	mask   uint32
+	cap    int
+}
+
+// cacheShard is one independently locked clock cache over a slice of the
+// capacity.
+type cacheShard struct {
 	mu           sync.RWMutex
 	cap          int
 	ring         []*cacheEntry // insertion ring the clock hand sweeps
@@ -37,6 +55,11 @@ type cacheEntry struct {
 	ref  atomic.Bool   // referenced since the hand last passed
 }
 
+// cacheShardFloor is the smallest per-shard capacity worth striping for:
+// below it the cache stays on fewer (or one) shards, so tiny caches keep
+// exact global clock eviction and shards never round down to zero slots.
+const cacheShardFloor = 64
+
 // NewPredictionCache creates a cache bounded to capacity entries.
 // Capacity must be positive; callers disable caching by not constructing
 // one (a nil *PredictionCache is inert).
@@ -44,11 +67,36 @@ func NewPredictionCache(capacity int) *PredictionCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &PredictionCache{
-		cap:   capacity,
-		ring:  make([]*cacheEntry, 0, capacity),
-		items: make(map[string]*cacheEntry, capacity),
+	n := 16
+	for n > 1 && capacity/n < cacheShardFloor {
+		n >>= 1
 	}
+	c := &PredictionCache{
+		shards: make([]*cacheShard, n),
+		mask:   uint32(n - 1),
+		cap:    capacity,
+	}
+	base, extra := capacity/n, capacity%n
+	for i := range c.shards {
+		sc := base
+		if i < extra {
+			sc++
+		}
+		c.shards[i] = &cacheShard{
+			cap:   sc,
+			ring:  make([]*cacheEntry, 0, sc),
+			items: make(map[string]*cacheEntry, sc),
+		}
+	}
+	return c
+}
+
+func (c *PredictionCache) shardFor(key string) *cacheShard {
+	return c.shards[shard.Hash(key)&c.mask]
+}
+
+func (c *PredictionCache) shardForBytes(key []byte) *cacheShard {
+	return c.shards[shard.HashBytes(key)&c.mask]
 }
 
 // Get looks up a key, marking it recently used on a hit. A nil cache
@@ -57,15 +105,16 @@ func (c *PredictionCache) Get(key string) (float64, bool) {
 	if c == nil {
 		return 0, false
 	}
-	c.mu.RLock()
-	e, ok := c.items[key]
-	c.mu.RUnlock()
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.items[key]
+	sh.mu.RUnlock()
 	if !ok {
-		c.misses.Add(1)
+		sh.misses.Add(1)
 		return 0, false
 	}
 	e.ref.Store(true)
-	c.hits.Add(1)
+	sh.hits.Add(1)
 	return math.Float64frombits(e.bits.Load()), true
 }
 
@@ -77,32 +126,34 @@ func (c *PredictionCache) GetBytes(key []byte) (float64, bool) {
 	if c == nil {
 		return 0, false
 	}
-	c.mu.RLock()
-	e, ok := c.items[string(key)]
-	c.mu.RUnlock()
+	sh := c.shardForBytes(key)
+	sh.mu.RLock()
+	e, ok := sh.items[string(key)]
+	sh.mu.RUnlock()
 	if !ok {
-		c.misses.Add(1)
+		sh.misses.Add(1)
 		return 0, false
 	}
 	e.ref.Store(true)
-	c.hits.Add(1)
+	sh.hits.Add(1)
 	return math.Float64frombits(e.bits.Load()), true
 }
 
 // Put inserts or refreshes a key, evicting an entry second-chance style
-// when full. A nil cache ignores the call.
+// when the shard is full. A nil cache ignores the call.
 func (c *PredictionCache) Put(key string, val float64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.items[key]; ok {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[key]; ok {
 		e.bits.Store(math.Float64bits(val))
 		e.ref.Store(true)
 		return
 	}
-	c.insert(key, val)
+	sh.insert(key, val)
 }
 
 // PutBytes is Put for a scratch-buffer key: the refresh path allocates
@@ -111,61 +162,76 @@ func (c *PredictionCache) PutBytes(key []byte, val float64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.items[string(key)]; ok {
+	sh := c.shardForBytes(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[string(key)]; ok {
 		e.bits.Store(math.Float64bits(val))
 		e.ref.Store(true)
 		return
 	}
-	c.insert(string(key), val)
+	sh.insert(string(key), val)
 }
 
-// insert adds a new entry (caller holds the write lock and has ruled out
-// a refresh), reclaiming a ring slot from the clock hand when full.
-func (c *PredictionCache) insert(key string, val float64) {
+// insert adds a new entry (caller holds the shard's write lock and has
+// ruled out a refresh), reclaiming a ring slot from the clock hand when
+// the shard is full.
+func (sh *cacheShard) insert(key string, val float64) {
 	e := &cacheEntry{key: key}
 	e.bits.Store(math.Float64bits(val))
-	if len(c.ring) < c.cap {
-		c.ring = append(c.ring, e)
-		c.items[key] = e
+	if len(sh.ring) < sh.cap {
+		sh.ring = append(sh.ring, e)
+		sh.items[key] = e
 		return
 	}
 	// Second chance: skip (and strip the reference bit of) every entry
 	// used since the hand last came by; evict the first one that was not.
 	// Bounded: after one full sweep every bit is clear.
 	for {
-		v := c.ring[c.hand]
+		v := sh.ring[sh.hand]
 		if v.ref.Load() {
 			v.ref.Store(false)
-			c.hand = (c.hand + 1) % c.cap
+			sh.hand = (sh.hand + 1) % sh.cap
 			continue
 		}
-		delete(c.items, v.key)
-		c.ring[c.hand] = e
-		c.items[key] = e
-		c.hand = (c.hand + 1) % c.cap
+		delete(sh.items, v.key)
+		sh.ring[sh.hand] = e
+		sh.items[key] = e
+		sh.hand = (sh.hand + 1) % sh.cap
 		return
 	}
 }
 
-// Stats returns the hit/miss counters and the current size.
+// Stats returns the hit/miss counters and the current size, summed over
+// the shards.
 func (c *PredictionCache) Stats() (hits, misses uint64, size int) {
 	if c == nil {
 		return 0, 0, 0
 	}
-	c.mu.RLock()
-	size = len(c.items)
-	c.mu.RUnlock()
-	return c.hits.Load(), c.misses.Load(), size
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		size += len(sh.items)
+		sh.mu.RUnlock()
+		hits += sh.hits.Load()
+		misses += sh.misses.Load()
+	}
+	return hits, misses, size
 }
 
-// Cap returns the configured capacity.
+// Cap returns the configured total capacity.
 func (c *PredictionCache) Cap() int {
 	if c == nil {
 		return 0
 	}
 	return c.cap
+}
+
+// Shards returns the stripe count.
+func (c *PredictionCache) Shards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
 }
 
 // Quantize snaps v to the nearest multiple of quantum; quantum <= 0

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -26,60 +25,94 @@ var latencyBucketsMs = []float64{
 	25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
 }
 
-// histogram is a fixed-bucket latency histogram. It is small enough to
-// lock per observation without showing up next to request handling.
+// histogram is a fixed-bucket latency histogram built from atomics
+// only — no lock is ever taken on the observe path, so recording a
+// latency cannot contend with request handling. State is striped:
+// observations land round-robin on one of histStripes independently
+// allocated stripes (so the hot counters do not all share cache lines)
+// and the stripes are merged at snapshot time. A snapshot taken while
+// observations are in flight may see an observation's bucket increment
+// before its total — a transient off-by-a-few skew that vanishes once
+// writers quiesce, which is when the exact cross-validation (loadgen)
+// reads it.
 type histogram struct {
-	mu     sync.Mutex
-	counts []uint64 // len(latencyBucketsMs)+1, last is overflow
-	total  uint64
-	sumMs  float64
-	maxMs  float64
+	next    atomic.Uint32
+	stripes []*histStripe
+}
+
+// histStripes is the stripe count; a power of two so the round-robin
+// pick is a mask, sized to spread writers without bloating snapshots.
+const histStripes = 8
+
+type histStripe struct {
+	counts []atomic.Uint64 // len(latencyBucketsMs)+1, last is overflow
+	total  atomic.Uint64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
 }
 
 func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(latencyBucketsMs)+1)}
+	h := &histogram{stripes: make([]*histStripe, histStripes)}
+	for i := range h.stripes {
+		h.stripes[i] = &histStripe{counts: make([]atomic.Uint64, len(latencyBucketsMs)+1)}
+	}
+	return h
 }
 
 func (h *histogram) observe(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
 	i := sort.SearchFloat64s(latencyBucketsMs, ms)
-	h.mu.Lock()
-	h.counts[i]++
-	h.total++
-	h.sumMs += ms
-	if ms > h.maxMs {
-		h.maxMs = ms
+	st := h.stripes[h.next.Add(1)&(histStripes-1)]
+	st.counts[i].Add(1)
+	st.total.Add(1)
+	st.sumNs.Add(int64(d))
+	for {
+		cur := st.maxNs.Load()
+		if int64(d) <= cur || st.maxNs.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
-	h.mu.Unlock()
 }
 
 // quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
 // the bucket holding the q-th observation — an overestimate by at most
 // one bucket width, which is what fixed buckets buy.
 func (h *histogram) snapshot() latencySnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := latencySnapshot{MaxMs: h.maxMs, Count: h.total}
-	if h.total == 0 {
+	counts := make([]uint64, len(latencyBucketsMs)+1)
+	var total uint64
+	var sumNs, maxNs int64
+	for _, st := range h.stripes {
+		for i := range counts {
+			counts[i] += st.counts[i].Load()
+		}
+		total += st.total.Load()
+		sumNs += st.sumNs.Load()
+		if m := st.maxNs.Load(); m > maxNs {
+			maxNs = m
+		}
+	}
+	maxMs := float64(maxNs) / float64(time.Millisecond)
+	s := latencySnapshot{MaxMs: maxMs, Count: total}
+	if total == 0 {
 		return s
 	}
-	s.MeanMs = h.sumMs / float64(h.total)
+	s.MeanMs = float64(sumNs) / float64(time.Millisecond) / float64(total)
 	quantile := func(q float64) float64 {
-		rank := uint64(q * float64(h.total))
+		rank := uint64(q * float64(total))
 		if rank < 1 {
 			rank = 1
 		}
 		var cum uint64
-		for i, c := range h.counts {
+		for i, c := range counts {
 			cum += c
 			if cum >= rank {
 				if i < len(latencyBucketsMs) {
 					return latencyBucketsMs[i]
 				}
-				return h.maxMs
+				return maxMs
 			}
 		}
-		return h.maxMs
+		return maxMs
 	}
 	s.P50Ms = quantile(0.50)
 	s.P90Ms = quantile(0.90)
@@ -89,7 +122,7 @@ func (h *histogram) snapshot() latencySnapshot {
 	s.Buckets = make([]latencyBucket, len(latencyBucketsMs))
 	var cum uint64
 	for i := range latencyBucketsMs {
-		cum += h.counts[i]
+		cum += counts[i]
 		s.Buckets[i] = latencyBucket{LeMs: latencyBucketsMs[i], Count: cum}
 	}
 	return s
@@ -260,6 +293,18 @@ func (s metricsSnapshot) renderText() []byte {
 	fmt.Fprintf(&b, "serve_stream_windows_total %d\n", s.Streams.Windows)
 	fmt.Fprintf(&b, "serve_stream_phase_boundaries_total %d\n", s.Streams.PhaseBoundaries)
 	fmt.Fprintf(&b, "serve_stream_drift_alarms_total %d\n", s.Streams.DriftAlarms)
+	fmt.Fprintf(&b, "serve_stream_session_hits_total %d\n", s.Streams.Hits)
+	fmt.Fprintf(&b, "serve_stream_session_misses_total %d\n", s.Streams.Misses)
+	fmt.Fprintf(&b, "serve_stream_session_evictions_total %d\n", s.Streams.Evictions)
+	// Per-shard counters of the session table, in shard order: the
+	// exposition stays deterministic because the stripe count and the
+	// key→shard hash are both fixed.
+	for i, sh := range s.Streams.Shards {
+		fmt.Fprintf(&b, "serve_stream_shard_sessions{shard=\"%d\"} %d\n", i, sh.Size)
+		fmt.Fprintf(&b, "serve_stream_shard_hits_total{shard=\"%d\"} %d\n", i, sh.Hits)
+		fmt.Fprintf(&b, "serve_stream_shard_misses_total{shard=\"%d\"} %d\n", i, sh.Misses)
+		fmt.Fprintf(&b, "serve_stream_shard_evictions_total{shard=\"%d\"} %d\n", i, sh.Evictions)
+	}
 	return b.Bytes()
 }
 

@@ -6,8 +6,13 @@
 //	                   contribution breakdown (coef*X/CPI, the paper's Eq. 4)
 //	POST /v1/classify  leaf id + decision path — the paper's performance
 //	                   classes (single-tree models only)
-//	POST /v1/stream    NDJSON sample ingestion into a persistent per-model
-//	                   monitor session (phase boundaries + drift alarms)
+//	POST /v1/stream    NDJSON sample ingestion into a persistent monitor
+//	                   session (phase boundaries + drift alarms), keyed
+//	                   by model ref and the ?session= query parameter
+//	GET  /v1/sessions  live monitor session listing with per-session stats
+//	POST /v1/sessions/drain    remove all sessions and return their
+//	                   serialized state (replica handoff, step 1)
+//	POST /v1/sessions/restore  install a drained state dump (step 2)
 //	GET  /v1/models    registry listing with model descriptions
 //	GET  /v1/models/{ref}  one model's detail: description, evaluator
 //	                   kind, source format, registered versions
@@ -49,6 +54,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mtree"
 	"repro/internal/parallel"
+	"repro/internal/shard"
 	"repro/internal/stream"
 )
 
@@ -76,6 +82,15 @@ type Config struct {
 	// backpressure policy, phase and drift detectors). Its Jobs field is
 	// ignored: stream scoring follows the service-wide Jobs setting.
 	Stream stream.Config
+	// SessionShards is the stripe count of the stream session table,
+	// rounded up to a power of two (0 = 16).
+	SessionShards int
+	// SessionTTL evicts stream sessions idle for this long; 0 keeps
+	// sessions forever (the pre-TTL behavior).
+	SessionTTL time.Duration
+	// Clock is the time source for session TTL bookkeeping; nil means
+	// time.Now. Tests inject a fake clock to make eviction exact.
+	Clock func() time.Time
 }
 
 // DefaultConfig returns production-leaning defaults.
@@ -88,6 +103,8 @@ func DefaultConfig() Config {
 		MaxBatch:       4096,
 		RequestTimeout: 10 * time.Second,
 		Stream:         stream.DefaultConfig(),
+		SessionShards:  16,
+		SessionTTL:     15 * time.Minute,
 	}
 }
 
@@ -102,6 +119,7 @@ type Server struct {
 
 var routes = []string{
 	"/v1/predict", "/v1/classify", "/v1/stream",
+	"/v1/sessions", "/v1/sessions/drain", "/v1/sessions/restore",
 	"/v1/models", "/v1/models/{ref}",
 	"/v1/machines", "/v1/machines/{name}", "/v1/metrics.json",
 	"/healthz", "/metrics",
@@ -110,21 +128,29 @@ var routes = []string{
 // routeMethods maps each route to its Allow header value; requests with
 // any other method get a JSON 405 instead of a mux-level miss.
 var routeMethods = map[string]string{
-	"/v1/predict":         "POST",
-	"/v1/classify":        "POST",
-	"/v1/stream":          "POST",
-	"/v1/models":          "GET, HEAD",
-	"/v1/models/{ref}":    "GET, HEAD",
-	"/v1/machines":        "GET, HEAD",
-	"/v1/machines/{name}": "GET, HEAD",
-	"/v1/metrics.json":    "GET, HEAD",
-	"/healthz":            "GET, HEAD",
-	"/metrics":            "GET, HEAD",
+	"/v1/predict":          "POST",
+	"/v1/classify":         "POST",
+	"/v1/stream":           "POST",
+	"/v1/sessions":         "GET, HEAD",
+	"/v1/sessions/drain":   "POST",
+	"/v1/sessions/restore": "POST",
+	"/v1/models":           "GET, HEAD",
+	"/v1/models/{ref}":     "GET, HEAD",
+	"/v1/machines":         "GET, HEAD",
+	"/v1/machines/{name}":  "GET, HEAD",
+	"/v1/metrics.json":     "GET, HEAD",
+	"/healthz":             "GET, HEAD",
+	"/metrics":             "GET, HEAD",
 }
 
 // New creates a Server over a registry.
 func New(reg *Registry, cfg Config) *Server {
-	s := &Server{cfg: cfg, reg: reg, streams: newStreamSessions()}
+	s := &Server{cfg: cfg, reg: reg}
+	s.streams = newStreamSessions(shard.Options{
+		Shards: cfg.SessionShards,
+		TTL:    cfg.SessionTTL,
+		Now:    cfg.Clock,
+	})
 	if cfg.CacheSize > 0 {
 		s.cache = NewPredictionCache(cfg.CacheSize)
 	}
@@ -154,6 +180,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/predict", withTimeout(s.instrument("/v1/predict", s.handlePredict)))
 	mux.Handle("POST /v1/classify", withTimeout(s.instrument("/v1/classify", s.handleClassify)))
 	mux.Handle("POST /v1/stream", s.instrument("/v1/stream", s.handleStream))
+	mux.Handle("GET /v1/sessions", withTimeout(s.instrument("/v1/sessions", s.handleSessions)))
+	mux.Handle("POST /v1/sessions/drain", withTimeout(s.instrument("/v1/sessions/drain", s.handleSessionsDrain)))
+	mux.Handle("POST /v1/sessions/restore", withTimeout(s.instrument("/v1/sessions/restore", s.handleSessionsRestore)))
 	mux.Handle("GET /v1/models", withTimeout(s.instrument("/v1/models", s.handleModels)))
 	mux.Handle("GET /v1/models/{ref}", withTimeout(s.instrument("/v1/models/{ref}", s.handleModelDetail)))
 	mux.Handle("GET /v1/machines", withTimeout(s.instrument("/v1/machines", s.handleMachines)))

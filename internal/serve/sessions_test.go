@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// fakeClock is a manually advanced clock for exact session-TTL tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestStreamSessionQueryParam verifies ?session= keys independent
+// timelines through one model: each session scores the full trace from
+// section zero, and both show up in the metrics snapshot.
+func TestStreamSessionQueryParam(t *testing.T) {
+	s, _, _ := newTestServer(t, streamConfig(0))
+	h := s.Handler()
+	trace := streamTrace(40, 20, 100, 0, 7)
+
+	var bodies [][]byte
+	for _, sess := range []string{"alpha", "beta"} {
+		rec := postNDJSON(h, "/v1/stream?model=cpi&session="+sess, trace)
+		if rec.Code != 200 {
+			t.Fatalf("session %s: status %d: %s", sess, rec.Code, rec.Body)
+		}
+		bodies = append(bodies, rec.Body.Bytes())
+	}
+	// Two timelines over the same model and trace must diverge only in
+	// the summary's echoed session id.
+	a := bytes.ReplaceAll(bodies[0], []byte(`"session":"alpha"`), []byte(`"session":"X"`))
+	b := bytes.ReplaceAll(bodies[1], []byte(`"session":"beta"`), []byte(`"session":"X"`))
+	if !bytes.Equal(a, b) {
+		t.Error("same trace through two sessions produced different monitoring output")
+	}
+
+	var snap struct {
+		Streams streamsSnapshot `json:"streams"`
+	}
+	if err := json.Unmarshal(get(h, "/v1/metrics.json").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Streams.Sessions != 2 || snap.Streams.Scored != 80 {
+		t.Errorf("sessions %d scored %d, want 2 and 80", snap.Streams.Sessions, snap.Streams.Scored)
+	}
+	if snap.Streams.Misses != 2 {
+		t.Errorf("session table misses %d, want 2 (one per created session)", snap.Streams.Misses)
+	}
+	if len(snap.Streams.Shards) != 16 {
+		t.Errorf("%d shard stats, want 16", len(snap.Streams.Shards))
+	}
+}
+
+// TestStreamConcurrentSessionsIndependent is the regression test for
+// the lock-held-across-response-write stall: with one session per model
+// (the old scheme), a stalled producer of a model blocked every other
+// producer of that model. Holding session a's lock — exactly what a
+// stuck ingest does — must not stop a request for session b of the
+// same model.
+func TestStreamConcurrentSessionsIndependent(t *testing.T) {
+	s, _, _ := newTestServer(t, streamConfig(1))
+	h := s.Handler()
+	trace := streamTrace(40, 20, 100, 0, 7)
+
+	if rec := postNDJSON(h, "/v1/stream?model=cpi&session=a", trace); rec.Code != 200 {
+		t.Fatalf("seed request: status %d: %s", rec.Code, rec.Body)
+	}
+	sess, ok := s.streams.tab.Get(sessionKey("cpi@v1", "a"))
+	if !ok {
+		t.Fatal("session a not in the table")
+	}
+	sess.mu.Lock() // a stalled producer of session a
+	defer sess.mu.Unlock()
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- postNDJSON(h, "/v1/stream?model=cpi&session=b", trace) }()
+	select {
+	case rec := <-done:
+		if rec.Code != 200 {
+			t.Fatalf("session b: status %d: %s", rec.Code, rec.Body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("session b blocked behind a stalled session a of the same model")
+	}
+}
+
+// TestStreamSessionTTLEviction drives the injectable clock past the TTL
+// and checks that the idle session is evicted, counted, and replaced by
+// a fresh timeline on the next request.
+func TestStreamSessionTTLEviction(t *testing.T) {
+	clk := newFakeClock()
+	cfg := streamConfig(0)
+	cfg.SessionTTL = time.Minute
+	cfg.Clock = clk.Now
+	s, _, _ := newTestServer(t, cfg)
+	h := s.Handler()
+	trace := streamTrace(40, 20, 100, 0, 7)
+
+	if rec := postNDJSON(h, "/v1/stream?model=cpi", trace); rec.Code != 200 {
+		t.Fatalf("first request: status %d", rec.Code)
+	}
+	clk.Advance(2 * time.Minute)
+	rec := postNDJSON(h, "/v1/stream?model=cpi", trace)
+	if rec.Code != 200 {
+		t.Fatalf("post-TTL request: status %d", rec.Code)
+	}
+	// The replacement session starts a fresh timeline: its summary must
+	// report 40 scored sections, not 80 accumulated ones.
+	var sum struct {
+		Stats stream.Stats `json:"stats"`
+	}
+	lines := bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte("\n"))
+	if err := json.Unmarshal(lines[len(lines)-1], &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Stats.Scored != 40 {
+		t.Errorf("scored %d after eviction, want 40 (fresh session)", sum.Stats.Scored)
+	}
+
+	var snap struct {
+		Streams streamsSnapshot `json:"streams"`
+	}
+	if err := json.Unmarshal(get(h, "/v1/metrics.json").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Streams.Sessions != 1 {
+		t.Errorf("sessions %d, want 1", snap.Streams.Sessions)
+	}
+	if snap.Streams.Evictions < 1 {
+		t.Errorf("evictions %d, want >= 1", snap.Streams.Evictions)
+	}
+}
+
+// TestSessionsDrainRestoreRoundTrip is the replica-handoff acceptance
+// test: drain live sessions out of one server, restore them into a
+// fresh one, and (1) the restored listing's per-session Stats are
+// byte-identical to the pre-drain listing, (2) continuing a timeline on
+// the new server emits exactly what an uninterrupted server would.
+func TestSessionsDrainRestoreRoundTrip(t *testing.T) {
+	cfg := streamConfig(1)
+	trace := streamTrace(130, 60, 90, 0.5, 42)
+	first, second := splitLines(trace, 70)
+
+	sA, _, _ := newTestServer(t, cfg)
+	hA := sA.Handler()
+	for _, sess := range []string{"", "x"} {
+		if rec := postNDJSON(hA, "/v1/stream?model=cpi&session="+sess, first); rec.Code != 200 {
+			t.Fatalf("session %q: status %d: %s", sess, rec.Code, rec.Body)
+		}
+	}
+	listA := get(hA, "/v1/sessions")
+	if listA.Code != 200 {
+		t.Fatalf("sessions listing status %d", listA.Code)
+	}
+
+	drain := post(hA, "/v1/sessions/drain", "")
+	if drain.Code != 200 {
+		t.Fatalf("drain status %d: %s", drain.Code, drain.Body)
+	}
+	if rec := get(hA, "/v1/sessions"); !bytes.Contains(rec.Body.Bytes(), []byte(`"sessions":[]`)) {
+		t.Errorf("sessions remain after drain: %s", rec.Body)
+	}
+
+	sB, _, _ := newTestServer(t, cfg)
+	hB := sB.Handler()
+	restore := post(hB, "/v1/sessions/restore", drain.Body.String())
+	if restore.Code != 200 {
+		t.Fatalf("restore status %d: %s", restore.Code, restore.Body)
+	}
+	var res struct {
+		Restored int `json:"restored"`
+	}
+	if err := json.Unmarshal(restore.Body.Bytes(), &res); err != nil || res.Restored != 2 {
+		t.Fatalf("restored %d sessions (%v), want 2", res.Restored, err)
+	}
+
+	// The restored listing — including every monitor Stats float — must
+	// be byte-identical to the pre-drain one.
+	listB := get(hB, "/v1/sessions")
+	if !bytes.Equal(listA.Body.Bytes(), listB.Body.Bytes()) {
+		t.Fatalf("listing diverged across drain/restore:\n  before: %s\n  after:  %s", listA.Body, listB.Body)
+	}
+
+	// Continuing on the restored server matches an uninterrupted run.
+	sC, _, _ := newTestServer(t, cfg)
+	hC := sC.Handler()
+	if rec := postNDJSON(hC, "/v1/stream?model=cpi&session=x", first); rec.Code != 200 {
+		t.Fatalf("control first chunk: status %d", rec.Code)
+	}
+	want := postNDJSON(hC, "/v1/stream?model=cpi&session=x", second)
+	got := postNDJSON(hB, "/v1/stream?model=cpi&session=x", second)
+	if got.Code != 200 || want.Code != 200 {
+		t.Fatalf("continuation status %d / %d", got.Code, want.Code)
+	}
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Fatal("continuation after restore diverged from the uninterrupted run")
+	}
+}
+
+// TestSessionsRestoreRejects pins the all-or-nothing restore contract.
+func TestSessionsRestoreRejects(t *testing.T) {
+	s, _, _ := newTestServer(t, streamConfig(1))
+	h := s.Handler()
+
+	// Unknown model: 404, nothing installed.
+	body := `{"sessions":[{"model":"ghost","state":{"schema_version":1,"phases":{"calibration":32},"ph":{}}}]}`
+	if rec := post(h, "/v1/sessions/restore", body); rec.Code != 404 {
+		t.Errorf("unknown model: status %d, want 404 (%s)", rec.Code, rec.Body)
+	}
+
+	// Bad state version: 400, nothing installed.
+	body = `{"sessions":[{"model":"cpi","state":{"schema_version":99,"phases":{"calibration":32},"ph":{}}}]}`
+	if rec := post(h, "/v1/sessions/restore", body); rec.Code != 400 {
+		t.Errorf("bad state version: status %d, want 400 (%s)", rec.Code, rec.Body)
+	}
+
+	var snap struct {
+		Streams streamsSnapshot `json:"streams"`
+	}
+	if err := json.Unmarshal(get(h, "/v1/metrics.json").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Streams.Sessions != 0 {
+		t.Errorf("rejected restores installed %d sessions", snap.Streams.Sessions)
+	}
+}

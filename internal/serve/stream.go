@@ -7,52 +7,75 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/shard"
 	"repro/internal/stream"
 )
 
 // The /v1/stream endpoint is the service's online surface: clients POST
 // NDJSON counter samples and the server runs them through a persistent
-// per-model stream.Processor — the same scoring fan-out as /v1/predict
-// plus the phase and drift monitors. Monitor state (phase tracker,
-// Page–Hinkley accumulator, EWMA CPI) survives across requests, so a
-// producer can POST sections in whatever chunks its collection loop
-// yields and still get one coherent monitoring timeline.
+// stream.Processor — the same scoring fan-out as /v1/predict plus the
+// phase and drift monitors. Monitor state (phase tracker, Page–Hinkley
+// accumulator, EWMA CPI) survives across requests, so a producer can
+// POST sections in whatever chunks its collection loop yields and still
+// get one coherent monitoring timeline.
+//
+// Sessions are keyed by (model ref, session id): the ?session= query
+// parameter names the timeline, so many producers can monitor through
+// the same model concurrently without interleaving their sections.
+// Omitting ?session= addresses the model's default session, which keeps
+// the pre-session API shape working unchanged. The table behind the
+// keys is lock-striped (internal/shard) with TTL eviction, so session
+// lookup scales with cores and an abandoned producer's state does not
+// pin memory forever.
 
-// streamSession is one model's live monitor. The processor is not safe
-// for concurrent use, so each session serializes its requests; different
-// models stream independently.
+// streamSession is one live monitor timeline. The processor is not safe
+// for concurrent use, so each session serializes its ingestion; other
+// sessions — of the same model or not — proceed independently. The
+// session lock is held only across ingestion and scoring, never across
+// the response write: a slow client drains its response after the lock
+// is gone, so it cannot stall the session's next producer (and under
+// the old one-session-per-model scheme it stalled every producer of
+// the model).
 type streamSession struct {
-	mu sync.Mutex
-	p  *stream.Processor
+	mu    sync.Mutex
+	model string // registry ref, e.g. "cpi@v1"
+	id    string // session id, "" for the model's default session
+	p     *stream.Processor
 }
 
-// streamSessions lazily creates one session per model reference.
+// streamSessions is the striped session table. The session key is the
+// model ref and session id joined by a NUL (refs and ids are
+// URL-derived and never contain one), so sessions of one model spread
+// across shards like any other keys.
 type streamSessions struct {
-	mu       sync.Mutex
-	sessions map[string]*streamSession
+	tab *shard.Table[*streamSession]
 }
 
-func newStreamSessions() *streamSessions {
-	return &streamSessions{sessions: map[string]*streamSession{}}
+func newStreamSessions(opts shard.Options) *streamSessions {
+	return &streamSessions{tab: shard.New[*streamSession](opts)}
 }
 
-func (ss *streamSessions) get(ref string, mk func() (*stream.Processor, error)) (*streamSession, error) {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	if s, ok := ss.sessions[ref]; ok {
-		return s, nil
-	}
-	p, err := mk()
-	if err != nil {
-		return nil, err
-	}
-	s := &streamSession{p: p}
-	ss.sessions[ref] = s
-	return s, nil
+func sessionKey(ref, id string) string {
+	return ref + "\x00" + id
+}
+
+// get returns the live session for (ref, id), creating it with mk on a
+// miss or after TTL eviction.
+func (ss *streamSessions) get(ref, id string, mk func() (*stream.Processor, error)) (*streamSession, error) {
+	sess, _, err := ss.tab.GetOrCreate(sessionKey(ref, id), func() (*streamSession, error) {
+		p, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		return &streamSession{model: ref, id: id, p: p}, nil
+	})
+	return sess, err
 }
 
 // streamsSnapshot aggregates every session's monitor counters for the
-// /metrics report.
+// /metrics report, plus the session table's per-shard counters — the
+// observable proof that traffic spreads across stripes and that TTL
+// eviction is reclaiming abandoned sessions.
 type streamsSnapshot struct {
 	Sessions        int    `json:"sessions"`
 	Depth           int    `json:"depth"`
@@ -63,16 +86,21 @@ type streamsSnapshot struct {
 	Windows         uint64 `json:"windows"`
 	PhaseBoundaries uint64 `json:"phase_boundaries"`
 	DriftAlarms     uint64 `json:"drift_alarms"`
+	// Hits/Misses/Evictions are the session-table totals; Shards breaks
+	// them down per stripe.
+	Hits      uint64             `json:"hits"`
+	Misses    uint64             `json:"misses"`
+	Evictions uint64             `json:"evictions"`
+	Shards    []shard.ShardStats `json:"shards,omitempty"`
 }
 
 func (ss *streamSessions) snapshot() streamsSnapshot {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	snap := streamsSnapshot{Sessions: len(ss.sessions)}
-	for _, s := range ss.sessions {
+	var snap streamsSnapshot
+	ss.tab.Range(func(_ string, s *streamSession) {
 		s.mu.Lock()
 		st := s.p.Stats()
 		s.mu.Unlock()
+		snap.Sessions++
 		snap.Depth += st.Depth
 		snap.Accepted += st.Accepted
 		snap.Scored += st.Scored
@@ -81,7 +109,11 @@ func (ss *streamSessions) snapshot() streamsSnapshot {
 		snap.Windows += st.Windows
 		snap.PhaseBoundaries += st.PhaseBoundaries
 		snap.DriftAlarms += st.DriftAlarms
-	}
+	})
+	stats := ss.tab.Stats()
+	total := stats.Total()
+	snap.Hits, snap.Misses, snap.Evictions = total.Hits, total.Misses, total.Evictions
+	snap.Shards = stats.Shards
 	return snap
 }
 
@@ -111,24 +143,32 @@ type streamSummary struct {
 	// model carries none), so a monitoring pipeline fanning over
 	// cross-architecture models can attribute a session without a
 	// second lookup.
-	Machine  string       `json:"machine,omitempty"`
+	Machine string `json:"machine,omitempty"`
+	// Session echoes the ?session= id ("" = the default session).
+	Session  string       `json:"session,omitempty"`
 	Ingested int          `json:"ingested"`
 	Stats    stream.Stats `json:"stats"`
 }
 
-// handleStream ingests a POSTed NDJSON sample batch into the model's
-// monitor session and streams back the resulting events, one JSON object
-// per line, ending with a "summary" line. The model is addressed with
-// the ?model= query parameter (the body is NDJSON, not an envelope).
+// handleStream ingests a POSTed NDJSON sample batch into a monitor
+// session and streams back the resulting events, one JSON object per
+// line, ending with a "summary" line. The model is addressed with the
+// ?model= query parameter and the session timeline with ?session=
+// (the body is NDJSON, not an envelope).
 //
 // The whole batch is decoded and schema-checked before any sample
 // reaches the monitors, so a 400 response guarantees no state changed —
 // a malformed producer cannot half-poison the phase or drift trackers.
+// Schema checking is read-only and runs without the session lock; the
+// lock covers only ingestion and scoring. Events are buffered and
+// written after the lock is released, so a client that reads its
+// response slowly holds up nobody but itself.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	e := s.lookup(w, r.URL.Query().Get("model"))
 	if e == nil {
 		return
 	}
+	sessionID := r.URL.Query().Get("session")
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := stream.NewDecoder(r.Body)
 	var samples []stream.Sample
@@ -159,15 +199,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sess, err := s.streams.get(e.Ref(), func() (*stream.Processor, error) {
+	sess, err := s.streams.get(e.Ref(), sessionID, func() (*stream.Processor, error) {
 		return stream.NewProcessor(e.Model, s.streamConfig())
 	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	// Check touches only the immutable schema, so it needs no lock even
+	// while another request is ingesting into the same session.
 	for i := range samples {
 		if err := sess.p.Check(samples[i]); err != nil {
 			writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "sample %d: %v", i, err)
@@ -175,52 +215,61 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Ingest and score under the session lock, buffering the events;
+	// the response is written only after the lock is released.
+	sess.mu.Lock()
+	var events []stream.Event
+	var ingestErr error
+	for i := range samples {
+		// The whole batch passed Check above; IngestChecked skips the
+		// per-sample re-validation. Only ring errors can fail here.
+		evs, err := sess.p.IngestChecked(samples[i])
+		if err != nil {
+			ingestErr = err
+			break
+		}
+		events = append(events, evs...)
+	}
+	if ingestErr == nil {
+		// Score the final partial window too: a batch endpoint should
+		// answer for every sample it accepted, not leave a remainder
+		// buffered.
+		evs, err := sess.p.Flush()
+		if err != nil {
+			ingestErr = err
+		} else {
+			events = append(events, evs...)
+		}
+	}
+	stats := sess.p.Stats()
+	sess.mu.Unlock()
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	emit := func(events []stream.Event) bool {
-		for i := range events {
-			if err := enc.Encode(&events[i]); err != nil {
-				return false // client gone; stop writing, state is consistent
-			}
-		}
-		// Push completed events to the client now: this route is outside
-		// http.TimeoutHandler precisely so incremental delivery works.
-		if len(events) > 0 && flusher != nil {
-			flusher.Flush()
-		}
-		return true
-	}
-	for i := range samples {
-		// The whole batch passed Check above; IngestChecked skips the
-		// per-sample re-validation.
-		events, err := sess.p.IngestChecked(samples[i])
-		if err != nil {
-			// Only ring errors can land here; report on the stream since
-			// the 200 header is already out.
-			_ = enc.Encode(streamErrorLine(err))
-			return
-		}
-		if !emit(events) {
-			return
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return // client gone; stop writing, state is consistent
 		}
 	}
-	// Score the final partial window too: a batch endpoint should answer
-	// for every sample it accepted, not leave a remainder buffered.
-	events, err := sess.p.Flush()
-	if err != nil {
-		_ = enc.Encode(streamErrorLine(err))
-		return
+	// Push completed events to the client now: this route is outside
+	// http.TimeoutHandler precisely so incremental delivery works.
+	if len(events) > 0 && flusher != nil {
+		flusher.Flush()
 	}
-	if !emit(events) {
+	if ingestErr != nil {
+		// The monitors kept whatever prefix they ingested; report on the
+		// stream since the 200 header is already out.
+		_ = enc.Encode(streamErrorLine(ingestErr))
 		return
 	}
 	_ = enc.Encode(streamSummary{
 		Type:     "summary",
 		Model:    e.Ref(),
 		Machine:  e.Model.Describe().Machine,
+		Session:  sessionID,
 		Ingested: len(samples),
-		Stats:    sess.p.Stats(),
+		Stats:    stats,
 	})
 }

@@ -259,6 +259,9 @@ func TestMethodNotAllowed(t *testing.T) {
 		{http.MethodDelete, "/v1/predict", "POST"},
 		{http.MethodGet, "/v1/classify", "POST"},
 		{http.MethodGet, "/v1/stream", "POST"},
+		{http.MethodPost, "/v1/sessions", "GET, HEAD"},
+		{http.MethodGet, "/v1/sessions/drain", "POST"},
+		{http.MethodGet, "/v1/sessions/restore", "POST"},
 		{http.MethodPost, "/v1/models", "GET, HEAD"},
 		{http.MethodPost, "/healthz", "GET, HEAD"},
 		{http.MethodPut, "/metrics", "GET, HEAD"},
