@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race race-serve cover bench bench-parallel bench-serve bench-predict bench-micro bench-json bench-compare experiments crossarch-smoke serve-smoke monitor-smoke loadgen-smoke loadgen-smoke-race bench-load fuzz-short
+.PHONY: build test check vet race race-serve cover bench bench-parallel bench-serve bench-predict bench-micro bench-json bench-compare experiments crossarch-smoke serve-smoke monitor-smoke refute-smoke loadgen-smoke loadgen-smoke-race bench-load fuzz-short
 
 build:
 	$(GO) build ./...
@@ -39,16 +39,21 @@ check: vet race
 # are skipped.
 COVER_FLOOR            ?= 60
 COVER_FLOOR_EXPERIMENTS ?= 30
+# internal/refute is the counter-consistency gatekeeper: a relation it
+# mis-evaluates silently turns refuted streams into "consistent", so it
+# carries a floor well above the default.
+COVER_FLOOR_REFUTE     ?= 85
 cover:
 	@set -e; out=$$(mktemp /tmp/cover.XXXXXX.txt); \
 	trap 'rm -f $$out' EXIT; \
 	$(GO) test -cover ./internal/... | tee $$out; \
-	awk -v floor=$(COVER_FLOOR) -v expfloor=$(COVER_FLOOR_EXPERIMENTS) ' \
+	awk -v floor=$(COVER_FLOOR) -v expfloor=$(COVER_FLOOR_EXPERIMENTS) -v refloor=$(COVER_FLOOR_REFUTE) ' \
 	/^ok/ && /coverage:/ { \
 	  pkg=$$2; c=-1; \
 	  for (i=1;i<=NF;i++) if ($$i ~ /%$$/) { gsub(/%/,"",$$i); c=$$i+0 } \
 	  if (c < 0) next; \
-	  f = (pkg=="repro/internal/experiments") ? expfloor : floor; \
+	  f = (pkg=="repro/internal/experiments") ? expfloor : \
+	      (pkg=="repro/internal/refute")      ? refloor  : floor; \
 	  if (c < f) { printf "cover: %s at %.1f%% is below the %d%% floor\n", pkg, c, f; bad=1 } \
 	} \
 	END { if (bad) exit 1; print "cover: all internal packages at or above the floor" }' $$out
@@ -111,7 +116,7 @@ bench-compare:
 
 # Brief runs of every fuzz target (NDJSON sample decoder, CSV dataset
 # parser, persisted-tree loader, machine-spec loader, binary model
-# loader) — long enough to
+# loader, refutation-state loader) — long enough to
 # catch parser regressions in CI, short enough to not dominate it. Each
 # target has a checked-in seed corpus under its package's testdata/fuzz/.
 # The binary-model target caps per-input minimization: its seeds are
@@ -125,6 +130,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzTreeReadJSON' -fuzztime $(FUZZTIME) ./internal/mtree/
 	$(GO) test -run '^$$' -fuzz 'FuzzMachineSpecReadJSON' -fuzztime $(FUZZTIME) ./internal/march/
 	$(GO) test -run '^$$' -fuzz 'FuzzModelReadBinary' -fuzztime $(FUZZTIME) -fuzzminimizetime 1000x ./internal/modelio/
+	$(GO) test -run '^$$' -fuzz 'FuzzRefutationStateReadJSON' -fuzztime $(FUZZTIME) ./internal/refute/
 
 experiments:
 	$(GO) run ./cmd/experiments
@@ -237,3 +243,17 @@ bench-load:
 # non-zero unless both the phase boundary and the drift alarm are caught.
 monitor-smoke:
 	$(GO) run ./cmd/monitor -demo -events ''
+
+# End-to-end smoke test of the counter-consistency refutation layer:
+# the clean demo trace must come out `consistent` (exit 0), and the
+# same seeded trace with the DTLB counter readout negated mid-run must
+# come out `refuted` (exit non-zero, relation table on stderr). A layer
+# that fails either direction — flagging clean counters or passing
+# corrupted ones — fails the target.
+refute-smoke:
+	@set -e; \
+	$(GO) run ./cmd/monitor -demo -refute -render 0 -events ''; \
+	if $(GO) run ./cmd/monitor -demo -demo-corrupt -refute -render 0 -events ''; then \
+	  echo "refute-smoke: corrupted demo trace was NOT refuted"; exit 1; \
+	fi; \
+	echo "refute-smoke: PASS (clean trace consistent, corrupted trace refuted)"

@@ -14,7 +14,8 @@
 //	        [-end-rps 400] [-steps 5]
 //	        [-burst-factor 4] [-burst-period 2s] [-burst-len 250ms]
 //	        [-mix predict=6,batch=2,classify=1,stream=1]
-//	        [-sessions 16] [-batch 64] [-stream-batch 16] [-seed 1]
+//	        [-sessions 16] [-batch 64] [-stream-batch 16]
+//	        [-payload clean|corrupt] [-seed 1]
 //	        [-workers 32] [-queue 256] [-max-lateness 2s] [-timeout 10s]
 //	        [-out report.json] [-bench-json bench.json]
 //	        [-max-error-budget 0.01] [-no-validate]
@@ -71,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.IntVar(&tcfg.Sessions, "sessions", tcfg.Sessions, "distinct synthetic client sessions")
 	fs.IntVar(&tcfg.BatchSize, "batch", tcfg.BatchSize, "rows per batch predict request")
 	fs.IntVar(&tcfg.StreamBatch, "stream-batch", tcfg.StreamBatch, "samples per stream request")
+	payload := fs.String("payload", loadgen.PayloadClean, "stream payload profile: clean, or corrupt (one negated event per sample, for refutation drills)")
 	fs.Int64Var(&tcfg.Seed, "seed", tcfg.Seed, "trace synthesis seed")
 	fs.IntVar(&rcfg.Workers, "workers", rcfg.Workers, "replay worker pool size")
 	fs.IntVar(&rcfg.QueueDepth, "queue", rcfg.QueueDepth, "dispatch queue depth (default workers*8)")
@@ -91,6 +93,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if tcfg.Mix, err = loadgen.ParseMix(*mix); err != nil {
+		return err
+	}
+	if tcfg.Payload, err = loadgen.ParsePayload(*payload); err != nil {
 		return err
 	}
 	tcfg.Model = *model

@@ -12,9 +12,20 @@
 //	        [-window 32] [-buffer 256] [-policy block|drop-oldest|reject]
 //	        [-calibration 32] [-ph-delta 0.005] [-ph-lambda 0.25]
 //	        [-events out.ndjson] [-no-samples] [-render 32] [-quiet]
+//	        [-refute] [-no-refute]
 //	monitor -demo [-jobs N]   # self-contained: trains a model, synthesizes
 //	                          # a two-phase trace with an injected CPI
 //	                          # regression, and verifies both are caught
+//	monitor -demo -demo-corrupt -refute   # refutation drill: the demo trace
+//	                          # carries impossible counter readings and the
+//	                          # exit status reports whether the consistency
+//	                          # layer refuted them
+//
+// Alongside the phase and drift monitors, every sample is checked
+// against the counter-consistency relation catalog (internal/refute);
+// -refute prints the per-relation table after the run and exits
+// non-zero when the stream is refuted — counters that violate identity
+// relations mean the data, not the model, is wrong.
 //
 // Samples are read from stdin by default, one JSON object per line:
 //
@@ -42,6 +53,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/modelio"
 	"repro/internal/mtree"
+	"repro/internal/refute"
 	"repro/internal/stream"
 )
 
@@ -73,8 +85,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		render      = fs.Int("render", 32, "print a rolling status line every N sections (0 = never)")
 		quiet       = fs.Bool("quiet", false, "suppress all human-readable output")
 		strict      = fs.Bool("strict", false, "abort on the first malformed sample instead of skipping")
+		refuteFlag  = fs.Bool("refute", false, "print the counter-consistency relation table after the run; exit non-zero on a refuted verdict")
+		noRefute    = fs.Bool("no-refute", false, "disable counter-consistency checking entirely")
 		demo        = fs.Bool("demo", false, "run the built-in two-phase drift demo and self-verify")
 		demoSeed    = fs.Int64("demo-seed", 99, "demo trace seed")
+		demoCorrupt = fs.Bool("demo-corrupt", false, "poison the demo trace with impossible counter readings (refutation drill; use with -refute)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,8 +111,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 	cfg.Policy = pol
+	cfg.Refute.Disabled = *noRefute
 	if *quiet {
 		cfg.RenderEvery = 0
+	}
+	if *refuteFlag && *noRefute {
+		return errors.New("-refute and -no-refute are mutually exclusive")
 	}
 
 	textOut := stderr
@@ -120,7 +139,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	if *demo {
-		return runDemo(cfg, *demoSeed, textOut, events)
+		return runDemo(cfg, *demoSeed, *demoCorrupt, *refuteFlag, textOut, events)
 	}
 
 	if *modelPath == "" {
@@ -141,8 +160,47 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	defer cleanup()
 
-	_, err = stream.RunMonitor(m, cfg, r, textOut, events)
-	return err
+	mon, err := stream.NewMonitor(m, cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := mon.Run(r, textOut, events); err != nil {
+		return err
+	}
+	if *refuteFlag {
+		return reportRefutation(mon.Processor().Refutation(), textOut)
+	}
+	return nil
+}
+
+// reportRefutation renders the per-relation consistency table and turns
+// a refuted verdict into a non-zero exit: a refuted stream means the
+// counters themselves are inconsistent, so nothing scored from them —
+// predictions, phases, drift alarms — should be trusted.
+func reportRefutation(rep refute.Report, w io.Writer) error {
+	machine := rep.Machine
+	if machine == "" {
+		machine = "(untagged)"
+	}
+	fmt.Fprintf(w, "counter consistency: %s  (%d samples, %d windows, %d relations, machine %s)\n",
+		rep.Verdict, rep.Samples, rep.Windows, len(rep.Relations), machine)
+	fmt.Fprintf(w, "  %-28s %-9s %9s %6s %7s %10s  %s\n",
+		"relation", "kind", "checked", "viol", "windows", "maxdev", "verdict")
+	refuted := 0
+	for _, rel := range rep.Relations {
+		fmt.Fprintf(w, "  %-28s %-9s %9d %6d %7d %10.3g  %s\n",
+			rel.Name, rel.Kind, rel.Checked, rel.Violations, rel.ViolatedWindows, rel.MaxDeviation, rel.Verdict)
+		if rel.Verdict != refute.Consistent {
+			fmt.Fprintf(w, "      %s  — %s\n", rel.Formula, rel.Description)
+		}
+		if rel.Verdict == refute.Refuted {
+			refuted++
+		}
+	}
+	if rep.Verdict == refute.Refuted {
+		return fmt.Errorf("counter stream refuted: %d relation(s) violated beyond tolerance — distrust the counters, not the model", refuted)
+	}
+	return nil
 }
 
 // openInput opens the sample source; with follow it keeps the reader
@@ -194,25 +252,54 @@ func (t *tailReader) Read(p []byte) (int, error) {
 // +0.5 CPI regression at two thirds, and verifies the monitor reports
 // both. It fails (and the binary exits non-zero) on any miss, so
 // `monitor -demo` doubles as an end-to-end smoke test.
-func runDemo(cfg stream.MonitorConfig, seed int64, textOut, events io.Writer) error {
+//
+// With corrupt, the trace additionally carries impossible (negative)
+// DTLB readings from the corruption point on — a refutation drill: the
+// phase/drift self-checks are skipped (the trace is poisoned by design)
+// and the exit status is decided by the -refute verdict instead, so
+// `monitor -demo -demo-corrupt -refute` exits non-zero exactly when the
+// consistency layer catches the corruption.
+func runDemo(cfg stream.MonitorConfig, seed int64, corrupt, refuteFlag bool, textOut, events io.Writer) error {
 	const (
-		total    = 150
-		boundary = 50
-		shiftAt  = 100
+		total     = 150
+		boundary  = 50
+		shiftAt   = 100
+		corruptAt = 30
 	)
 	fmt.Fprintf(textOut, "demo: %d sections, phase change at %d, injected +0.5 CPI regression at %d\n",
 		total, boundary, shiftAt)
+	if corrupt {
+		fmt.Fprintf(textOut, "demo: counter corruption (negated DtlbLdM) injected from section %d\n", corruptAt)
+	}
 	tree, err := demoModel(seed)
 	if err != nil {
 		return err
 	}
-	pr, pw := io.Pipe()
-	go func() {
-		pw.CloseWithError(demoTrace(pw, total, boundary, shiftAt, 0.5, seed))
-	}()
-	st, err := stream.RunMonitor(tree, cfg, pr, textOut, events)
+	mon, err := stream.NewMonitor(tree, cfg)
 	if err != nil {
 		return err
+	}
+	badFrom := total + 1
+	if corrupt {
+		badFrom = corruptAt
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(demoTrace(pw, total, boundary, shiftAt, 0.5, badFrom, seed))
+	}()
+	st, err := mon.Run(pr, textOut, events)
+	if err != nil {
+		return err
+	}
+	if refuteFlag {
+		if err := reportRefutation(mon.Processor().Refutation(), textOut); err != nil {
+			return err
+		}
+	}
+	if corrupt {
+		// A poisoned trace makes the phase/drift self-checks meaningless;
+		// the refutation verdict above is the drill's outcome.
+		return nil
 	}
 	fmt.Fprintf(textOut, "demo: phase boundaries %d, drift alarms %d\n", st.PhaseBoundaries, st.DriftAlarms)
 	if st.PhaseBoundaries != 1 {
@@ -250,7 +337,7 @@ func demoModel(seed int64) (model.Model, error) {
 	return mtree.Build(d, cfg)
 }
 
-func demoTrace(w io.Writer, total, boundary, shiftAt int, shift float64, seed int64) error {
+func demoTrace(w io.Writer, total, boundary, shiftAt int, shift float64, badFrom int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed + 1))
 	enc := json.NewEncoder(w)
 	for i := 0; i < total; i++ {
@@ -267,6 +354,11 @@ func demoTrace(w io.Writer, total, boundary, shiftAt int, shift float64, seed in
 		cpi := demoLaw(l1, l2, dt) + 0.01*rng.NormFloat64()
 		if i >= shiftAt {
 			cpi += shift
+		}
+		if i >= badFrom {
+			// An impossible reading: event rates cannot be negative, so
+			// every sample from here on violates nonneg-DtlbLdM.
+			dt = -dt
 		}
 		s := stream.Sample{
 			Bench:   "demo",

@@ -46,6 +46,45 @@ func TestRunDemoPasses(t *testing.T) {
 	}
 }
 
+// TestRefuteDrill pins the refutation drill's exit-status contract: the
+// clean demo with -refute prints a consistent relation table and exits
+// zero; the corrupted demo is refuted, names the violated relation, and
+// exits non-zero; -no-refute disables checking entirely.
+func TestRefuteDrill(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-demo", "-refute", "-render", "0"}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("clean demo with -refute: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "counter consistency: consistent") {
+		t.Errorf("clean drill table missing the consistent verdict:\n%s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if err := run([]string{"-demo", "-demo-corrupt", "-refute", "-render", "0"},
+		strings.NewReader(""), &stdout, &stderr); err == nil {
+		t.Fatal("corrupted demo with -refute exited zero")
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "counter consistency: refuted") || !strings.Contains(out, "nonneg-DtlbLdM") {
+		t.Errorf("corrupt drill table incomplete:\n%s", out)
+	}
+	if !strings.Contains(stdout.String(), `"type":"refute"`) {
+		t.Error("no refute events in the NDJSON output")
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if err := run([]string{"-demo", "-demo-corrupt", "-no-refute", "-render", "0"},
+		strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("corrupted demo with -no-refute failed: %v\n%s", err, stderr.String())
+	}
+	if err := run([]string{"-demo", "-refute", "-no-refute"},
+		strings.NewReader(""), &stdout, &stderr); err == nil {
+		t.Error("-refute together with -no-refute was accepted")
+	}
+}
+
 func TestRunScoresSampleFile(t *testing.T) {
 	r := proptest.NewRand(proptest.CaseSeed("monitor-smoke", 0))
 	d := proptest.PerfDataset(r, 300)

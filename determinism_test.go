@@ -10,8 +10,12 @@ package repro_test
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/counters"
@@ -21,6 +25,8 @@ import (
 	"repro/internal/march"
 	"repro/internal/mtree"
 	"repro/internal/parallel"
+	"repro/internal/serve"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -226,6 +232,93 @@ func TestEnsembleDeterministicAcrossJobs(t *testing.T) {
 	for ti := 0; ti < base.Trees; ti++ {
 		if got, exp := bb.Trees[ti].Predict(probe), want.Trees[ti].Predict(probe); got != exp {
 			t.Errorf("member %d changed when Trees grew from %d to %d", ti, base.Trees, bigger.Trees)
+		}
+	}
+}
+
+// TestRefutationDeterministicAcrossJobsAndShards asserts the serving
+// stack's refutation verdicts are a pure function of the ingested
+// stream: the /v1/stream NDJSON response (events, summary, refutation
+// digest) and the full GET /v1/sessions/{id}/refutation report are
+// byte-identical at every scoring worker count and session-table shard
+// count. The trace goes bad mid-way (a negated DTLB rate), so the
+// invariance covers violated windows, streaks and verdict transitions,
+// not just the all-clean path.
+func TestRefutationDeterministicAcrossJobsAndShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := dataset.MustNew([]dataset.Attribute{
+		{Name: "CPI"}, {Name: "L1IM"}, {Name: "L2M"}, {Name: "DtlbLdM"},
+	}, 0)
+	for i := 0; i < 900; i++ {
+		l1 := rng.Float64() * 0.02
+		l2 := rng.Float64() * 0.005
+		dt := rng.Float64() * 0.001
+		d.MustAppend(dataset.Instance{0.6 + 7*l1 + 90*l2 + 40*dt + 0.02*rng.NormFloat64(), l1, l2, dt})
+	}
+	mcfg := mtree.DefaultConfig()
+	mcfg.MinLeaf = 60
+	tree, err := mtree.Build(d, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var trace strings.Builder
+	enc := json.NewEncoder(&trace)
+	for i := 0; i < 64; i++ {
+		l1 := rng.Float64() * 0.02
+		l2 := rng.Float64() * 0.005
+		dt := rng.Float64() * 0.001
+		if i >= 24 {
+			dt = -dt // impossible reading: violates nonneg-DtlbLdM
+		}
+		cpi := 0.6 + 7*l1 + 90*l2
+		s := stream.Sample{Bench: "det", Section: i, CPI: &cpi,
+			Events: map[string]float64{"L1IM": l1, "L2M": l2, "DtlbLdM": dt}}
+		if err := enc.Encode(&s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wantStream, wantReport []byte
+	for _, jobs := range jobVariants() {
+		for _, shards := range []int{1, 16} {
+			reg := serve.NewRegistry()
+			if err := reg.Register("cpi", "v1", tree, ""); err != nil {
+				t.Fatal(err)
+			}
+			scfg := serve.DefaultConfig()
+			scfg.Jobs = jobs
+			scfg.SessionShards = shards
+			scfg.CacheSize = 0
+			h := serve.New(reg, scfg).Handler()
+
+			req := httptest.NewRequest(http.MethodPost, "/v1/stream?model=cpi&session=det",
+				strings.NewReader(trace.String()))
+			req.Header.Set("Content-Type", "application/x-ndjson")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				t.Fatalf("jobs=%d shards=%d: stream status %d: %s", jobs, shards, rec.Code, rec.Body)
+			}
+			ref := httptest.NewRecorder()
+			h.ServeHTTP(ref, httptest.NewRequest(http.MethodGet, "/v1/sessions/det/refutation?model=cpi", nil))
+			if ref.Code != 200 {
+				t.Fatalf("jobs=%d shards=%d: refutation status %d: %s", jobs, shards, ref.Code, ref.Body)
+			}
+			if wantStream == nil {
+				wantStream = rec.Body.Bytes()
+				wantReport = ref.Body.Bytes()
+				if !bytes.Contains(wantReport, []byte(`"verdict":"refuted"`)) {
+					t.Fatalf("corrupted trace was not refuted: %s", wantReport)
+				}
+				continue
+			}
+			if !bytes.Equal(rec.Body.Bytes(), wantStream) {
+				t.Errorf("jobs=%d shards=%d: /v1/stream response differs from jobs=1 shards=1", jobs, shards)
+			}
+			if !bytes.Equal(ref.Body.Bytes(), wantReport) {
+				t.Errorf("jobs=%d shards=%d: refutation report differs from jobs=1 shards=1", jobs, shards)
+			}
 		}
 	}
 }

@@ -1,0 +1,231 @@
+package counters
+
+import "fmt"
+
+// RelKind classifies a counter relation.
+type RelKind string
+
+const (
+	// RelIdentity asserts Left == Right (within tolerance).
+	RelIdentity RelKind = "identity"
+	// RelAtMost asserts Left <= Right (within tolerance).
+	RelAtMost RelKind = "at-most"
+)
+
+// Term is one column reference inside a linear expression. Col names a
+// Table I attribute ("InstLd", "L1DM", ...) or the special column "CPI"
+// (the observed cycles-per-instruction target). Coef scales it.
+type Term struct {
+	Col  string  `json:"col"`
+	Coef float64 `json:"coef"`
+}
+
+// LinearExpr is a constant plus a weighted sum of counter columns. All
+// Table I columns are per-retired-instruction rates, so constants compose
+// directly with them (e.g. "1" is one event per instruction).
+type LinearExpr struct {
+	Const float64 `json:"const,omitempty"`
+	Terms []Term  `json:"terms,omitempty"`
+}
+
+// String renders the expression the way the relation table prints it.
+func (e LinearExpr) String() string {
+	s := ""
+	if e.Const != 0 || len(e.Terms) == 0 {
+		s = trimFloat(e.Const)
+	}
+	for _, t := range e.Terms {
+		part := t.Col
+		if t.Coef != 1 {
+			part = trimFloat(t.Coef) + "*" + t.Col
+		}
+		if s == "" {
+			s = part
+		} else {
+			s += " + " + part
+		}
+	}
+	return s
+}
+
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// RelationSpec is one declarative identity or inequality over the counter
+// schema. Relations are data, not code: the refutation engine evaluates
+// them generically, and the property suite iterates the catalog so a
+// relation cannot be added without its corruption being caught.
+type RelationSpec struct {
+	Name        string     `json:"name"`
+	Description string     `json:"description"`
+	Kind        RelKind    `json:"kind"`
+	Left        LinearExpr `json:"left"`
+	Right       LinearExpr `json:"right"`
+}
+
+// String renders the relation as "left <= right" / "left == right".
+func (r RelationSpec) String() string {
+	op := "=="
+	if r.Kind == RelAtMost {
+		op = "<="
+	}
+	return r.Left.String() + " " + op + " " + r.Right.String()
+}
+
+// Columns returns the distinct column names the relation reads, in
+// first-use order.
+func (r RelationSpec) Columns() []string {
+	var cols []string
+	seen := map[string]bool{}
+	for _, t := range append(append([]Term{}, r.Left.Terms...), r.Right.Terms...) {
+		if !seen[t.Col] {
+			seen[t.Col] = true
+			cols = append(cols, t.Col)
+		}
+	}
+	return cols
+}
+
+func cols(names ...string) []Term {
+	ts := make([]Term, len(names))
+	for i, n := range names {
+		ts[i] = Term{Col: n, Coef: 1}
+	}
+	return ts
+}
+
+func sum(names ...string) LinearExpr { return LinearExpr{Terms: cols(names...)} }
+func one(name string) LinearExpr     { return LinearExpr{Terms: cols(name)} }
+func constant(v float64) LinearExpr  { return LinearExpr{Const: v} }
+
+// Relations returns the machine-independent consistency catalog over the
+// Table I schema: the instruction-mix identity plus the event-subset and
+// structural-ordering bounds that the modeled Core-2 event definitions
+// guarantee on any consistent counter stream. Each entry was checked
+// against the simulator's increment pairings (internal/sim/cpu,
+// internal/sim/mem); the refute property suite enforces that all of them
+// hold on clean simulator output for every machine preset and that
+// corrupting any single participating counter is caught.
+//
+// Deliberately absent: bounds tying L1IM or ItlbM to retired-instruction
+// counts alone — both events include wrong-path fetches, so their honest
+// bounds are machine-dependent (see the refute package's march variants).
+func Relations() []RelationSpec {
+	return []RelationSpec{
+		{
+			Name:        "inst-mix",
+			Description: "retired instruction classes partition INST_RETIRED.ANY",
+			Kind:        RelIdentity,
+			Left:        sum("InstLd", "InstSt", "BrMisPr", "BrPred", "InstOther"),
+			Right:       constant(1),
+		},
+		{
+			Name:        "l2-within-l1d",
+			Description: "a retired load's L2 miss implies its L1D miss",
+			Kind:        RelAtMost,
+			Left:        one("L2M"),
+			Right:       one("L1DM"),
+		},
+		{
+			Name:        "l1d-within-loads",
+			Description: "L1D line misses are counted on retired loads only",
+			Kind:        RelAtMost,
+			Left:        one("L1DM"),
+			Right:       one("InstLd"),
+		},
+		{
+			Name:        "dtlb-ld-within-l0",
+			Description: "a main-DTLB load miss first misses the L0 load DTLB",
+			Kind:        RelAtMost,
+			Left:        one("DtlbLdM"),
+			Right:       one("DtlbL0LdM"),
+		},
+		{
+			Name:        "dtlb-ld-ret-within-ld",
+			Description: "retired DTLB load misses are a subset of all (speculative-inclusive) DTLB load misses",
+			Kind:        RelAtMost,
+			Left:        one("DtlbLdReM"),
+			Right:       one("DtlbLdM"),
+		},
+		{
+			Name:        "dtlb-ld-within-any",
+			Description: "DTLB load misses are a subset of DTLB_MISSES.ANY",
+			Kind:        RelAtMost,
+			Left:        one("DtlbLdM"),
+			Right:       one("Dtlb"),
+		},
+		{
+			Name:        "dtlb-ld-ret-within-loads",
+			Description: "retired DTLB load misses happen on retired loads",
+			Kind:        RelAtMost,
+			Left:        one("DtlbLdReM"),
+			Right:       one("InstLd"),
+		},
+		{
+			Name:        "split-ld-within-loads",
+			Description: "split loads are retired loads",
+			Kind:        RelAtMost,
+			Left:        one("L1DSpLd"),
+			Right:       one("InstLd"),
+		},
+		{
+			Name:        "split-st-within-stores",
+			Description: "split stores are retired stores",
+			Kind:        RelAtMost,
+			Left:        one("L1DSpSt"),
+			Right:       one("InstSt"),
+		},
+		{
+			Name:        "ldblock-sta-within-loads",
+			Description: "store-address load blocks happen on retired loads",
+			Kind:        RelAtMost,
+			Left:        one("LdBlSta"),
+			Right:       one("InstLd"),
+		},
+		{
+			Name:        "ldblock-std-within-loads",
+			Description: "store-data load blocks happen on retired loads",
+			Kind:        RelAtMost,
+			Left:        one("LdBlStd"),
+			Right:       one("InstLd"),
+		},
+		{
+			Name:        "ldblock-ovst-within-loads",
+			Description: "overlap-store load blocks happen on retired loads",
+			Kind:        RelAtMost,
+			Left:        one("LdBlOvSt"),
+			Right:       one("InstLd"),
+		},
+		{
+			Name:        "misalign-within-mem",
+			Description: "misaligned references are loads or stores",
+			Kind:        RelAtMost,
+			Left:        one("MisalRef"),
+			Right:       sum("InstLd", "InstSt"),
+		},
+		{
+			Name:        "lcp-within-insts",
+			Description: "at most one length-changing-prefix stall per retired instruction",
+			Kind:        RelAtMost,
+			Left:        one("LCP"),
+			Right:       constant(1),
+		},
+	}
+}
+
+// NonNegRelation returns the non-negativity bound for one counter column.
+// Event counts cannot go backwards, so every per-instruction rate —
+// including the CPI target — is non-negative; a negative value refutes
+// the stream outright. Generated per schema column (rather than listed in
+// Relations) so models trained on counter subsets still get full
+// coverage.
+func NonNegRelation(col string) RelationSpec {
+	return RelationSpec{
+		Name:        "nonneg-" + col,
+		Description: "event rates cannot be negative",
+		Kind:        RelAtMost,
+		Left:        constant(0),
+		Right:       one(col),
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -107,6 +109,96 @@ func TestSynthesizeDeterministic(t *testing.T) {
 	jc, _ := json.Marshal(c.Requests)
 	if bytes.Equal(ja, jc) {
 		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestCorruptPayloadProfile pins the corrupt stream profile: every
+// synthesized stream sample carries exactly one negative event rate
+// (the clean profile carries none), and replaying such a trace drives
+// the target server's stream sessions to a refuted verdict with the
+// violated non-negativity relations counted in its metrics.
+func TestCorruptPayloadProfile(t *testing.T) {
+	cfg := testTraceConfig(loadgen.ModeSteady)
+	cfg.Mix = loadgen.Mix{Stream: 1}
+	cfg.Payload = loadgen.PayloadCorrupt
+	tr, err := loadgen.Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) == 0 {
+		t.Fatal("empty trace")
+	}
+	countNegatives := func(tr *loadgen.Trace) (samples, negatives int, perSampleViolated bool) {
+		perSampleViolated = true
+		for _, req := range tr.Requests {
+			for _, line := range bytes.Split(bytes.TrimSpace(req.Body), []byte("\n")) {
+				var s struct {
+					Events map[string]float64 `json:"events"`
+				}
+				if err := json.Unmarshal(line, &s); err != nil {
+					t.Fatalf("stream sample line %q: %v", line, err)
+				}
+				samples++
+				neg := 0
+				for _, v := range s.Events {
+					if v < 0 {
+						neg++
+					}
+				}
+				negatives += neg
+				if neg != 1 {
+					perSampleViolated = false
+				}
+			}
+		}
+		return
+	}
+	samples, negatives, each := countNegatives(tr)
+	if !each || negatives != samples {
+		t.Errorf("corrupt profile: %d negative events over %d samples (want exactly one per sample)",
+			negatives, samples)
+	}
+
+	cfg.Payload = loadgen.PayloadClean
+	clean, err := loadgen.Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, negatives, _ := countNegatives(clean); negatives != 0 {
+		t.Errorf("clean profile produced %d negative events", negatives)
+	}
+
+	// Replaying the corrupt trace must refute every session it touches.
+	base := newTarget(t)
+	rcfg := loadgen.DefaultRunConfig(base)
+	if _, err := loadgen.Run(context.Background(), tr, rcfg); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(base + "/v1/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Streams struct {
+			Sessions           int               `json:"sessions"`
+			Refuted            int               `json:"refute_refuted_sessions"`
+			RelationViolations map[string]uint64 `json:"refute_relation_violations"`
+		} `json:"streams"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Streams.Sessions == 0 || m.Streams.Refuted != m.Streams.Sessions {
+		t.Errorf("%d of %d sessions refuted, want all", m.Streams.Refuted, m.Streams.Sessions)
+	}
+	if len(m.Streams.RelationViolations) == 0 {
+		t.Error("no per-relation violation counters after a corrupt run")
+	}
+	for rel := range m.Streams.RelationViolations {
+		if !strings.HasPrefix(rel, "nonneg-") {
+			t.Errorf("unexpected violated relation %q (corruption only negates events)", rel)
+		}
 	}
 }
 

@@ -112,6 +112,28 @@ func ParseMix(s string) (Mix, error) {
 	return m, nil
 }
 
+// Payload profiles for stream samples.
+const (
+	// PayloadClean emits physically consistent counter rates.
+	PayloadClean = "clean"
+	// PayloadCorrupt negates one event value per stream sample — an
+	// impossible reading (event rates cannot be negative) that the serve
+	// side's counter-consistency layer must refute. Non-stream request
+	// kinds are unaffected.
+	PayloadCorrupt = "corrupt"
+)
+
+// ParsePayload validates a payload profile name ("" = clean).
+func ParsePayload(s string) (string, error) {
+	switch s {
+	case "", PayloadClean:
+		return PayloadClean, nil
+	case PayloadCorrupt:
+		return PayloadCorrupt, nil
+	}
+	return "", fmt.Errorf("loadgen: unknown payload profile %q (want clean or corrupt)", s)
+}
+
 // Schema is the part of a model's description the synthesizer needs to
 // shape payloads: the full column list and which column is the target.
 // cmd/loadgen fills it from GET /v1/models/{ref}.
@@ -178,6 +200,9 @@ type TraceConfig struct {
 	BatchSize int `json:"batch_size"`
 	// StreamBatch is the samples per stream ingestion request.
 	StreamBatch int `json:"stream_batch"`
+	// Payload is the stream-sample payload profile (PayloadClean or
+	// PayloadCorrupt; "" = clean).
+	Payload string `json:"payload,omitempty"`
 	// Model is the registry reference the trace addresses.
 	Model string `json:"model"`
 	// Schema shapes payloads; from GET /v1/models/{ref}.
@@ -238,6 +263,11 @@ func (c *TraceConfig) Validate() error {
 	if c.StreamBatch <= 0 {
 		c.StreamBatch = 1
 	}
+	payload, err := ParsePayload(c.Payload)
+	if err != nil {
+		return err
+	}
+	c.Payload = payload
 	if c.Model == "" {
 		return fmt.Errorf("loadgen: missing model reference")
 	}
@@ -434,6 +464,12 @@ func buildRequest(cfg *TraceConfig, kind string, sess int,
 		var b strings.Builder
 		for i := 0; i < cfg.StreamBatch; i++ {
 			vals := sample(sess)
+			if cfg.Payload == PayloadCorrupt {
+				// One impossible (negative) event rate per sample: every
+				// corrupted sample violates a non-negativity relation, so a
+				// refutation-checking server must flag the session.
+				vals[rng.Intn(len(vals))] *= -1
+			}
 			cpi := 0.5 + rng.Float64()
 			line, err := json.Marshal(map[string]any{
 				"events": eventMap(vals),

@@ -294,19 +294,37 @@ func (s MachineSpec) BranchConfig() branch.Config {
 	return branch.Config{HistoryBits: s.Branch.HistoryBits, BTBEntries: s.Branch.BTBEntries}
 }
 
+// CPIFloor returns the machine's hard CPI lower bound and whether it may
+// be used as a consistency relation. The timing model charges every
+// retired instruction a base cost of 1/IssueWidth cycles, and every other
+// term in the penalty book is non-negative as long as the memory-overlap
+// credit cannot exceed the memory latency itself — i.e. as long as
+// ROBWindow <= IssueWidth*MemLatency, which holds for every built-in
+// preset. For an exotic user spec that violates that condition the floor
+// is not a theorem, so ok is false and the refutation layer skips it.
+func (s MachineSpec) CPIFloor() (floor float64, ok bool) {
+	if s.Pipeline.IssueWidth <= 0 {
+		return 0, false
+	}
+	if float64(s.Pipeline.ROBWindow) > s.Pipeline.IssueWidth*s.Penalties.MemLatency {
+		return 0, false
+	}
+	return 1 / s.Pipeline.IssueWidth, true
+}
+
 // FeatureNames returns the architecture feature column names, in the
 // order Features emits them. They carry an "Arch" prefix so pooled
 // cross-architecture datasets cannot collide with Table I event names.
 func FeatureNames() []string {
 	return []string{
-		"ArchIssueW",  // issue width
-		"ArchROB",     // reorder-buffer window
-		"ArchMemLat",  // L2-miss-to-DRAM latency, cycles
-		"ArchL2Lat",   // L2 hit latency, cycles
-		"ArchMisp",    // exposed mispredict penalty, cycles
-		"ArchL1DKB",   // L1D size, KB
-		"ArchL2KB",    // L2 size, KB
-		"ArchPF",      // prefetch degree (0 = disabled)
+		"ArchIssueW", // issue width
+		"ArchROB",    // reorder-buffer window
+		"ArchMemLat", // L2-miss-to-DRAM latency, cycles
+		"ArchL2Lat",  // L2 hit latency, cycles
+		"ArchMisp",   // exposed mispredict penalty, cycles
+		"ArchL1DKB",  // L1D size, KB
+		"ArchL2KB",   // L2 size, KB
+		"ArchPF",     // prefetch degree (0 = disabled)
 	}
 }
 

@@ -80,9 +80,9 @@ func RestoreStream(cfg Config, st StreamState) (*Stream, error) {
 // still buffering its calibration prefix (Buf set, Stream nil) or
 // tracking (Stream set).
 type OnlineState struct {
-	Calibration int           `json:"calibration"`
-	Buf         [][]float64   `json:"buf,omitempty"`
-	Stream      *StreamState  `json:"stream,omitempty"`
+	Calibration int          `json:"calibration"`
+	Buf         [][]float64  `json:"buf,omitempty"`
+	Stream      *StreamState `json:"stream,omitempty"`
 }
 
 // State snapshots the detector.

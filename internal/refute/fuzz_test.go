@@ -1,0 +1,65 @@
+package refute
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzRefutationStateReadJSON hammers the strict snapshot reader:
+// arbitrary bytes must never panic it, and any snapshot it accepts must
+// validate and re-persist to a stable fixed point (write→read→write
+// byte-identical) — so a fuzzer-found input can never smuggle
+// inconsistent refutation statistics through a session restore.
+func FuzzRefutationStateReadJSON(f *testing.F) {
+	// A real snapshot with history, from a checker that saw a corruption.
+	c := NewChecker(Config{}, tableICols(), 0, "core2")
+	row := make([]float64, 21)
+	row[1] = 0.3 // InstLd — breaks inst-mix, stays non-negative
+	for i := 0; i < 3; i++ {
+		c.Observe(row, 0.6, true)
+		c.EndWindow()
+	}
+	if blob, err := c.State().MarshalBytes(); err == nil {
+		f.Add(blob)
+	}
+	if blob, err := (State{SchemaVersion: 1}).MarshalBytes(); err == nil {
+		f.Add(blob)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema_version":1,"samples":0,"windows":0,"relations":[]}`))
+	f.Add([]byte(`{"schema_version":99,"samples":0,"windows":0,"relations":[]}`))
+	f.Add([]byte(`{"schema_version":1,"samples":1,"windows":1,"relations":[{"name":"x","checked":1,"violations":1,"violated_windows":1,"streak":1,"max_deviation":0.5,"last_violation":1,"verdict":"suspect"}]}`))
+	f.Add([]byte(`{"schema_version":1,"samples":0,"windows":0,"relations":[],"extra":true}`))
+	f.Add([]byte(`{"schema_version":1,"relations":[{"name":"x","verdict":"maybe"}]}`))
+	f.Add([]byte(`{"schema_version":1,"relations":[{"name":"x","max_deviation":-1}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid snapshot: %v", err)
+		}
+		first, err := s.MarshalBytes()
+		if err != nil {
+			t.Fatalf("accepted snapshot does not write: %v", err)
+		}
+		again, err := ReadJSON(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("re-read of persisted accepted snapshot failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, s) {
+			t.Fatal("snapshot changed across write->read")
+		}
+		second, err := again.MarshalBytes()
+		if err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatal("write->read->write is not a fixed point")
+		}
+	})
+}

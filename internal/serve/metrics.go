@@ -293,6 +293,21 @@ func (s metricsSnapshot) renderText() []byte {
 	fmt.Fprintf(&b, "serve_stream_windows_total %d\n", s.Streams.Windows)
 	fmt.Fprintf(&b, "serve_stream_phase_boundaries_total %d\n", s.Streams.PhaseBoundaries)
 	fmt.Fprintf(&b, "serve_stream_drift_alarms_total %d\n", s.Streams.DriftAlarms)
+	fmt.Fprintf(&b, "serve_stream_refute_sessions{verdict=\"consistent\"} %d\n", s.Streams.RefuteConsistent)
+	fmt.Fprintf(&b, "serve_stream_refute_sessions{verdict=\"suspect\"} %d\n", s.Streams.RefuteSuspect)
+	fmt.Fprintf(&b, "serve_stream_refute_sessions{verdict=\"refuted\"} %d\n", s.Streams.RefuteRefuted)
+	fmt.Fprintf(&b, "serve_stream_refute_violations_total %d\n", s.Streams.RefuteViolations)
+	// Per-relation violation counters, relation names sorted so the
+	// exposition stays deterministic.
+	relations := make([]string, 0, len(s.Streams.RelationViolations))
+	for rel := range s.Streams.RelationViolations {
+		relations = append(relations, rel)
+	}
+	sort.Strings(relations)
+	for _, rel := range relations {
+		fmt.Fprintf(&b, "serve_stream_refute_relation_violations_total{relation=%q} %d\n",
+			rel, s.Streams.RelationViolations[rel])
+	}
 	fmt.Fprintf(&b, "serve_stream_session_hits_total %d\n", s.Streams.Hits)
 	fmt.Fprintf(&b, "serve_stream_session_misses_total %d\n", s.Streams.Misses)
 	fmt.Fprintf(&b, "serve_stream_session_evictions_total %d\n", s.Streams.Evictions)

@@ -13,6 +13,9 @@
 //	POST /v1/sessions/drain    remove all sessions and return their
 //	                   serialized state (replica handoff, step 1)
 //	POST /v1/sessions/restore  install a drained state dump (step 2)
+//	GET  /v1/sessions/{id}/refutation  one session's per-relation
+//	                   counter-consistency report ("-" = default session,
+//	                   model addressed with ?model=)
 //	GET  /v1/models    registry listing with model descriptions
 //	GET  /v1/models/{ref}  one model's detail: description, evaluator
 //	                   kind, source format, registered versions
@@ -120,6 +123,7 @@ type Server struct {
 var routes = []string{
 	"/v1/predict", "/v1/classify", "/v1/stream",
 	"/v1/sessions", "/v1/sessions/drain", "/v1/sessions/restore",
+	"/v1/sessions/{id}/refutation",
 	"/v1/models", "/v1/models/{ref}",
 	"/v1/machines", "/v1/machines/{name}", "/v1/metrics.json",
 	"/healthz", "/metrics",
@@ -128,19 +132,20 @@ var routes = []string{
 // routeMethods maps each route to its Allow header value; requests with
 // any other method get a JSON 405 instead of a mux-level miss.
 var routeMethods = map[string]string{
-	"/v1/predict":          "POST",
-	"/v1/classify":         "POST",
-	"/v1/stream":           "POST",
-	"/v1/sessions":         "GET, HEAD",
-	"/v1/sessions/drain":   "POST",
-	"/v1/sessions/restore": "POST",
-	"/v1/models":           "GET, HEAD",
-	"/v1/models/{ref}":     "GET, HEAD",
-	"/v1/machines":         "GET, HEAD",
-	"/v1/machines/{name}":  "GET, HEAD",
-	"/v1/metrics.json":     "GET, HEAD",
-	"/healthz":             "GET, HEAD",
-	"/metrics":             "GET, HEAD",
+	"/v1/predict":                  "POST",
+	"/v1/classify":                 "POST",
+	"/v1/stream":                   "POST",
+	"/v1/sessions":                 "GET, HEAD",
+	"/v1/sessions/drain":           "POST",
+	"/v1/sessions/restore":         "POST",
+	"/v1/sessions/{id}/refutation": "GET, HEAD",
+	"/v1/models":                   "GET, HEAD",
+	"/v1/models/{ref}":             "GET, HEAD",
+	"/v1/machines":                 "GET, HEAD",
+	"/v1/machines/{name}":          "GET, HEAD",
+	"/v1/metrics.json":             "GET, HEAD",
+	"/healthz":                     "GET, HEAD",
+	"/metrics":                     "GET, HEAD",
 }
 
 // New creates a Server over a registry.
@@ -183,6 +188,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/sessions", withTimeout(s.instrument("/v1/sessions", s.handleSessions)))
 	mux.Handle("POST /v1/sessions/drain", withTimeout(s.instrument("/v1/sessions/drain", s.handleSessionsDrain)))
 	mux.Handle("POST /v1/sessions/restore", withTimeout(s.instrument("/v1/sessions/restore", s.handleSessionsRestore)))
+	mux.Handle("GET /v1/sessions/{id}/refutation", withTimeout(s.instrument("/v1/sessions/{id}/refutation", s.handleSessionRefutation)))
 	mux.Handle("GET /v1/models", withTimeout(s.instrument("/v1/models", s.handleModels)))
 	mux.Handle("GET /v1/models/{ref}", withTimeout(s.instrument("/v1/models/{ref}", s.handleModelDetail)))
 	mux.Handle("GET /v1/machines", withTimeout(s.instrument("/v1/machines", s.handleMachines)))

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"sort"
 
+	"repro/internal/refute"
 	"repro/internal/stream"
 )
 
@@ -97,4 +98,39 @@ func (s *Server) handleSessionsRestore(w http.ResponseWriter, r *http.Request) {
 		s.streams.tab.Put(sessionKey(sess.model, sess.id), sess)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"restored": len(restored)})
+}
+
+// refutationResponse is the GET /v1/sessions/{id}/refutation body: the
+// session's full per-relation counter-consistency report.
+type refutationResponse struct {
+	Model      string        `json:"model"`
+	Session    string        `json:"session,omitempty"`
+	Refutation refute.Report `json:"refutation"`
+}
+
+// handleSessionRefutation serves one live session's full refutation
+// report. The session id is the path element ({id} = "-" addresses the
+// model's default session, whose id is empty and therefore not
+// addressable literally) and the model ref comes from ?model=, mirroring
+// how /v1/stream keys its sessions. 404 means no such live session —
+// either it never existed or TTL eviction reclaimed it.
+func (s *Server) handleSessionRefutation(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(w, r.URL.Query().Get("model"))
+	if e == nil {
+		return
+	}
+	id := r.PathValue("id")
+	if id == "-" {
+		id = ""
+	}
+	sess, ok := s.streams.tab.Get(sessionKey(e.Ref(), id))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrCodeNotFound,
+			"no live session %q for model %s", id, e.Ref())
+		return
+	}
+	sess.mu.Lock()
+	rep := sess.p.Refutation()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, refutationResponse{Model: sess.model, Session: sess.id, Refutation: rep})
 }

@@ -3,11 +3,14 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/refute"
 	"repro/internal/stream"
 )
 
@@ -217,6 +220,180 @@ func TestSessionsDrainRestoreRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
 		t.Fatal("continuation after restore diverged from the uninterrupted run")
+	}
+}
+
+// corruptTrace renders an NDJSON trace whose samples from `badFrom` on
+// carry a negative L1I miss rate — an impossible reading that violates
+// the nonneg-L1IM relation and must drive the session to "refuted".
+func corruptTrace(total, badFrom int) string {
+	var b strings.Builder
+	for i := 0; i < total; i++ {
+		l1 := 0.01
+		if i >= badFrom {
+			l1 = -0.01
+		}
+		fmt.Fprintf(&b, `{"bench":"t","section":%d,"events":{"L1IM":%g,"L2M":0.001,"DtlbLdM":0.0001},"cpi":0.7}`+"\n", i, l1)
+	}
+	return b.String()
+}
+
+// TestSessionRefutationEndpoint covers GET /v1/sessions/{id}/refutation
+// and the refutation rollup in both metrics surfaces: a clean session
+// reports every relation consistent, a corrupted one is refuted with the
+// violating relation named, and the per-relation violation counters land
+// in /metrics and /v1/metrics.json.
+func TestSessionRefutationEndpoint(t *testing.T) {
+	s, _, _ := newTestServer(t, streamConfig(1))
+	h := s.Handler()
+
+	if rec := postNDJSON(h, "/v1/stream?model=cpi&session=good", streamTrace(40, 20, 100, 0, 7)); rec.Code != 200 {
+		t.Fatalf("clean stream: status %d: %s", rec.Code, rec.Body)
+	}
+	bad := postNDJSON(h, "/v1/stream?model=cpi", corruptTrace(40, 0))
+	if bad.Code != 200 {
+		t.Fatalf("corrupt stream: status %d: %s", bad.Code, bad.Body)
+	}
+	// The corrupt stream's summary line already carries the verdict.
+	if !bytes.Contains(bad.Body.Bytes(), []byte(`"verdict":"refuted"`)) {
+		t.Errorf("corrupt stream summary lacks the refuted verdict: %s", bad.Body)
+	}
+
+	var rep refutationResponse
+	rec := get(h, "/v1/sessions/good/refutation?model=cpi")
+	if rec.Code != 200 {
+		t.Fatalf("clean refutation report: status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refutation.Verdict != refute.Consistent || len(rep.Refutation.Relations) == 0 {
+		t.Errorf("clean session: verdict %q over %d relations, want consistent over >0",
+			rep.Refutation.Verdict, len(rep.Refutation.Relations))
+	}
+
+	// "-" addresses the model's default session, where the corrupt trace
+	// went.
+	rec = get(h, "/v1/sessions/-/refutation?model=cpi")
+	if rec.Code != 200 {
+		t.Fatalf("default-session refutation report: status %d: %s", rec.Code, rec.Body)
+	}
+	rep = refutationResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refutation.Verdict != refute.Refuted {
+		t.Errorf("corrupt session verdict %q, want refuted", rep.Refutation.Verdict)
+	}
+	found := false
+	for _, rel := range rep.Refutation.Relations {
+		if rel.Name == "nonneg-L1IM" {
+			found = true
+			if rel.Verdict != refute.Refuted || rel.Violations != 40 {
+				t.Errorf("nonneg-L1IM: verdict %q with %d violations, want refuted with 40",
+					rel.Verdict, rel.Violations)
+			}
+		} else if rel.Violations != 0 {
+			t.Errorf("relation %s has %d violations, want 0", rel.Name, rel.Violations)
+		}
+	}
+	if !found {
+		t.Error("nonneg-L1IM missing from the report")
+	}
+
+	if rec := get(h, "/v1/sessions/ghost/refutation?model=cpi"); rec.Code != 404 {
+		t.Errorf("unknown session: status %d, want 404", rec.Code)
+	}
+	if rec := get(h, "/v1/sessions/-/refutation?model=ghost"); rec.Code != 404 {
+		t.Errorf("unknown model: status %d, want 404", rec.Code)
+	}
+
+	var snap struct {
+		Streams streamsSnapshot `json:"streams"`
+	}
+	if err := json.Unmarshal(get(h, "/v1/metrics.json").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Streams.RefuteConsistent != 1 || snap.Streams.RefuteRefuted != 1 {
+		t.Errorf("verdict rollup %d consistent / %d refuted, want 1 / 1",
+			snap.Streams.RefuteConsistent, snap.Streams.RefuteRefuted)
+	}
+	if snap.Streams.RelationViolations["nonneg-L1IM"] != 40 {
+		t.Errorf("relation violation rollup %v, want nonneg-L1IM=40", snap.Streams.RelationViolations)
+	}
+	text := get(h, "/metrics").Body.String()
+	for _, line := range []string{
+		`serve_stream_refute_sessions{verdict="consistent"} 1`,
+		`serve_stream_refute_sessions{verdict="refuted"} 1`,
+		`serve_stream_refute_violations_total 40`,
+		`serve_stream_refute_relation_violations_total{relation="nonneg-L1IM"} 40`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("metrics text missing %q", line)
+		}
+	}
+}
+
+// TestRefutationDrainRestoreDifferential is the differential acceptance
+// test for refutation state handoff: a session whose counter stream goes
+// bad mid-trace is drained *while a relation's violation streak is open*,
+// restored into a fresh server, and fed the rest of the trace. Its
+// continuation response and its full refutation report must be
+// byte-identical to an uninterrupted control run.
+func TestRefutationDrainRestoreDifferential(t *testing.T) {
+	cfg := streamConfig(1)
+	first, second := splitLines(corruptTrace(60, 20), 30)
+
+	sA, _, _ := newTestServer(t, cfg)
+	hA := sA.Handler()
+	if rec := postNDJSON(hA, "/v1/stream?model=cpi&session=r", first); rec.Code != 200 {
+		t.Fatalf("first chunk: status %d: %s", rec.Code, rec.Body)
+	}
+	drain := post(hA, "/v1/sessions/drain", "")
+	if drain.Code != 200 {
+		t.Fatalf("drain status %d: %s", drain.Code, drain.Body)
+	}
+	// The open streak must be in the drained state (second window, samples
+	// 16..29, contains corrupt samples and is violated but not yet refuted).
+	if !bytes.Contains(drain.Body.Bytes(), []byte(`"refutation":{`)) {
+		t.Fatalf("drained state carries no refutation snapshot: %s", drain.Body)
+	}
+
+	sB, _, _ := newTestServer(t, cfg)
+	hB := sB.Handler()
+	if rec := post(hB, "/v1/sessions/restore", drain.Body.String()); rec.Code != 200 {
+		t.Fatalf("restore status %d: %s", rec.Code, rec.Body)
+	}
+
+	sC, _, _ := newTestServer(t, cfg)
+	hC := sC.Handler()
+	if rec := postNDJSON(hC, "/v1/stream?model=cpi&session=r", first); rec.Code != 200 {
+		t.Fatalf("control first chunk: status %d", rec.Code)
+	}
+
+	got := postNDJSON(hB, "/v1/stream?model=cpi&session=r", second)
+	want := postNDJSON(hC, "/v1/stream?model=cpi&session=r", second)
+	if got.Code != 200 || want.Code != 200 {
+		t.Fatalf("continuation status %d / %d", got.Code, want.Code)
+	}
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Fatalf("continuation diverged after restore:\n  restored: %s\n  control:  %s", got.Body, want.Body)
+	}
+
+	refB := get(hB, "/v1/sessions/r/refutation?model=cpi")
+	refC := get(hC, "/v1/sessions/r/refutation?model=cpi")
+	if refB.Code != 200 || refC.Code != 200 {
+		t.Fatalf("refutation report status %d / %d", refB.Code, refC.Code)
+	}
+	if !bytes.Equal(refB.Body.Bytes(), refC.Body.Bytes()) {
+		t.Fatalf("refutation report diverged after restore:\n  restored: %s\n  control:  %s", refB.Body, refC.Body)
+	}
+	var rep refutationResponse
+	if err := json.Unmarshal(refB.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refutation.Verdict != refute.Refuted {
+		t.Errorf("verdict %q after full corrupt trace, want refuted", rep.Refutation.Verdict)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/refute"
 	"repro/internal/shard"
 	"repro/internal/stream"
 )
@@ -86,6 +87,14 @@ type streamsSnapshot struct {
 	Windows         uint64 `json:"windows"`
 	PhaseBoundaries uint64 `json:"phase_boundaries"`
 	DriftAlarms     uint64 `json:"drift_alarms"`
+	// Counter-consistency rollup across sessions: per-verdict session
+	// counts, total relation violations, and per-relation violation
+	// totals (only relations with at least one violation appear).
+	RefuteConsistent   int               `json:"refute_consistent_sessions"`
+	RefuteSuspect      int               `json:"refute_suspect_sessions"`
+	RefuteRefuted      int               `json:"refute_refuted_sessions"`
+	RefuteViolations   uint64            `json:"refute_violations"`
+	RelationViolations map[string]uint64 `json:"refute_relation_violations,omitempty"`
 	// Hits/Misses/Evictions are the session-table totals; Shards breaks
 	// them down per stripe.
 	Hits      uint64             `json:"hits"`
@@ -99,6 +108,7 @@ func (ss *streamSessions) snapshot() streamsSnapshot {
 	ss.tab.Range(func(_ string, s *streamSession) {
 		s.mu.Lock()
 		st := s.p.Stats()
+		rep := s.p.Refutation()
 		s.mu.Unlock()
 		snap.Sessions++
 		snap.Depth += st.Depth
@@ -109,6 +119,24 @@ func (ss *streamSessions) snapshot() streamsSnapshot {
 		snap.Windows += st.Windows
 		snap.PhaseBoundaries += st.PhaseBoundaries
 		snap.DriftAlarms += st.DriftAlarms
+		switch rep.Verdict {
+		case refute.Suspect:
+			snap.RefuteSuspect++
+		case refute.Refuted:
+			snap.RefuteRefuted++
+		default:
+			snap.RefuteConsistent++
+		}
+		for _, rel := range rep.Relations {
+			if rel.Violations == 0 {
+				continue
+			}
+			if snap.RelationViolations == nil {
+				snap.RelationViolations = make(map[string]uint64)
+			}
+			snap.RelationViolations[rel.Name] += rel.Violations
+			snap.RefuteViolations += rel.Violations
+		}
 	})
 	stats := ss.tab.Stats()
 	total := stats.Total()

@@ -26,20 +26,47 @@ func DefaultMonitorConfig() MonitorConfig {
 	return MonitorConfig{Config: DefaultConfig(), RenderEvery: 32, SkipInvalid: true}
 }
 
-// RunMonitor is the streaming driver: it decodes NDJSON samples from r,
-// feeds them through a Processor over m, writes machine-readable events
-// to eventsOut as NDJSON (one event per line, in order) and rolling
-// human-readable status lines to textOut. Either writer may be nil.
-// It returns when the input ends (a tailing reader simply never ends
-// until closed).
+// Monitor is a reusable streaming driver: a Processor plus the NDJSON
+// decode/render loop. Constructing it separately from Run lets callers
+// (cmd/monitor -refute) interrogate the processor — refutation report,
+// stats — after the stream ends.
+type Monitor struct {
+	p   *Processor
+	cfg MonitorConfig
+}
+
+// NewMonitor builds the driver for one model.
+func NewMonitor(m model.Model, cfg MonitorConfig) (*Monitor, error) {
+	p, err := NewProcessor(m, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{p: p, cfg: cfg}, nil
+}
+
+// Processor exposes the underlying processor.
+func (mon *Monitor) Processor() *Processor { return mon.p }
+
+// RunMonitor is the one-shot streaming driver: it decodes NDJSON samples
+// from r, feeds them through a Processor over m, writes machine-readable
+// events to eventsOut as NDJSON (one event per line, in order) and
+// rolling human-readable status lines to textOut. Either writer may be
+// nil. It returns when the input ends (a tailing reader simply never
+// ends until closed).
 //
 // For a fixed input byte stream the bytes written to eventsOut and
 // textOut are identical at any cfg.Jobs value.
 func RunMonitor(m model.Model, cfg MonitorConfig, r io.Reader, textOut, eventsOut io.Writer) (Stats, error) {
-	p, err := NewProcessor(m, cfg.Config)
+	mon, err := NewMonitor(m, cfg)
 	if err != nil {
 		return Stats{}, err
 	}
+	return mon.Run(r, textOut, eventsOut)
+}
+
+// Run drives the monitor over one input stream (see RunMonitor).
+func (mon *Monitor) Run(r io.Reader, textOut, eventsOut io.Writer) (Stats, error) {
+	p, cfg := mon.p, mon.cfg
 	if textOut == nil {
 		textOut = io.Discard
 	}
@@ -65,6 +92,9 @@ func RunMonitor(m model.Model, cfg MonitorConfig, r io.Reader, textOut, eventsOu
 			case "drift":
 				fmt.Fprintf(textOut, "section %6d  DRIFT %s: observed CPI diverged %s from the model (stat %.3f after %d sections in regime, mean resid %+.3f)\n",
 					ev.Section, ev.Direction, ev.Direction, ev.Stat, ev.RunLength, ev.MeanResidual)
+			case "refute":
+				fmt.Fprintf(textOut, "section %6d  REFUTE %s: counter relation %s (deviation %.3g)\n",
+					ev.Section, ev.Verdict, ev.Relation, ev.Deviation)
 			}
 		}
 		if cfg.RenderEvery > 0 {
@@ -121,7 +151,7 @@ func RunMonitor(m model.Model, cfg MonitorConfig, r io.Reader, textOut, eventsOu
 		return p.Stats(), err
 	}
 	st := p.Stats()
-	fmt.Fprintf(textOut, "done: %d sections scored (%d invalid skipped), %d phase boundaries, %d drift alarms\n",
-		st.Scored, st.Invalid, st.PhaseBoundaries, st.DriftAlarms)
+	fmt.Fprintf(textOut, "done: %d sections scored (%d invalid skipped), %d phase boundaries, %d drift alarms, counters %s\n",
+		st.Scored, st.Invalid, st.PhaseBoundaries, st.DriftAlarms, st.Refutation.Verdict)
 	return st, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/phases"
+	"repro/internal/refute"
 )
 
 // Config tunes a Processor.
@@ -34,9 +35,12 @@ type Config struct {
 	// Contributions attaches the top CPI contributor (the paper's Eq. 4
 	// "how much" answer) to every sample event.
 	Contributions bool
-	// EmitSamples emits a "sample" event per scored section; phase and
-	// drift events are always emitted.
+	// EmitSamples emits a "sample" event per scored section; phase, drift
+	// and refute events are always emitted.
 	EmitSamples bool
+	// Refute tunes the counter-consistency checker (zero value = checking
+	// on with refute defaults; set Refute.Disabled to opt out).
+	Refute refute.Config
 }
 
 // DefaultConfig returns monitoring-friendly defaults.
@@ -72,7 +76,8 @@ func (c Config) sanitized() Config {
 // drivers. Type selects which optional fields are present.
 type Event struct {
 	// Type is "sample" (one scored section), "phase" (a confirmed phase
-	// boundary) or "drift" (a Page–Hinkley alarm).
+	// boundary), "drift" (a Page–Hinkley alarm) or "refute" (a counter-
+	// consistency relation changed verdict).
 	Type string `json:"type"`
 	// Section is the zero-based arrival index the event refers to.
 	Section int `json:"section"`
@@ -97,6 +102,12 @@ type Event struct {
 	Stat         float64 `json:"stat,omitempty"`
 	MeanResidual float64 `json:"mean_residual,omitempty"`
 	RunLength    int     `json:"run_length,omitempty"`
+
+	// refute fields: a counter-consistency relation changed verdict at
+	// the end of the window containing Section.
+	Relation  string         `json:"relation,omitempty"`
+	Verdict   refute.Verdict `json:"verdict,omitempty"`
+	Deviation float64        `json:"deviation,omitempty"`
 }
 
 // Stats is a monitor state snapshot, exposed on /metrics and in CLI
@@ -117,18 +128,25 @@ type Stats struct {
 	HaveObserved  bool    `json:"have_observed"`
 	EwmaObserved  float64 `json:"ewma_observed"`
 	EwmaPredicted float64 `json:"ewma_predicted"`
+	// Refutation digests the counter-consistency checker: the session
+	// verdict plus violation counts. Together with DriftAlarms it encodes
+	// the decision rule — drift alarms while the counters stay consistent
+	// mean the model no longer fits (retrain); relation violations mean
+	// the counter stream itself is broken (distrust the data).
+	Refutation refute.Summary `json:"refutation"`
 }
 
 // Processor scores a sample stream through one model and runs the
 // online monitors. It is not safe for concurrent use; callers that
 // share one processor (the serve layer) serialize access.
 type Processor struct {
-	m      model.Model
-	sc     *schema
-	cfg    Config
-	ring   *Ring
-	online *phases.Online
-	ph     *PageHinkley
+	m       model.Model
+	sc      *schema
+	cfg     Config
+	ring    *Ring
+	online  *phases.Online
+	ph      *PageHinkley
+	refuter *refute.Checker
 
 	scored   uint64
 	invalid  atomic.Uint64
@@ -153,12 +171,13 @@ func NewProcessor(m model.Model, cfg Config) (*Processor, error) {
 	}
 	cfg = cfg.sanitized()
 	return &Processor{
-		m:      m,
-		sc:     sc,
-		cfg:    cfg,
-		ring:   NewRing(cfg.Buffer, cfg.Policy),
-		online: phases.NewOnline(cfg.Phases, cfg.Calibration),
-		ph:     NewPageHinkley(cfg.PH),
+		m:       m,
+		sc:      sc,
+		cfg:     cfg,
+		ring:    NewRing(cfg.Buffer, cfg.Policy),
+		online:  phases.NewOnline(cfg.Phases, cfg.Calibration),
+		ph:      NewPageHinkley(cfg.PH),
+		refuter: refute.NewChecker(cfg.Refute, sc.desc.AttrNames, sc.targetIdx, sc.desc.Machine),
 	}, nil
 }
 
@@ -324,6 +343,32 @@ func (p *Processor) scoreBatch(batch []Sample) ([]Event, error) {
 				})
 			}
 		}
+
+		// Consistency checking last: the relations judge the sample's
+		// counters as reported, independent of what the model predicted.
+		var obs float64
+		if ss.sample.CPI != nil {
+			obs = *ss.sample.CPI
+		}
+		p.refuter.Observe(ss.row, obs, ss.sample.CPI != nil)
+	}
+
+	// Every scoring batch closes one consistency window, so refutation
+	// state never straddles a batch boundary and session snapshots taken
+	// between batches are complete. Verdict transitions become events
+	// anchored at the window's last section.
+	lastSec := int(p.scored) - 1
+	last := &scoredBatch[len(scoredBatch)-1]
+	for _, tr := range p.refuter.EndWindow() {
+		events = append(events, Event{
+			Type:      "refute",
+			Section:   lastSec,
+			Bench:     last.sample.Bench,
+			Phase:     p.online.Phase(),
+			Relation:  tr.Relation,
+			Verdict:   tr.Verdict,
+			Deviation: tr.Deviation,
+		})
 	}
 	return events, nil
 }
@@ -343,8 +388,12 @@ func (p *Processor) Stats() Stats {
 		HaveObserved:    p.haveObs,
 		EwmaObserved:    p.ewmaObs,
 		EwmaPredicted:   p.ewmaPred,
+		Refutation:      p.refuter.Summary(),
 	}
 }
+
+// Refutation returns the full per-relation consistency report.
+func (p *Processor) Refutation() refute.Report { return p.refuter.Report() }
 
 // Describe exposes the underlying model's description.
 func (p *Processor) Describe() model.Description { return p.sc.desc }

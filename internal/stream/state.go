@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/phases"
+	"repro/internal/refute"
 )
 
 // Serializable processor state, for the serve layer's session
@@ -92,18 +93,29 @@ type ProcessorState struct {
 	// Monitor internals.
 	Phases phases.OnlineState `json:"phases"`
 	PH     PHState            `json:"ph"`
+	// Refutation is the counter-consistency checker's accumulated state
+	// (nil when checking is disabled or the snapshot predates it).
+	Refutation *refute.State `json:"refutation,omitempty"`
 }
 
 // processorStateVersion is the current ProcessorState wire version.
-const processorStateVersion = 1
+// Version 1 (PR 9) lacked the refutation field; v1 snapshots still
+// restore, with consistency checking starting fresh.
+const processorStateVersion = 2
 
 // State snapshots the processor. The caller must hold whatever lock
 // serializes Ingest calls (the processor itself is not concurrency-
 // safe, and neither is this).
 func (p *Processor) State() ProcessorState {
 	pending, dropped := p.ring.Snapshot()
+	var ref *refute.State
+	if p.refuter.Enabled() {
+		st := p.refuter.State()
+		ref = &st
+	}
 	return ProcessorState{
 		SchemaVersion:   processorStateVersion,
+		Refutation:      ref,
 		Scored:          p.scored,
 		Invalid:         p.invalid.Load(),
 		Windows:         p.windows,
@@ -126,8 +138,8 @@ func (p *Processor) State() ProcessorState {
 // mismatches that are detectable — wrong schema, oversized pending
 // buffer, debounce-ring drift — are errors.
 func RestoreProcessor(m model.Model, cfg Config, st ProcessorState) (*Processor, error) {
-	if st.SchemaVersion != processorStateVersion {
-		return nil, fmt.Errorf("stream: unsupported processor state version %d (want %d)",
+	if st.SchemaVersion < 1 || st.SchemaVersion > processorStateVersion {
+		return nil, fmt.Errorf("stream: unsupported processor state version %d (want 1..%d)",
 			st.SchemaVersion, processorStateVersion)
 	}
 	p, err := NewProcessor(m, cfg)
@@ -148,6 +160,11 @@ func RestoreProcessor(m model.Model, cfg Config, st ProcessorState) (*Processor,
 	}
 	p.online = online
 	p.ph.RestoreState(st.PH)
+	if st.Refutation != nil {
+		if err := p.refuter.RestoreState(*st.Refutation); err != nil {
+			return nil, err
+		}
+	}
 	p.scored = st.Scored
 	p.invalid.Store(st.Invalid)
 	p.windows = st.Windows
